@@ -1,0 +1,138 @@
+// Ablation A5 (DESIGN.md): skip-list rebalancing under skew
+// (Section 4.2.1), on the REAL-thread PIM emulation.
+//
+// A Zipf-distributed workload concentrates requests on the lowest key
+// range, overloading one vault. We run the partitioned PIM skip-list with
+// static partitions, observe the imbalance, then split the hot partition
+// with the non-blocking migration protocol — while the workload keeps
+// running — and measure throughput before and after.
+#include <atomic>
+#include <cstdio>
+#include <algorithm>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.hpp"
+#include "common/rng.hpp"
+#include "common/timing.hpp"
+#include "common/zipf.hpp"
+#include "core/pim_skiplist.hpp"
+
+int main() {
+  using namespace pimds;
+  using namespace pimds::bench;
+
+  banner("Ablation A5: PIM skip-list rebalancing under Zipf skew "
+         "(real threads)");
+  constexpr std::uint64_t kKeyMax = 1 << 16;
+  constexpr std::size_t kVaults = 4;
+  constexpr int kCpuThreads = 2;  // the host has 2 cores
+
+  runtime::PimSystem::Config config;
+  config.num_vaults = kVaults;
+  runtime::PimSystem system(config);
+  core::PimSkipList::Options options;
+  options.key_max = kKeyMax;
+  core::PimSkipList list(system, options);
+  system.start();
+
+  // Preload half the key space.
+  {
+    Xoshiro256 rng(1);
+    for (int i = 0; i < 20000; ++i) list.add(rng.next_in(1, kKeyMax));
+  }
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> ops{0};
+  std::vector<std::thread> cpus;
+  for (int t = 0; t < kCpuThreads; ++t) {
+    cpus.emplace_back([&, t] {
+      Xoshiro256 rng(100 + t);
+      ZipfGenerator zipf(kKeyMax, 0.99);  // rank 0 = key 1: vault 0 is hot
+      while (!stop.load(std::memory_order_relaxed)) {
+        const std::uint64_t key = zipf.next(rng) + 1;
+        switch (rng.next_below(3)) {
+          case 0: list.add(key); break;
+          case 1: list.remove(key); break;
+          default: list.contains(key);
+        }
+        ops.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+
+  const auto measure = [&](const char* phase, double seconds) {
+    const std::uint64_t before = ops.load();
+    const auto stats_before = list.vault_stats();
+    const std::uint64_t t0 = now_ns();
+    spin_for_ns(static_cast<std::uint64_t>(seconds * 1e9));
+    const double elapsed = static_cast<double>(now_ns() - t0) * 1e-9;
+    const double tput = static_cast<double>(ops.load() - before) / elapsed;
+    std::printf("%-28s %8.0f ops/s", phase, tput);
+    const auto stats_after = list.vault_stats();
+    std::uint64_t total = 0;
+    std::uint64_t peak = 0;
+    std::printf("   load share/vault:");
+    for (std::size_t v = 0; v < stats_after.size(); ++v) {
+      const std::uint64_t d =
+          stats_after[v].requests - stats_before[v].requests;
+      total += d;
+      peak = std::max(peak, d);
+    }
+    for (std::size_t v = 0; v < stats_after.size(); ++v) {
+      const std::uint64_t d =
+          stats_after[v].requests - stats_before[v].requests;
+      std::printf(" %.0f%%",
+                  100.0 * static_cast<double>(d) /
+                      static_cast<double>(total == 0 ? 1 : total));
+    }
+    std::printf("  (peak %.0f%%)\n",
+                100.0 * static_cast<double>(peak) /
+                    static_cast<double>(total == 0 ? 1 : total));
+    return tput;
+  };
+
+  const double before = measure("static partitions (skewed)", 1.0);
+
+  // Pick split keys at the workload's empirical quartiles — the policy an
+  // operator (or an automatic rebalancer watching vault_stats()) would use
+  // — and peel them off the hot partition live.
+  std::vector<std::uint64_t> splits;
+  {
+    Xoshiro256 rng(7);
+    ZipfGenerator zipf(kKeyMax, 0.99);
+    std::vector<std::uint64_t> sample(100000);
+    for (auto& s : sample) s = zipf.next(rng) + 1;
+    std::sort(sample.begin(), sample.end());
+    for (std::size_t q = 1; q < kVaults; ++q) {
+      std::uint64_t split = sample[q * sample.size() / kVaults];
+      const std::uint64_t prev = splits.empty() ? 1 : splits.back();
+      if (split <= prev) split = prev + 1;
+      splits.push_back(split);
+    }
+  }
+  for (std::size_t v = 1; v < kVaults; ++v) {
+    while (!list.migrate(splits[v - 1], v)) std::this_thread::yield();
+    while (list.migration_active()) std::this_thread::yield();
+  }
+  std::printf("migrated quartile ranges (splits at %lu, %lu, %lu); "
+              "partitions now:\n",
+              static_cast<unsigned long>(splits[0]),
+              static_cast<unsigned long>(splits[1]),
+              static_cast<unsigned long>(splits[2]));
+  for (const auto& e : list.partitions()) {
+    std::printf("  [%lu, ...) -> vault %zu\n",
+                static_cast<unsigned long>(e.sentinel), e.vault);
+  }
+
+  const double after = measure("after rebalancing", 1.0);
+
+  stop.store(true);
+  for (auto& t : cpus) t.join();
+  system.stop();
+
+  std::printf("\nthroughput change: %.2fx (host has %d worker threads; on a "
+              "many-core host the spread grows with the number of vaults)\n",
+              after / before, kCpuThreads);
+  return 0;
+}

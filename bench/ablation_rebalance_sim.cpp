@@ -1,0 +1,62 @@
+// Ablation A5b (DESIGN.md): Section 4.2.1 rebalancing at full scale, in the
+// deterministic simulator (the real-thread twin is ablation_rebalance).
+//
+// 16 simulated CPUs drive a Zipf workload at the PIM skip-list; at t = T/3
+// an online rebalancer splits the workload's quartile ranges off the hot
+// vault with the paper's non-blocking migration protocol. Throughput is
+// measured before ([0, T/3)) and after ([2T/3, T)) the migrations.
+#include <cstdio>
+
+#include "bench/bench_util.hpp"
+#include "sim/ds/skiplists.hpp"
+
+int main() {
+  using namespace pimds;
+  using namespace pimds::bench;
+
+  banner("Ablation A5b: skip-list rebalancing under Zipf skew (simulator)");
+  Table table({"theta", "k", "before", "after", "gain", "migrated",
+               "rej/fwd/def", "consistent"},
+              13);
+  table.print_header();
+  for (double theta : {0.6, 0.9, 0.99}) {
+    for (std::size_t k : {4, 8}) {
+      sim::RebalanceConfig cfg;
+      cfg.zipf_theta = theta;
+      cfg.partitions = k;
+      cfg.num_cpus = 4 * k;
+      const auto r = sim::run_pim_skiplist_rebalance(cfg);
+      char th[16];
+      std::snprintf(th, sizeof(th), "%.2f", theta);
+      char flow[32];
+      std::snprintf(flow, sizeof(flow), "%lu/%lu/%lu",
+                    static_cast<unsigned long>(r.rejections),
+                    static_cast<unsigned long>(r.forwarded),
+                    static_cast<unsigned long>(r.deferred));
+      table.print_row({th, std::to_string(k), mops(r.before.ops_per_sec()),
+                       mops(r.after.ops_per_sec()),
+                       ratio(r.after.ops_per_sec(), r.before.ops_per_sec()),
+                       std::to_string(r.migrated_keys), flow,
+                       r.size_consistent ? "yes" : "NO"});
+    }
+  }
+
+  // Control: the same skewed runs without rebalancing.
+  std::printf("\ncontrols (no rebalancing):\n");
+  for (double theta : {0.6, 0.9, 0.99}) {
+    sim::RebalanceConfig cfg;
+    cfg.zipf_theta = theta;
+    cfg.rebalance = false;
+    const auto r = sim::run_pim_skiplist_rebalance(cfg);
+    std::printf("  theta=%.2f k=4: before %s after %s Mops/s (flat)\n",
+                theta, mops(r.before.ops_per_sec()).c_str(),
+                mops(r.after.ops_per_sec()).c_str());
+  }
+
+  std::printf(
+      "\nReading: static partitions pin the Zipf head on one vault; live\n"
+      "quartile migrations (source keeps serving, forwarding and deferring\n"
+      "exactly per Section 4.2.1) recover multi-vault parallelism. The\n"
+      "'consistent' column checks no key was lost or duplicated.\n");
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Shared table-printing helpers for the paper-reproduction benchmarks.
+// Every bench binary prints the rows/series of one table or figure from the
+// paper; EXPERIMENTS.md records the comparison against the published shape.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace pimds::bench {
+
+/// Fixed-width table writer for terminal output.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers, int col_width = 14)
+      : headers_(std::move(headers)), width_(col_width) {}
+
+  void print_header() const {
+    for (const auto& h : headers_) std::printf("%-*s", width_, h.c_str());
+    std::printf("\n");
+    for (std::size_t i = 0; i < headers_.size(); ++i) {
+      for (int j = 0; j < width_ - 2; ++j) std::printf("-");
+      std::printf("  ");
+    }
+    std::printf("\n");
+  }
+
+  void print_row(const std::vector<std::string>& cells) const {
+    for (const auto& c : cells) std::printf("%-*s", width_, c.c_str());
+    std::printf("\n");
+  }
+
+ private:
+  std::vector<std::string> headers_;
+  int width_;
+};
+
+inline std::string mops(double ops_per_sec) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", ops_per_sec * 1e-6);
+  return buf;
+}
+
+inline std::string ratio(double a, double b) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2fx", a / b);
+  return buf;
+}
+
+inline void banner(const char* title) {
+  std::printf("\n=== %s ===\n", title);
+}
+
+}  // namespace pimds::bench

@@ -1,0 +1,103 @@
+// Google-benchmark microbenchmarks for the substrate primitives: fiber
+// switches, virtual-time scheduling, the MPMC mailbox transport, EBR
+// guards, RNG, and the latency injector. These bound the overheads that
+// the emulation adds on top of the modeled latencies.
+#include <benchmark/benchmark.h>
+
+#include <optional>
+
+#include "common/ebr.hpp"
+#include "common/mpmc_queue.hpp"
+#include "common/rng.hpp"
+#include "common/zipf.hpp"
+#include "sim/engine.hpp"
+#include "sim/fiber.hpp"
+
+namespace {
+
+using namespace pimds;
+
+void BM_Xoshiro(benchmark::State& state) {
+  Xoshiro256 rng(1);
+  for (auto _ : state) benchmark::DoNotOptimize(rng.next());
+}
+BENCHMARK(BM_Xoshiro);
+
+void BM_XoshiroBounded(benchmark::State& state) {
+  Xoshiro256 rng(1);
+  for (auto _ : state) benchmark::DoNotOptimize(rng.next_below(12345));
+}
+BENCHMARK(BM_XoshiroBounded);
+
+void BM_Zipf(benchmark::State& state) {
+  Xoshiro256 rng(1);
+  ZipfGenerator zipf(1 << 20, 0.99);
+  for (auto _ : state) benchmark::DoNotOptimize(zipf.next(rng));
+}
+BENCHMARK(BM_Zipf);
+
+void BM_FiberSwitchPair(benchmark::State& state) {
+  sim::Fiber* self = nullptr;
+  bool stop = false;
+  sim::Fiber fiber([&] {
+    while (!stop) self->yield_to_resumer();
+  });
+  self = &fiber;
+  for (auto _ : state) fiber.resume();
+  stop = true;
+  fiber.resume();
+}
+BENCHMARK(BM_FiberSwitchPair);
+
+void BM_SimEventDispatch(benchmark::State& state) {
+  // Cost of one scheduled slice (sync -> dispatch -> resume), amortized
+  // over a batch of slices inside one engine run.
+  constexpr std::uint64_t kBatch = 10000;
+  for (auto _ : state) {
+    sim::Engine engine;
+    engine.spawn("a", [&](sim::Context& ctx) {
+      for (std::uint64_t i = 0; i < kBatch; ++i) {
+        ctx.advance(1);
+        ctx.sync();
+      }
+    });
+    engine.run();
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * kBatch));
+}
+BENCHMARK(BM_SimEventDispatch);
+
+void BM_MpmcPushPop(benchmark::State& state) {
+  MpmcQueue<std::uint64_t> q(1024);
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    q.push(i++);
+    benchmark::DoNotOptimize(q.try_pop());
+  }
+}
+BENCHMARK(BM_MpmcPushPop);
+
+void BM_EbrGuard(benchmark::State& state) {
+  EbrDomain domain;
+  for (auto _ : state) {
+    EbrDomain::Guard guard(domain);
+    benchmark::DoNotOptimize(&guard);
+  }
+}
+BENCHMARK(BM_EbrGuard);
+
+void BM_LatencyInjectionPim(benchmark::State& state) {
+  auto& inj = LatencyInjector::instance();
+  LatencyParams lp;
+  lp.pim_ns = static_cast<double>(state.range(0));
+  inj.configure(lp);
+  inj.set_enabled(true);
+  for (auto _ : state) charge_pim_access();
+  inj.set_enabled(false);
+}
+BENCHMARK(BM_LatencyInjectionPim)->Arg(200)->Arg(1000)->Arg(5000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,72 @@
+// Reproduces Table 1: approximate expected throughput of the five
+// linked-list algorithms, from (a) the closed-form model and (b) the
+// discrete-event simulator running the actual algorithms.
+//
+// Paper: Liu, Calciu, Herlihy, Mutlu — "Concurrent Data Structures for
+// Near-Memory Computing", SPAA'17, Section 4.1.
+#include <cstdio>
+
+#include "bench/bench_util.hpp"
+#include "model/linked_list_model.hpp"
+#include "sim/ds/linked_lists.hpp"
+
+namespace {
+
+using namespace pimds;
+using namespace pimds::bench;
+
+void run_one(std::size_t n, std::size_t p) {
+  sim::ListConfig cfg;
+  cfg.num_cpus = p;
+  cfg.key_range = 2 * n;  // equilibrium size = key_range / 2 = n
+  cfg.initial_size = n;
+  cfg.duration_ns = 30'000'000;
+  const LatencyParams lp = cfg.params;
+
+  std::printf("\nTable 1 with n = %zu nodes, p = %zu CPUs "
+              "(Lcpu = %.0f ns, Lpim = %.0f ns, r1 = %.0f)\n",
+              n, p, lp.cpu(), lp.pim(), lp.r1);
+  Table table({"algorithm", "model Mops/s", "sim Mops/s", "sim/model"}, 26);
+  table.print_header();
+
+  const auto row = [&](const char* name, double model_tput, double sim_tput) {
+    table.print_row({name, mops(model_tput), mops(sim_tput),
+                     ratio(sim_tput, model_tput)});
+  };
+
+  row("fine-grained locks",
+      model::fine_grained_lock_list(lp, n, p),
+      sim::run_fine_grained_list(cfg).ops_per_sec());
+  row("FC, no combining",
+      model::fc_list_no_combining(lp, n),
+      sim::run_fc_list(cfg, false).ops_per_sec());
+  row("PIM, no combining",
+      model::pim_list_no_combining(lp, n),
+      sim::run_pim_list(cfg, false).ops_per_sec());
+  row("FC, with combining",
+      model::fc_list_combining(lp, n, p),
+      sim::run_fc_list(cfg, true).ops_per_sec());
+  row("PIM, with combining",
+      model::pim_list_combining(lp, n, p),
+      sim::run_pim_list(cfg, true).ops_per_sec());
+}
+
+}  // namespace
+
+int main() {
+  banner("Table 1: linked-list throughput (model vs simulation)");
+  run_one(400, 8);
+  run_one(1000, 16);
+
+  // The two analytic conclusions the paper draws from Table 1:
+  const LatencyParams lp = LatencyParams::paper_defaults();
+  std::printf("\nCrossover checks (n = 1000):\n");
+  std::printf("  fine-grained lock list needs p >= %zu threads to match the "
+              "naive PIM list (paper: p >= r1 = 3)\n",
+              pimds::model::threads_to_beat_naive_pim(lp));
+  std::printf("  PIM list with combining vs fine-grained at p = 16: %.2fx "
+              "(paper: >= 1.5x at r1 = 3)\n",
+              pimds::model::pim_list_combining(lp, 1000, 16) /
+                  pimds::model::fine_grained_lock_list(lp, 1000, 16));
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Reproduces Table 2: approximate expected throughput of the five
+// skip-list algorithms (Section 4.2), model vs. simulation.
+#include <cstdio>
+
+#include "bench/bench_util.hpp"
+#include "model/skiplist_model.hpp"
+#include "sim/ds/skiplists.hpp"
+
+int main() {
+  using namespace pimds;
+  using namespace pimds::bench;
+
+  banner("Table 2: skip-list throughput (model vs simulation)");
+  sim::SkipListConfig cfg;
+  cfg.num_cpus = 16;
+  cfg.key_range = 1 << 15;
+  cfg.initial_size = 1 << 14;  // equilibrium: half the key range
+  cfg.duration_ns = 20'000'000;
+  const LatencyParams lp = cfg.params;
+  const std::size_t k = 8;
+  const double beta = model::estimate_beta(cfg.initial_size);
+
+  std::printf("skip-list size N = %zu, p = %zu CPUs, k = %zu partitions, "
+              "beta ~= %.1f\n\n",
+              cfg.initial_size, cfg.num_cpus, k, beta);
+
+  Table table({"algorithm", "model Mops/s", "sim Mops/s", "sim/model"}, 26);
+  table.print_header();
+  const auto row = [&](const char* name, double model_tput, double sim_tput) {
+    table.print_row({name, mops(model_tput), mops(sim_tput),
+                     ratio(sim_tput, model_tput)});
+  };
+
+  row("lock-free",
+      model::lock_free_skiplist(lp, beta, cfg.num_cpus),
+      sim::run_lockfree_skiplist(cfg).ops_per_sec());
+  row("flat combining (k=1)",
+      model::fc_skiplist(lp, beta),
+      sim::run_fc_skiplist(cfg, 1).ops_per_sec());
+  row("PIM (k=1)",
+      model::pim_skiplist(lp, beta),
+      sim::run_pim_skiplist(cfg, 1).ops_per_sec());
+  row("FC, k partitions",
+      model::fc_skiplist_partitioned(lp, beta, k),
+      sim::run_fc_skiplist(cfg, k).ops_per_sec());
+  row("PIM, k partitions",
+      model::pim_skiplist_partitioned(lp, beta, k),
+      sim::run_pim_skiplist(cfg, k).ops_per_sec());
+
+  std::printf("\nCrossover check: PIM with k partitions beats the lock-free "
+              "skip-list once k > p/r1; for p = %zu, r1 = %.0f the model "
+              "says k >= %zu.\n",
+              cfg.num_cpus, lp.r1,
+              model::min_partitions_to_beat_lock_free(lp, beta,
+                                                      cfg.num_cpus));
+  return 0;
+}

@@ -1,0 +1,95 @@
+#include "baselines/hoh_list.hpp"
+
+#include <cassert>
+#include <limits>
+
+namespace pimds::baselines {
+
+namespace {
+constexpr std::uint64_t kHeadKey = 0;
+constexpr std::uint64_t kTailKey = std::numeric_limits<std::uint64_t>::max();
+}  // namespace
+
+HohList::HohList() {
+  Node* tail = new Node{kTailKey, nullptr, {}};
+  head_ = new Node{kHeadKey, tail, {}};
+}
+
+HohList::~HohList() {
+  Node* n = head_;
+  while (n != nullptr) {
+    Node* next = n->next;
+    delete n;
+    n = next;
+  }
+}
+
+void HohList::locate(std::uint64_t key, Node*& prev, Node*& curr) {
+  prev = head_;
+  prev->lock.lock();
+  charge_cpu_access();
+  curr = prev->next;
+  curr->lock.lock();
+  charge_cpu_access();
+  while (curr->key < key) {
+    prev->lock.unlock();
+    prev = curr;
+    curr = curr->next;
+    curr->lock.lock();
+    charge_cpu_access();
+  }
+}
+
+bool HohList::add(std::uint64_t key) {
+  assert(key > kHeadKey && key < kTailKey);
+  Node* prev;
+  Node* curr;
+  locate(key, prev, curr);
+  bool inserted = false;
+  if (curr->key != key) {
+    prev->next = new Node{key, curr, {}};
+    size_.fetch_add(1, std::memory_order_relaxed);
+    inserted = true;
+  }
+  curr->lock.unlock();
+  prev->lock.unlock();
+  return inserted;
+}
+
+bool HohList::remove(std::uint64_t key) {
+  assert(key > kHeadKey && key < kTailKey);
+  Node* prev;
+  Node* curr;
+  locate(key, prev, curr);
+  bool removed = false;
+  if (curr->key == key) {
+    prev->next = curr->next;
+    curr->lock.unlock();
+    delete curr;  // safe: traversals lock curr before reading it, and no
+                  // thread can reach it once unlinked while prev is locked
+    size_.fetch_sub(1, std::memory_order_relaxed);
+    removed = true;
+    prev->lock.unlock();
+    return removed;
+  }
+  curr->lock.unlock();
+  prev->lock.unlock();
+  return removed;
+}
+
+bool HohList::contains(std::uint64_t key) {
+  assert(key > kHeadKey && key < kTailKey);
+  Node* prev;
+  Node* curr;
+  locate(key, prev, curr);
+  const bool present = curr->key == key;
+  curr->lock.unlock();
+  prev->lock.unlock();
+  return present;
+}
+
+std::size_t HohList::size() const noexcept {
+  return size_.load(std::memory_order_relaxed);
+}
+
+}  // namespace pimds::baselines

@@ -1,0 +1,48 @@
+// Sorted linked-list with fine-grained (hand-over-hand) locking.
+//
+// The paper's Table 1 / Figure 2 baseline "linked-list with fine-grained
+// locks": traversals hold at most two node locks at a time and pipeline
+// down the list, so p threads proceed (almost) in parallel. Latency
+// instrumentation hooks charge one CPU DRAM access per node hop when the
+// process-wide injector is enabled, mirroring the Section 3 model.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+
+#include "baselines/spinlock.hpp"
+#include "common/latency.hpp"
+
+namespace pimds::baselines {
+
+class HohList {
+ public:
+  HohList();
+  ~HohList();
+
+  HohList(const HohList&) = delete;
+  HohList& operator=(const HohList&) = delete;
+
+  /// Keys must be >= 1 and < UINT64_MAX (0 and UINT64_MAX are the dummy
+  /// head and tail sentinels).
+  bool add(std::uint64_t key);
+  bool remove(std::uint64_t key);
+  bool contains(std::uint64_t key);
+
+  std::size_t size() const noexcept;
+
+ private:
+  struct Node {
+    std::uint64_t key;
+    Node* next;
+    Spinlock lock;
+  };
+
+  /// Returns with prev and curr locked; curr is the first node >= key.
+  void locate(std::uint64_t key, Node*& prev, Node*& curr);
+
+  Node* head_;
+  std::atomic<std::size_t> size_{0};
+};
+
+}  // namespace pimds::baselines

@@ -1,0 +1,46 @@
+// Michael-Scott lock-free FIFO queue, with epoch-based reclamation.
+// Classic CAS-based baseline: both ends contend on a single cache line
+// each, so throughput flattens under load — the motivating pathology for
+// Section 5's contended-structure discussion.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+
+#include "common/cacheline.hpp"
+#include "common/ebr.hpp"
+#include "common/latency.hpp"
+
+namespace pimds::baselines {
+
+class MsQueue {
+ public:
+  MsQueue();
+  ~MsQueue();
+
+  MsQueue(const MsQueue&) = delete;
+  MsQueue& operator=(const MsQueue&) = delete;
+
+  void enqueue(std::uint64_t value);
+  std::optional<std::uint64_t> dequeue();
+
+  bool empty() const noexcept {
+    const Node* h = head_.value.load(std::memory_order_acquire);
+    return h->next.load(std::memory_order_acquire) == nullptr;
+  }
+
+ private:
+  struct Node {
+    std::uint64_t value;
+    std::atomic<Node*> next{nullptr};
+
+    explicit Node(std::uint64_t v) : value(v) {}
+  };
+
+  CachePadded<std::atomic<Node*>> head_;  // dummy-node convention
+  CachePadded<std::atomic<Node*>> tail_;
+  EbrDomain ebr_;
+};
+
+}  // namespace pimds::baselines

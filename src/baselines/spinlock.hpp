@@ -1,0 +1,36 @@
+// Tiny test-and-test-and-set spinlock used for per-node locks.
+//
+// One byte, so a node-plus-lock stays within a cache line; meets the
+// Lockable requirements, so std::lock_guard / std::scoped_lock apply
+// (CP.20: RAII, never plain lock/unlock).
+#pragma once
+
+#include <atomic>
+
+#include "common/timing.hpp"
+#include "common/spinwait.hpp"
+
+namespace pimds::baselines {
+
+class Spinlock {
+ public:
+  void lock() noexcept {
+    SpinWait spin;
+    for (;;) {
+      if (!locked_.exchange(true, std::memory_order_acquire)) return;
+      while (locked_.load(std::memory_order_relaxed)) spin.wait();
+    }
+  }
+
+  bool try_lock() noexcept {
+    return !locked_.load(std::memory_order_relaxed) &&
+           !locked_.exchange(true, std::memory_order_acquire);
+  }
+
+  void unlock() noexcept { locked_.store(false, std::memory_order_release); }
+
+ private:
+  std::atomic<bool> locked_{false};
+};
+
+}  // namespace pimds::baselines

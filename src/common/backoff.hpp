@@ -1,0 +1,30 @@
+// Bounded exponential backoff for contended retry loops (CP.42-adjacent:
+// spinning threads should get out of each other's way).
+#pragma once
+
+#include <cstdint>
+
+#include "common/timing.hpp"
+
+namespace pimds {
+
+class Backoff {
+ public:
+  explicit Backoff(std::uint32_t min_spins = 4,
+                   std::uint32_t max_spins = 1024) noexcept
+      : limit_(min_spins), max_(max_spins) {}
+
+  /// Spin for the current window, then double it (up to the cap).
+  void pause() noexcept {
+    for (std::uint32_t i = 0; i < limit_; ++i) cpu_relax();
+    if (limit_ < max_) limit_ *= 2;
+  }
+
+  void reset(std::uint32_t min_spins = 4) noexcept { limit_ = min_spins; }
+
+ private:
+  std::uint32_t limit_;
+  std::uint32_t max_;
+};
+
+}  // namespace pimds

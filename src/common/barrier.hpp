@@ -1,0 +1,46 @@
+// Sense-reversing centralized barrier.
+//
+// Benchmarks start all worker threads on the same edge so warm-up and
+// measurement windows line up across threads. std::barrier would also work;
+// this spinning variant avoids futex wake latency distorting short
+// measurement windows.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+
+#include "common/cacheline.hpp"
+#include "common/timing.hpp"
+#include "common/spinwait.hpp"
+
+namespace pimds {
+
+class SpinBarrier {
+ public:
+  explicit SpinBarrier(std::size_t parties) noexcept
+      : parties_(parties), remaining_(parties) {}
+
+  SpinBarrier(const SpinBarrier&) = delete;
+  SpinBarrier& operator=(const SpinBarrier&) = delete;
+
+  /// Blocks (spinning) until all parties have arrived.
+  void arrive_and_wait() noexcept {
+    const bool my_sense = !sense_.value.load(std::memory_order_relaxed);
+    if (remaining_.value.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      remaining_.value.store(parties_, std::memory_order_relaxed);
+      sense_.value.store(my_sense, std::memory_order_release);
+    } else {
+      SpinWait spin;
+      while (sense_.value.load(std::memory_order_acquire) != my_sense) {
+        spin.wait();
+      }
+    }
+  }
+
+ private:
+  const std::size_t parties_;
+  CachePadded<std::atomic<std::size_t>> remaining_;
+  CachePadded<std::atomic<bool>> sense_{false};
+};
+
+}  // namespace pimds

@@ -1,0 +1,117 @@
+#include "common/ebr.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace pimds {
+
+namespace {
+
+// Per-thread cache of (domain -> slot index) claims. A thread typically
+// touches one or two domains, so a flat vector beats a hash map.
+struct SlotClaim {
+  std::uint64_t domain_id;
+  std::size_t index;
+};
+thread_local std::vector<SlotClaim> t_claims;
+
+}  // namespace
+
+std::uint64_t EbrDomain::next_domain_id() noexcept {
+  static std::atomic<std::uint64_t> counter{1};
+  return counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::size_t EbrDomain::my_slot_index() {
+  for (const auto& claim : t_claims) {
+    if (claim.domain_id == id_) return claim.index;
+  }
+  for (std::size_t i = 0; i < kMaxThreads; ++i) {
+    bool expected = false;
+    if (!slots_[i].claimed.load(std::memory_order_relaxed) &&
+        slots_[i].claimed.compare_exchange_strong(expected, true,
+                                                  std::memory_order_acq_rel)) {
+      t_claims.push_back({id_, i});
+      // Track the highest claimed slot so epoch scans stay short.
+      std::size_t hw = high_water_.load(std::memory_order_relaxed);
+      while (hw < i + 1 && !high_water_.compare_exchange_weak(
+                               hw, i + 1, std::memory_order_relaxed)) {
+      }
+      return i;
+    }
+  }
+  throw std::runtime_error("EbrDomain: more than kMaxThreads participants");
+}
+
+void EbrDomain::enter() noexcept {
+  ThreadSlot& slot = slots_[my_slot_index()];
+  const std::uint64_t e = global_epoch_.value.load(std::memory_order_acquire);
+  slot.state.store((e << 1) | 1, std::memory_order_relaxed);
+  // The pin must be visible before any read of shared structure; a seq_cst
+  // fence pairs with the scan in try_advance_and_reclaim.
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+}
+
+void EbrDomain::exit() noexcept {
+  ThreadSlot& slot = slots_[my_slot_index()];
+  slot.state.store(0, std::memory_order_release);
+}
+
+void EbrDomain::retire_erased(void* p, void (*deleter)(void*)) {
+  ThreadSlot& slot = slots_[my_slot_index()];
+  assert((slot.state.load(std::memory_order_relaxed) & 1) &&
+         "retire() requires an active Guard");
+  const std::uint64_t e = global_epoch_.value.load(std::memory_order_acquire);
+  auto& list = slot.limbo[e % 3];
+  if (slot.limbo_epoch[e % 3] != e) {
+    // The resident list is from epoch e-3 or older (two epochs behind e-1),
+    // so every reader that could see those nodes has unpinned: free it.
+    for (const Retired& r : list) r.deleter(r.ptr);
+    list.clear();
+    slot.limbo_epoch[e % 3] = e;
+  }
+  list.push_back({p, deleter});
+  if (list.size() >= kRetireBatch) try_advance_and_reclaim(slot);
+}
+
+void EbrDomain::try_advance_and_reclaim(ThreadSlot& slot) {
+  const std::uint64_t e = global_epoch_.value.load(std::memory_order_acquire);
+  const std::size_t hw = high_water_.load(std::memory_order_acquire);
+  for (std::size_t i = 0; i < hw; ++i) {
+    const std::uint64_t s = slots_[i].state.load(std::memory_order_acquire);
+    if ((s & 1) && (s >> 1) != e) return;  // a reader lags behind epoch e
+  }
+  std::uint64_t expected = e;
+  global_epoch_.value.compare_exchange_strong(expected, e + 1,
+                                              std::memory_order_acq_rel);
+  const std::uint64_t now = global_epoch_.value.load(std::memory_order_acquire);
+  for (std::size_t i = 0; i < 3; ++i) {
+    if (!slot.limbo[i].empty() && slot.limbo_epoch[i] + 2 <= now) {
+      for (const Retired& r : slot.limbo[i]) r.deleter(r.ptr);
+      slot.limbo[i].clear();
+    }
+  }
+}
+
+void EbrDomain::reclaim_all_unsafe() {
+  const std::size_t hw = high_water_.load(std::memory_order_acquire);
+  for (std::size_t i = 0; i < hw; ++i) {
+    for (auto& list : slots_[i].limbo) {
+      for (const Retired& r : list) r.deleter(r.ptr);
+      list.clear();
+    }
+  }
+}
+
+std::size_t EbrDomain::pending_local() const {
+  for (const auto& claim : t_claims) {
+    if (claim.domain_id == id_) {
+      const ThreadSlot& slot = slots_[claim.index];
+      return slot.limbo[0].size() + slot.limbo[1].size() +
+             slot.limbo[2].size();
+    }
+  }
+  return 0;
+}
+
+}  // namespace pimds

@@ -1,0 +1,97 @@
+// Epoch-based memory reclamation (EBR) for lock-free structures.
+//
+// The lock-free skip-list baseline unlinks nodes that concurrent readers may
+// still be traversing; EBR defers reclamation until no reader can hold a
+// reference. Classic 3-epoch scheme (Fraser): readers pin the global epoch
+// on entry; retired nodes are freed once every pinned reader has observed a
+// newer epoch (two global epoch advances).
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/cacheline.hpp"
+
+namespace pimds {
+
+/// One reclamation domain. Threads participate via thread-local slots
+/// claimed on first use; at most kMaxThreads threads may ever enter.
+class EbrDomain {
+ public:
+  static constexpr std::size_t kMaxThreads = 256;
+  /// Retired nodes buffered per thread before attempting an epoch advance.
+  static constexpr std::size_t kRetireBatch = 64;
+
+  EbrDomain() = default;
+  ~EbrDomain() { reclaim_all_unsafe(); }
+
+  EbrDomain(const EbrDomain&) = delete;
+  EbrDomain& operator=(const EbrDomain&) = delete;
+
+  /// RAII critical-section guard. While alive, nodes retired by other
+  /// threads in the current epoch will not be freed.
+  class Guard {
+   public:
+    explicit Guard(EbrDomain& domain) noexcept : domain_(domain) {
+      domain_.enter();
+    }
+    ~Guard() { domain_.exit(); }
+    Guard(const Guard&) = delete;
+    Guard& operator=(const Guard&) = delete;
+
+   private:
+    EbrDomain& domain_;
+  };
+
+  /// Schedules `p` for deletion once no guard from an older epoch survives.
+  /// Must be called inside a Guard.
+  template <typename T>
+  void retire(T* p) {
+    retire_erased(p, [](void* q) { delete static_cast<T*>(q); });
+  }
+
+  void retire_erased(void* p, void (*deleter)(void*));
+
+  /// Frees everything immediately. Only safe when no thread is inside a
+  /// Guard (e.g. single-threaded teardown).
+  void reclaim_all_unsafe();
+
+  /// Testing hook: number of retired-but-unreclaimed nodes owned by the
+  /// calling thread.
+  std::size_t pending_local() const;
+
+ private:
+  struct Retired {
+    void* ptr;
+    void (*deleter)(void*);
+  };
+
+  struct alignas(kCacheLineSize) ThreadSlot {
+    // Bit 0: active flag; bits 1..: epoch the thread pinned.
+    std::atomic<std::uint64_t> state{0};
+    std::atomic<bool> claimed{false};
+    std::array<std::vector<Retired>, 3> limbo{};
+    std::uint64_t limbo_epoch[3] = {0, 0, 0};
+  };
+
+  void enter() noexcept;
+  void exit() noexcept;
+  std::size_t my_slot_index();
+  void try_advance_and_reclaim(ThreadSlot& slot);
+
+  static std::uint64_t next_domain_id() noexcept;
+
+  /// Distinguishes domains so a thread's cached slot claims cannot alias a
+  /// new domain constructed at a recycled address.
+  const std::uint64_t id_ = next_domain_id();
+  CachePadded<std::atomic<std::uint64_t>> global_epoch_{1};
+  std::array<ThreadSlot, kMaxThreads> slots_{};
+  std::atomic<std::size_t> high_water_{0};
+};
+
+}  // namespace pimds

@@ -1,0 +1,145 @@
+// History-based FIFO queue checker for concurrent tests.
+//
+// Threads record enqueue and dequeue events during a run; check() then
+// verifies, offline, the properties a linearizable MPMC FIFO queue must
+// satisfy:
+//   1. no value is dequeued that was never enqueued, and none twice;
+//   2. every value enqueued before the drain completes is dequeued
+//      (completeness, when the caller drained the queue);
+//   3. per-producer order: values from one producer are consumed in
+//      production order, as observed by EACH consumer (subsequences of a
+//      FIFO are monotone);
+//   4. cross-thread real-time order on the producer side: if producer A's
+//      enqueue completed before producer B's enqueue began, and one
+//      consumer dequeued both, it cannot see B's value before A's.
+//
+// Values must be unique across the run (use producer-tagged sequence
+// numbers). Recording uses per-thread logs, so instrumentation adds no
+// synchronization beyond a timestamp read.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/timing.hpp"
+
+namespace pimds {
+
+class FifoChecker {
+ public:
+  /// One participant's private event log (no sharing, no locks).
+  class ThreadLog {
+   public:
+    void record_enqueue_begin(std::uint64_t value) {
+      pending_value_ = value;
+      pending_begin_ = now_ns();
+    }
+    void record_enqueue_end() {
+      enqueues_.push_back({pending_value_, pending_begin_, now_ns()});
+    }
+    void record_dequeue(std::uint64_t value) {
+      dequeues_.push_back({value, 0, now_ns()});
+    }
+
+   private:
+    friend class FifoChecker;
+    struct Event {
+      std::uint64_t value;
+      std::uint64_t begin_ns;
+      std::uint64_t end_ns;
+    };
+    std::uint64_t pending_value_ = 0;
+    std::uint64_t pending_begin_ = 0;
+    std::vector<Event> enqueues_;
+    std::vector<Event> dequeues_;
+  };
+
+  struct Result {
+    bool ok = true;
+    std::string error;  ///< first violation found, empty when ok
+  };
+
+  /// @param drained true if the caller emptied the queue after all
+  ///        producers finished (enables the completeness check).
+  static Result check(const std::vector<ThreadLog>& logs, bool drained) {
+    Result result;
+    // 1 + 2: multiset equality between enqueued and dequeued values.
+    std::map<std::uint64_t, int> balance;  // +1 enqueued, -1 dequeued
+    std::uint64_t enq_count = 0;
+    std::uint64_t deq_count = 0;
+    for (const ThreadLog& log : logs) {
+      for (const auto& e : log.enqueues_) {
+        ++balance[e.value];
+        ++enq_count;
+      }
+      for (const auto& d : log.dequeues_) {
+        --balance[d.value];
+        ++deq_count;
+      }
+    }
+    for (const auto& [value, count] : balance) {
+      if (count < 0) {
+        return fail("value " + std::to_string(value) +
+                    " dequeued more times than enqueued");
+      }
+      if (drained && count > 0) {
+        return fail("value " + std::to_string(value) +
+                    " enqueued but never dequeued from a drained queue");
+      }
+    }
+    if (drained && enq_count != deq_count) {
+      return fail("drained queue consumed " + std::to_string(deq_count) +
+                  " of " + std::to_string(enq_count) + " values");
+    }
+
+    // Map each value to its enqueue event for order checks.
+    std::map<std::uint64_t, std::pair<std::size_t, std::size_t>> origin;
+    for (std::size_t t = 0; t < logs.size(); ++t) {
+      for (std::size_t i = 0; i < logs[t].enqueues_.size(); ++i) {
+        origin[logs[t].enqueues_[i].value] = {t, i};
+      }
+    }
+    // 3: per-producer order at each consumer.
+    for (const ThreadLog& log : logs) {
+      std::map<std::size_t, std::size_t> last_index_seen;
+      for (const auto& d : log.dequeues_) {
+        const auto it = origin.find(d.value);
+        if (it == origin.end()) continue;  // caught by check 1 already
+        const auto [producer, index] = it->second;
+        const auto seen = last_index_seen.find(producer);
+        if (seen != last_index_seen.end() && index <= seen->second) {
+          return fail("consumer saw producer " + std::to_string(producer) +
+                      "'s value #" + std::to_string(index) + " after #" +
+                      std::to_string(seen->second));
+        }
+        last_index_seen[producer] = index;
+      }
+    }
+    // 4: real-time cross-producer order per consumer. For dequeues i < j,
+    // a violation is enq(j).end < enq(i).begin; tracking the running max of
+    // enqueue-begin over the dequeue prefix makes this O(d) per consumer.
+    for (const ThreadLog& log : logs) {
+      std::uint64_t max_begin_seen = 0;
+      for (const auto& d : log.dequeues_) {
+        const auto it = origin.find(d.value);
+        if (it == origin.end()) continue;
+        const auto& enq =
+            logs[it->second.first].enqueues_[it->second.second];
+        if (enq.end_ns < max_begin_seen) {
+          return fail("real-time order violated: a later-dequeued value "
+                      "was enqueued strictly before an earlier one");
+        }
+        max_begin_seen = std::max(max_begin_seen, enq.begin_ns);
+      }
+    }
+    return result;
+  }
+
+ private:
+  static Result fail(std::string why) { return {false, std::move(why)}; }
+};
+
+}  // namespace pimds

@@ -1,0 +1,21 @@
+#include "common/latency.hpp"
+
+#include "common/timing.hpp"
+
+namespace pimds {
+
+LatencyInjector& LatencyInjector::instance() noexcept {
+  static LatencyInjector injector;
+  return injector;
+}
+
+void LatencyInjector::configure(const LatencyParams& params) noexcept {
+  params_ = params;
+}
+
+void LatencyInjector::charge(MemClass c) const noexcept {
+  if (!enabled()) return;
+  spin_for_ns(static_cast<std::uint64_t>(params_.latency(c)));
+}
+
+}  // namespace pimds

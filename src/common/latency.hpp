@@ -1,0 +1,103 @@
+// The paper's performance model (Section 3) as a configuration object, plus
+// a process-wide latency injector used by the real-thread emulation.
+//
+// Model recap:
+//   Lcpu     = r1 * Lpim        (CPU DRAM access vs. PIM local-vault access)
+//   Lcpu     = r2 * Lllc        (CPU DRAM access vs. last-level-cache access)
+//   Latomic  = r3 * Lcpu        (CAS / F&A on a cache line, even if cached)
+//   Lmessage = Lcpu             (CPU<->PIM and PIM<->PIM message transfer)
+// with defaults r1 = r2 = 3, r3 = 1. k concurrent atomics on one cache line
+// serialize: the i-th completes at time i * Latomic.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace pimds {
+
+/// Latency classes charged by the model. Everything in the library that
+/// simulates or injects cost names one of these.
+enum class MemClass : std::uint8_t {
+  kCpuDram,   ///< CPU access to DRAM (uncached pointer chase step)
+  kPimLocal,  ///< PIM core access to its local vault
+  kLlc,       ///< CPU access served by the shared last-level cache
+  kAtomic,    ///< CPU atomic RMW (CAS / F&A) on a cache line
+  kMessage,   ///< message transfer CPU<->PIM or PIM<->PIM
+};
+
+/// Section 3 parameters. `pim_ns` sets the absolute scale; the paper only
+/// fixes the ratios, so benchmarks may scale `pim_ns` up to keep injection
+/// overhead (clock reads) negligible relative to the injected latencies.
+struct LatencyParams {
+  double pim_ns = 200.0;  ///< Lpim
+  double r1 = 3.0;        ///< Lcpu / Lpim
+  double r2 = 3.0;        ///< Lcpu / Lllc
+  double r3 = 1.0;        ///< Latomic / Lcpu
+
+  constexpr double pim() const noexcept { return pim_ns; }
+  constexpr double cpu() const noexcept { return r1 * pim_ns; }
+  constexpr double llc() const noexcept { return cpu() / r2; }
+  constexpr double atomic() const noexcept { return r3 * cpu(); }
+  constexpr double message() const noexcept { return cpu(); }
+
+  constexpr double latency(MemClass c) const noexcept {
+    switch (c) {
+      case MemClass::kCpuDram: return cpu();
+      case MemClass::kPimLocal: return pim();
+      case MemClass::kLlc: return llc();
+      case MemClass::kAtomic: return atomic();
+      case MemClass::kMessage: return message();
+    }
+    return 0.0;
+  }
+
+  /// Paper defaults (r1 = r2 = 3, r3 = 1).
+  static constexpr LatencyParams paper_defaults() noexcept { return {}; }
+};
+
+/// Process-wide injector for the real-thread emulation. Disabled by default
+/// (native runs measure real hardware, like the paper's Figures 2/4); when
+/// enabled, instrumented structures spin for the model latency on each
+/// access. The simulator (src/sim) does NOT use this — it advances virtual
+/// time instead.
+class LatencyInjector {
+ public:
+  static LatencyInjector& instance() noexcept;
+
+  void configure(const LatencyParams& params) noexcept;
+  void set_enabled(bool enabled) noexcept {
+    enabled_.store(enabled, std::memory_order_relaxed);
+  }
+  bool enabled() const noexcept {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+  LatencyParams params() const noexcept { return params_; }
+
+  /// Spin for the model latency of `c`, if injection is enabled.
+  void charge(MemClass c) const noexcept;
+
+ private:
+  LatencyInjector() = default;
+
+  std::atomic<bool> enabled_{false};
+  LatencyParams params_{};
+};
+
+/// Convenience free functions used at instrumentation points.
+inline void charge_cpu_access() noexcept {
+  LatencyInjector::instance().charge(MemClass::kCpuDram);
+}
+inline void charge_pim_access() noexcept {
+  LatencyInjector::instance().charge(MemClass::kPimLocal);
+}
+inline void charge_llc_access() noexcept {
+  LatencyInjector::instance().charge(MemClass::kLlc);
+}
+inline void charge_atomic() noexcept {
+  LatencyInjector::instance().charge(MemClass::kAtomic);
+}
+inline void charge_message() noexcept {
+  LatencyInjector::instance().charge(MemClass::kMessage);
+}
+
+}  // namespace pimds

@@ -1,0 +1,119 @@
+// Bounded lock-free MPMC ring buffer (Vyukov's algorithm).
+//
+// Used as the mailbox transport in the real-thread PIM emulation (many CPU
+// senders, one PIM-core receiver) and as a building block in queue
+// baselines. Each slot carries a sequence number; producers and consumers
+// claim tickets with fetch_add and then synchronize on their slot only, so
+// uncontended operations touch two cache lines.
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <cstddef>
+#include <memory>
+#include <optional>
+#include <utility>
+
+#include "common/cacheline.hpp"
+#include "common/timing.hpp"
+#include "common/spinwait.hpp"
+
+namespace pimds {
+
+template <typename T>
+class MpmcQueue {
+ public:
+  /// @param capacity ring size; rounded up to the next power of two.
+  explicit MpmcQueue(std::size_t capacity) {
+    std::size_t cap = 2;
+    while (cap < capacity) cap *= 2;
+    mask_ = cap - 1;
+    slots_ = std::make_unique<Slot[]>(cap);
+    for (std::size_t i = 0; i < cap; ++i) {
+      slots_[i].sequence.store(i, std::memory_order_relaxed);
+    }
+  }
+
+  MpmcQueue(const MpmcQueue&) = delete;
+  MpmcQueue& operator=(const MpmcQueue&) = delete;
+
+  std::size_t capacity() const noexcept { return mask_ + 1; }
+
+  /// Non-blocking push; returns false when the ring is full.
+  bool try_push(T value) {
+    Slot* slot;
+    std::size_t pos = tail_.value.load(std::memory_order_relaxed);
+    for (;;) {
+      slot = &slots_[pos & mask_];
+      const std::size_t seq = slot->sequence.load(std::memory_order_acquire);
+      const auto diff = static_cast<std::ptrdiff_t>(seq) -
+                        static_cast<std::ptrdiff_t>(pos);
+      if (diff == 0) {
+        if (tail_.value.compare_exchange_weak(pos, pos + 1,
+                                              std::memory_order_relaxed)) {
+          break;
+        }
+      } else if (diff < 0) {
+        return false;  // full
+      } else {
+        pos = tail_.value.load(std::memory_order_relaxed);
+      }
+    }
+    slot->storage = std::move(value);
+    slot->sequence.store(pos + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Non-blocking pop.
+  std::optional<T> try_pop() {
+    Slot* slot;
+    std::size_t pos = head_.value.load(std::memory_order_relaxed);
+    for (;;) {
+      slot = &slots_[pos & mask_];
+      const std::size_t seq = slot->sequence.load(std::memory_order_acquire);
+      const auto diff = static_cast<std::ptrdiff_t>(seq) -
+                        static_cast<std::ptrdiff_t>(pos + 1);
+      if (diff == 0) {
+        if (head_.value.compare_exchange_weak(pos, pos + 1,
+                                              std::memory_order_relaxed)) {
+          break;
+        }
+      } else if (diff < 0) {
+        return std::nullopt;  // empty
+      } else {
+        pos = head_.value.load(std::memory_order_relaxed);
+      }
+    }
+    std::optional<T> result(std::move(slot->storage));
+    slot->sequence.store(pos + mask_ + 1, std::memory_order_release);
+    return result;
+  }
+
+  /// Spinning push for callers that must not drop (mailboxes).
+  void push(T value) {
+    SpinWait spin;
+    while (!try_push(std::move(value))) spin.wait();
+  }
+
+  /// Approximate emptiness (exact only when producers/consumers are quiesced).
+  bool empty() const noexcept {
+    return head_.value.load(std::memory_order_acquire) ==
+           tail_.value.load(std::memory_order_acquire);
+  }
+
+ private:
+  struct Slot {
+    std::atomic<std::size_t> sequence{0};
+    T storage{};
+    // Slots are adjacent; pad so two slots never share a line when T is small.
+    char pad[kCacheLineSize - ((sizeof(std::atomic<std::size_t>) + sizeof(T)) %
+                               kCacheLineSize)];
+  };
+
+  std::size_t mask_;
+  std::unique_ptr<Slot[]> slots_;
+  CachePadded<std::atomic<std::size_t>> head_{0};
+  CachePadded<std::atomic<std::size_t>> tail_{0};
+};
+
+}  // namespace pimds

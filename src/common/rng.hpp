@@ -1,0 +1,94 @@
+// Small, fast, reproducible PRNGs.
+//
+// Benchmarks and the discrete-event simulator need per-actor generators that
+// are (a) cheap enough not to perturb latency measurements and (b) seedable
+// so every experiment regenerates deterministically. <random>'s mt19937 is
+// too heavy for the hot paths here; xoshiro256** is the standard choice.
+#pragma once
+
+#include <cstdint>
+
+namespace pimds {
+
+/// SplitMix64: used to expand a single 64-bit seed into generator state.
+/// Passes BigCrush when used as a generator itself; here it is the seeder.
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  constexpr std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256** by Blackman & Vigna. 256-bit state, period 2^256 - 1.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit constexpr Xoshiro256(std::uint64_t seed = 0x9E3779B97F4A7C15ULL) noexcept {
+    SplitMix64 sm(seed);
+    for (auto& s : s_) s = sm.next();
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~std::uint64_t{0}; }
+
+  constexpr std::uint64_t next() noexcept {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  constexpr result_type operator()() noexcept { return next(); }
+
+  /// Uniform integer in [0, bound) without modulo bias (Lemire's method).
+  constexpr std::uint64_t next_below(std::uint64_t bound) noexcept {
+    // 128-bit multiply keeps the fast path branch-free in the common case.
+    unsigned __int128 m =
+        static_cast<unsigned __int128>(next()) * static_cast<unsigned __int128>(bound);
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < bound) {
+      const std::uint64_t threshold = (0 - bound) % bound;
+      while (lo < threshold) {
+        m = static_cast<unsigned __int128>(next()) * static_cast<unsigned __int128>(bound);
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  constexpr std::uint64_t next_in(std::uint64_t lo, std::uint64_t hi) noexcept {
+    return lo + next_below(hi - lo + 1);
+  }
+
+  /// Uniform double in [0, 1).
+  constexpr double next_double() noexcept {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli trial with probability p.
+  constexpr bool next_bool(double p) noexcept { return next_double() < p; }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t s_[4]{};
+};
+
+}  // namespace pimds

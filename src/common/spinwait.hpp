@@ -1,0 +1,39 @@
+// Oversubscription-friendly spin helper.
+//
+// Every unbounded wait loop in the library uses SpinWait instead of a bare
+// cpu_relax() loop: after a short burst of pause instructions it starts
+// yielding the OS time slice. On a machine with fewer cores than runnable
+// threads (this host has 2), bare spinning starves the thread being waited
+// on and turns microseconds into scheduler quanta.
+#pragma once
+
+#include <cstdint>
+#include <thread>
+
+#include "common/timing.hpp"
+
+namespace pimds {
+
+class SpinWait {
+ public:
+  /// @param spin_limit pause-loop iterations before yielding begins
+  explicit SpinWait(std::uint32_t spin_limit = 128) noexcept
+      : limit_(spin_limit) {}
+
+  void wait() noexcept {
+    if (count_ < limit_) {
+      ++count_;
+      cpu_relax();
+    } else {
+      std::this_thread::yield();
+    }
+  }
+
+  void reset() noexcept { count_ = 0; }
+
+ private:
+  std::uint32_t count_ = 0;
+  std::uint32_t limit_;
+};
+
+}  // namespace pimds

@@ -1,0 +1,81 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace pimds {
+
+void RunningStats::add(double x) noexcept {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const noexcept {
+  return n_ < 2 ? 0.0 : m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+namespace {
+
+double percentile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+}  // namespace
+
+Summary Summary::of(std::vector<double> samples) {
+  Summary s;
+  s.count = samples.size();
+  if (samples.empty()) return s;
+  std::sort(samples.begin(), samples.end());
+  RunningStats rs;
+  for (double x : samples) rs.add(x);
+  s.mean = rs.mean();
+  s.stddev = rs.stddev();
+  s.min = samples.front();
+  s.max = samples.back();
+  s.p50 = percentile(samples, 0.50);
+  s.p90 = percentile(samples, 0.90);
+  s.p99 = percentile(samples, 0.99);
+  return s;
+}
+
+std::string Summary::to_string() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "n=%zu mean=%.3g sd=%.2g min=%.3g p50=%.3g p90=%.3g p99=%.3g "
+                "max=%.3g",
+                count, mean, stddev, min, p50, p90, p99, max);
+  return buf;
+}
+
+std::string format_ops_per_sec(double ops_per_sec) {
+  char buf[64];
+  if (ops_per_sec >= 1e9) {
+    std::snprintf(buf, sizeof(buf), "%.2f Gops/s", ops_per_sec * 1e-9);
+  } else if (ops_per_sec >= 1e6) {
+    std::snprintf(buf, sizeof(buf), "%.2f Mops/s", ops_per_sec * 1e-6);
+  } else if (ops_per_sec >= 1e3) {
+    std::snprintf(buf, sizeof(buf), "%.2f Kops/s", ops_per_sec * 1e-3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2f ops/s", ops_per_sec);
+  }
+  return buf;
+}
+
+}  // namespace pimds

@@ -1,0 +1,50 @@
+// Streaming and batch statistics used by benchmark harnesses.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pimds {
+
+/// Welford's online mean/variance. Numerically stable, O(1) per sample.
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+  std::size_t count() const noexcept { return n_; }
+  double mean() const noexcept { return mean_; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const noexcept;
+  double stddev() const noexcept;
+  double min() const noexcept { return min_; }
+  double max() const noexcept { return max_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Batch summary over a sample vector (sorts a copy).
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+  double max = 0.0;
+
+  static Summary of(std::vector<double> samples);
+  std::string to_string() const;
+};
+
+/// Formats an operations-per-second figure like the paper's plots
+/// ("12.3 Mops/s").
+std::string format_ops_per_sec(double ops_per_sec);
+
+}  // namespace pimds

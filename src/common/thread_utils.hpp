@@ -1,0 +1,15 @@
+// Thread placement helpers for benchmarks.
+#pragma once
+
+#include <cstddef>
+
+namespace pimds {
+
+/// Number of hardware threads visible to the process (>= 1).
+std::size_t hardware_threads() noexcept;
+
+/// Pin the calling thread to `cpu % hardware_threads()`.
+/// Returns false (and leaves affinity unchanged) if pinning is unsupported.
+bool pin_to_cpu(std::size_t cpu) noexcept;
+
+}  // namespace pimds

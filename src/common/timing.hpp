@@ -1,0 +1,53 @@
+// Wall-clock helpers and calibrated busy-wait used for latency injection.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace pimds {
+
+/// Monotonic nanoseconds since an arbitrary epoch.
+inline std::uint64_t now_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Polite spin-wait hint (PAUSE on x86, YIELD on ARM).
+inline void cpu_relax() noexcept {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#elif defined(__aarch64__)
+  asm volatile("yield" ::: "memory");
+#else
+  asm volatile("" ::: "memory");
+#endif
+}
+
+/// Busy-wait for approximately `ns` nanoseconds.
+///
+/// The emulation injects memory/message latencies this way (DESIGN.md §5);
+/// a clock read costs ~20 ns, so injected latencies should be >= ~100 ns for
+/// the ratio between injected classes to dominate the overhead.
+inline void spin_for_ns(std::uint64_t ns) noexcept {
+  if (ns == 0) return;
+  const std::uint64_t deadline = now_ns() + ns;
+  while (now_ns() < deadline) cpu_relax();
+}
+
+/// RAII stopwatch reporting elapsed nanoseconds.
+class Stopwatch {
+ public:
+  Stopwatch() noexcept : start_(now_ns()) {}
+  std::uint64_t elapsed_ns() const noexcept { return now_ns() - start_; }
+  double elapsed_s() const noexcept {
+    return static_cast<double>(elapsed_ns()) * 1e-9;
+  }
+  void reset() noexcept { start_ = now_ns(); }
+
+ private:
+  std::uint64_t start_;
+};
+
+}  // namespace pimds

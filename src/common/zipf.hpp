@@ -1,0 +1,43 @@
+// Zipf-distributed key generator.
+//
+// Used by the rebalancing ablation (DESIGN.md experiment A5): Section 4.2.1
+// of the paper motivates node migration with *skewed* request distributions,
+// which a static uniform partitioning handles badly. Zipf is the standard
+// skew model for key-value workloads (YCSB uses the same construction).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace pimds {
+
+/// Draws ranks in [0, n) with P(rank = i) proportional to 1/(i+1)^theta.
+///
+/// Uses the classic rejection-inversion-free YCSB/Gray et al. construction:
+/// closed-form inverse of the (approximated) CDF, exact for the two head
+/// ranks, O(1) per draw after O(1) setup.
+class ZipfGenerator {
+ public:
+  /// @param n      number of distinct items (must be >= 1)
+  /// @param theta  skew in [0, 1); 0 = uniform-ish, 0.99 = heavily skewed
+  ZipfGenerator(std::uint64_t n, double theta);
+
+  /// Next rank in [0, n). Rank 0 is the hottest item.
+  std::uint64_t next(Xoshiro256& rng) const;
+
+  std::uint64_t size() const noexcept { return n_; }
+  double theta() const noexcept { return theta_; }
+
+ private:
+  static double zeta(std::uint64_t n, double theta);
+
+  std::uint64_t n_;
+  double theta_;
+  double alpha_;
+  double zetan_;
+  double eta_;
+};
+
+}  // namespace pimds

@@ -1,0 +1,87 @@
+#include "core/auto_rebalancer.hpp"
+
+#include <algorithm>
+
+namespace pimds::core {
+
+AutoRebalancer::AutoRebalancer(PimSkipList& list, Options options)
+    : list_(list), options_(options) {}
+
+AutoRebalancer::AutoRebalancer(PimSkipList& list)
+    : AutoRebalancer(list, Options{}) {}
+
+void AutoRebalancer::start() {
+  if (started_) return;
+  stop_.store(false, std::memory_order_relaxed);
+  started_ = true;
+  thread_ = std::thread([this] {
+    while (!stop_.load(std::memory_order_acquire)) {
+      std::this_thread::sleep_for(options_.period);
+      if (migrations_.load(std::memory_order_relaxed) <
+          options_.max_migrations) {
+        tick();
+      }
+    }
+  });
+}
+
+void AutoRebalancer::stop() {
+  if (!started_) return;
+  stop_.store(true, std::memory_order_release);
+  if (thread_.joinable()) thread_.join();
+  started_ = false;
+}
+
+void AutoRebalancer::tick() {
+  const auto stats = list_.vault_stats();
+  if (last_requests_.size() != stats.size()) {
+    last_requests_.assign(stats.size(), 0);
+    for (std::size_t v = 0; v < stats.size(); ++v) {
+      last_requests_[v] = stats[v].requests;
+    }
+    return;  // first observation: establish the baseline
+  }
+  // Request rate per vault during the last period.
+  std::vector<std::uint64_t> delta(stats.size());
+  std::uint64_t total = 0;
+  for (std::size_t v = 0; v < stats.size(); ++v) {
+    delta[v] = stats[v].requests - last_requests_[v];
+    last_requests_[v] = stats[v].requests;
+    total += delta[v];
+  }
+  if (total < 100) return;  // too little traffic to judge
+  const std::size_t hot = static_cast<std::size_t>(
+      std::max_element(delta.begin(), delta.end()) - delta.begin());
+  const std::size_t cold = static_cast<std::size_t>(
+      std::min_element(delta.begin(), delta.end()) - delta.begin());
+  const double mean =
+      static_cast<double>(total) / static_cast<double>(stats.size());
+  if (hot == cold ||
+      static_cast<double>(delta[hot]) < options_.imbalance_ratio * mean) {
+    return;
+  }
+  // Split the hot vault's widest partition at its midpoint and hand the
+  // upper half to the coldest vault. Without a key histogram the midpoint
+  // is the best range-only guess; repeated ticks home in on the hot spot.
+  const auto partitions = list_.partitions();
+  std::uint64_t best_lo = 0;
+  std::uint64_t best_hi = 0;
+  for (std::size_t i = 0; i < partitions.size(); ++i) {
+    if (partitions[i].vault != hot) continue;
+    const std::uint64_t lo = partitions[i].sentinel;
+    const std::uint64_t hi = i + 1 < partitions.size()
+                                 ? partitions[i + 1].sentinel
+                                 : list_.options().key_max + 1;
+    if (hi - lo > best_hi - best_lo) {
+      best_lo = lo;
+      best_hi = hi;
+    }
+  }
+  if (best_hi - best_lo < 2) return;  // nothing splittable
+  const std::uint64_t mid = best_lo + (best_hi - best_lo) / 2;
+  if (list_.migrate(mid, cold)) {
+    migrations_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace pimds::core

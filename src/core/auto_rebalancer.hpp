@@ -1,0 +1,56 @@
+// Automatic rebalancing policy for the PIM skip-list (Section 4.2.1 left
+// the trigger policy open: "we expect that rebalancing will not happen very
+// frequently"). This helper watches per-vault request rates and splits the
+// hottest vault's widest partition toward the coldest vault.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "core/pim_skiplist.hpp"
+
+namespace pimds::core {
+
+class AutoRebalancer {
+ public:
+  struct Options {
+    /// Trigger when the hottest vault served more than `imbalance_ratio`
+    /// times the mean request rate during the last period.
+    double imbalance_ratio = 2.0;
+    std::chrono::milliseconds period{50};
+    /// Safety valve for tests/demos.
+    std::size_t max_migrations = ~std::size_t{0};
+  };
+
+  AutoRebalancer(PimSkipList& list, Options options);
+  explicit AutoRebalancer(PimSkipList& list);
+  ~AutoRebalancer() { stop(); }
+
+  AutoRebalancer(const AutoRebalancer&) = delete;
+  AutoRebalancer& operator=(const AutoRebalancer&) = delete;
+
+  /// Start the policy thread (idempotent).
+  void start();
+  /// Stop and join (idempotent; also called by the destructor).
+  void stop();
+
+  std::size_t migrations_triggered() const noexcept {
+    return migrations_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void tick();
+
+  PimSkipList& list_;
+  Options options_;
+  std::vector<std::uint64_t> last_requests_;
+  std::atomic<bool> stop_{false};
+  std::atomic<std::size_t> migrations_{0};
+  std::thread thread_;
+  bool started_ = false;
+};
+
+}  // namespace pimds::core

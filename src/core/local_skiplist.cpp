@@ -1,0 +1,162 @@
+#include "core/local_skiplist.hpp"
+
+#include <cassert>
+#include <cstddef>
+
+namespace pimds::core {
+
+LocalSkipList::LocalSkipList(runtime::Vault& vault,
+                             std::uint64_t sentinel_key, std::uint64_t seed)
+    : vault_(vault), rng_(seed) {
+  head_ = make_node(sentinel_key, kMaxHeight);
+  for (int lvl = 0; lvl < kMaxHeight; ++lvl) head_->next[lvl] = nullptr;
+}
+
+LocalSkipList::Node* LocalSkipList::make_node(std::uint64_t key, int height) {
+  const std::size_t bytes =
+      offsetof(Node, next) + static_cast<std::size_t>(height) * sizeof(Node*);
+  auto* node = static_cast<Node*>(vault_.allocate(bytes, alignof(Node)));
+  node->key = key;
+  node->height = height;
+  return node;
+}
+
+int LocalSkipList::random_height() {
+  int h = 1;
+  while (h < kMaxHeight && rng_.next_bool(0.5)) ++h;
+  return h;
+}
+
+LocalSkipList::Node* LocalSkipList::locate(std::uint64_t key, Node** preds,
+                                           std::uint64_t* steps) const {
+  Node* pred = head_;
+  std::uint64_t count = 0;
+  int top = kMaxHeight - 1;
+  while (top > 0 && head_->next[top] == nullptr) --top;
+  for (int lvl = top; lvl >= 0; --lvl) {
+    Node* curr = pred->next[lvl];
+    ++count;
+    while (curr != nullptr && curr->key < key) {
+      pred = curr;
+      curr = curr->next[lvl];
+      ++count;
+    }
+    preds[lvl] = pred;
+  }
+  if (steps != nullptr) *steps += count;
+  return preds[0]->next[0];
+}
+
+bool LocalSkipList::add(std::uint64_t key, std::uint64_t* steps) {
+  assert(key > head_->key && "key must exceed the sentinel key");
+  Node* preds[kMaxHeight];
+  for (auto& p : preds) p = head_;
+  Node* found = locate(key, preds, steps);
+  if (found != nullptr && found->key == key) return false;
+  const int height = random_height();
+  Node* node = make_node(key, height);
+  for (int lvl = 0; lvl < height; ++lvl) {
+    node->next[lvl] = preds[lvl]->next[lvl];
+    preds[lvl]->next[lvl] = node;
+  }
+  ++size_;
+  ++mutation_epoch_;
+  return true;
+}
+
+void LocalSkipList::unlink(Node* victim, Node** preds) {
+  for (int lvl = 0; lvl < victim->height; ++lvl) {
+    if (preds[lvl]->next[lvl] == victim) {
+      preds[lvl]->next[lvl] = victim->next[lvl];
+    }
+  }
+}
+
+void LocalSkipList::destroy_node(Node* node) {
+  const std::size_t bytes = offsetof(Node, next) +
+                            static_cast<std::size_t>(node->height) *
+                                sizeof(Node*);
+  vault_.deallocate(node, bytes, alignof(Node));
+}
+
+bool LocalSkipList::remove(std::uint64_t key, std::uint64_t* steps) {
+  Node* preds[kMaxHeight];
+  for (auto& p : preds) p = head_;
+  Node* found = locate(key, preds, steps);
+  if (found == nullptr || found->key != key) return false;
+  unlink(found, preds);
+  destroy_node(found);
+  --size_;
+  ++mutation_epoch_;
+  return true;
+}
+
+std::optional<std::uint64_t> LocalSkipList::extract_first_at_least(
+    std::uint64_t key, std::uint64_t* steps) {
+  Node* preds[kMaxHeight];
+  for (auto& p : preds) p = head_;
+  Node* found = locate(key, preds, nullptr);
+  if (found == nullptr) return std::nullopt;
+  unlink(found, preds);
+  const std::uint64_t out = found->key;
+  destroy_node(found);
+  --size_;
+  ++mutation_epoch_;
+  if (steps != nullptr) *steps += 2;  // amortized range-sweep cost
+  return out;
+}
+
+bool LocalSkipList::insert_ascending(InsertCursor& cursor, std::uint64_t key,
+                                     std::uint64_t* steps) {
+  assert(key > head_->key);
+  auto** preds = reinterpret_cast<Node**>(cursor.preds_);
+  std::uint64_t count = 0;
+  if (!cursor.valid || cursor.epoch != mutation_epoch_) {
+    for (int lvl = 0; lvl < kMaxHeight; ++lvl) preds[lvl] = head_;
+    locate(key, preds, &count);  // re-seed with one full search
+    cursor.valid = true;
+  } else {
+    for (int lvl = kMaxHeight - 1; lvl >= 0; --lvl) {
+      Node* pred = preds[lvl];
+      Node* curr = pred->next[lvl];
+      while (curr != nullptr && curr->key < key) {
+        pred = curr;
+        curr = curr->next[lvl];
+        ++count;
+      }
+      preds[lvl] = pred;
+    }
+    ++count;  // reading the insertion point
+  }
+  Node* at = preds[0]->next[0];
+  if (at != nullptr && at->key == key) {
+    if (steps != nullptr) *steps += count;
+    return false;
+  }
+  const int height = random_height();
+  Node* node = make_node(key, height);
+  for (int lvl = 0; lvl < height; ++lvl) {
+    node->next[lvl] = preds[lvl]->next[lvl];
+    preds[lvl]->next[lvl] = node;
+  }
+  ++size_;
+  cursor.epoch = mutation_epoch_;  // our own insert keeps the fingers valid
+  if (steps != nullptr) *steps += count + static_cast<std::uint64_t>(height);
+  return true;
+}
+
+bool LocalSkipList::contains(std::uint64_t key, std::uint64_t* steps) const {
+  Node* preds[kMaxHeight];
+  Node* found = locate(key, preds, steps);
+  return found != nullptr && found->key == key;
+}
+
+std::optional<std::uint64_t> LocalSkipList::first_at_least(
+    std::uint64_t key) const {
+  Node* preds[kMaxHeight];
+  Node* found = locate(key, preds, nullptr);
+  if (found == nullptr) return std::nullopt;
+  return found->key;
+}
+
+}  // namespace pimds::core

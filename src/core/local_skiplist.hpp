@@ -1,0 +1,87 @@
+// Sequential skip-list resident in a single vault.
+//
+// This is the per-vault building block of the partitioned PIM skip-list
+// (Section 4.2): it is manipulated only by the vault's PIM core, so it
+// needs no synchronization — plain reads and writes, exactly the operations
+// the paper's PIM cores support. Nodes are allocated from the vault arena.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "common/rng.hpp"
+#include "runtime/vault.hpp"
+
+namespace pimds::core {
+
+class LocalSkipList {
+ public:
+  static constexpr int kMaxHeight = 16;
+
+  /// @param sentinel_key key of the always-present head sentinel (max height, never
+  ///        removed); operations must use keys strictly greater.
+  LocalSkipList(runtime::Vault& vault, std::uint64_t sentinel_key,
+                std::uint64_t seed);
+
+  LocalSkipList(const LocalSkipList&) = delete;
+  LocalSkipList& operator=(const LocalSkipList&) = delete;
+
+  /// `steps`, when non-null, accumulates the number of node accesses the
+  /// operation performed (the paper's beta), so the caller can charge the
+  /// PIM latency model.
+  bool add(std::uint64_t key, std::uint64_t* steps = nullptr);
+  bool remove(std::uint64_t key, std::uint64_t* steps = nullptr);
+  bool contains(std::uint64_t key, std::uint64_t* steps = nullptr) const;
+
+  /// Smallest key >= `key`, if any (migration cursor scans, Section 4.2.1).
+  std::optional<std::uint64_t> first_at_least(std::uint64_t key) const;
+
+  /// Unlink and return the smallest key >= `key`. `steps` accumulates ~2
+  /// accesses (amortized range-sweep cost; see the simulator twin,
+  /// SimSkipList::extract_first_at_least, for the argument).
+  std::optional<std::uint64_t> extract_first_at_least(
+      std::uint64_t key, std::uint64_t* steps = nullptr);
+
+  /// Finger cursor for ascending bulk inserts — the migration TARGET's
+  /// amortized-O(1) dual of extract_first_at_least. Self-invalidates when
+  /// any other operation mutates the list.
+  class InsertCursor {
+   public:
+    InsertCursor() = default;
+
+   private:
+    friend class LocalSkipList;
+    void* preds_[kMaxHeight] = {};
+    std::uint64_t epoch = 0;
+    bool valid = false;
+  };
+
+  /// Insert `key` (>= every key previously inserted through `cursor`).
+  bool insert_ascending(InsertCursor& cursor, std::uint64_t key,
+                        std::uint64_t* steps = nullptr);
+
+  std::size_t size() const noexcept { return size_; }
+
+ private:
+  struct Node {
+    std::uint64_t key;
+    std::int32_t height;
+    Node* next[1];  // over-allocated to `height` links
+  };
+
+  Node* make_node(std::uint64_t key, int height);
+  int random_height();
+  /// Fill preds[0..kMaxHeight) and return the level-0 successor.
+  Node* locate(std::uint64_t key, Node** preds, std::uint64_t* steps) const;
+
+  void unlink(Node* victim, Node** preds);
+  void destroy_node(Node* node);
+
+  runtime::Vault& vault_;
+  Node* head_;
+  std::size_t size_ = 0;
+  std::uint64_t mutation_epoch_ = 0;
+  Xoshiro256 rng_;
+};
+
+}  // namespace pimds::core

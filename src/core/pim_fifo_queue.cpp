@@ -1,0 +1,225 @@
+#include "core/pim_fifo_queue.hpp"
+
+#include <cassert>
+
+#include "runtime/mailbox.hpp"
+
+namespace pimds::core {
+
+using runtime::Message;
+using runtime::PimCoreApi;
+using runtime::ResponseSlot;
+
+PimFifoQueue::PimFifoQueue(runtime::PimSystem& system)
+    : PimFifoQueue(system, Options{}) {}
+
+PimFifoQueue::PimFifoQueue(runtime::PimSystem& system, Options options)
+    : system_(system), options_(options), vaults_(system.num_vaults()) {
+  // Initial state (Section 5.1): one empty segment acting as both the
+  // enqueue and the dequeue segment, in vault 0. It already holds the
+  // dequeue role, so it is NOT in the segment queue.
+  Segment* initial = system_.vault(0).create<Segment>();
+  vaults_[0]->enq_seg = initial;
+  vaults_[0]->deq_seg = initial;
+  for (std::size_t v = 0; v < system_.num_vaults(); ++v) {
+    system_.set_handler(v, [this](PimCoreApi& api, const Message& m) {
+      handle(api, m);
+    });
+  }
+}
+
+std::size_t PimFifoQueue::pick_next_core(std::size_t self) const {
+  const std::size_t k = vaults_.size();
+  if (k == 1) return 0;
+  if (options_.antipodal_placement) {
+    std::size_t next =
+        (deq_cid_.value.load(std::memory_order_relaxed) + k / 2) % k;
+    if (next == deq_cid_.value.load(std::memory_order_relaxed)) {
+      next = (next + 1) % k;
+    }
+    return next;
+  }
+  return (self + 1) % k;
+}
+
+void PimFifoQueue::handle(PimCoreApi& api, const Message& m) {
+  switch (m.kind) {
+    case kEnq:
+      handle_enq(api, m);
+      break;
+    case kDeq:
+      handle_deq(api, m);
+      break;
+    case kNewEnqSeg: {
+      VaultState& vs = *vaults_[api.vault_id()];
+      Segment* seg = api.vault().create<Segment>();
+      // Append to this core's segQueue (Algorithm 1 newEnqSeg lines 19-21).
+      if (vs.seg_queue_tail != nullptr) {
+        vs.seg_queue_tail->next_in_queue = seg;
+      } else {
+        vs.seg_queue_head = seg;
+      }
+      vs.seg_queue_tail = seg;
+      vs.enq_seg = seg;
+      api.charge_local_access();
+      segments_created_.value.fetch_add(1, std::memory_order_relaxed);
+      // "Notify the CPUs of the new enqueue segment."
+      enq_cid_.value.store(api.vault_id(), std::memory_order_release);
+      break;
+    }
+    case kNewDeqSeg: {
+      VaultState& vs = *vaults_[api.vault_id()];
+      // FIFO per-channel delivery guarantees the newEnqSeg that created the
+      // next segment (sent earlier on the same core-to-core channel) has
+      // been processed, so the segQueue cannot be empty here.
+      assert(vs.seg_queue_head != nullptr &&
+             "newDeqSeg arrived before the matching newEnqSeg");
+      Segment* seg = vs.seg_queue_head;
+      vs.seg_queue_head = seg->next_in_queue;
+      if (vs.seg_queue_head == nullptr) vs.seg_queue_tail = nullptr;
+      seg->next_in_queue = nullptr;
+      vs.deq_seg = seg;
+      deq_cid_.value.store(api.vault_id(), std::memory_order_release);
+      break;
+    }
+    default:
+      assert(false && "unknown queue opcode");
+  }
+}
+
+void PimFifoQueue::handle_enq(PimCoreApi& api, const Message& m) {
+  VaultState& vs = *vaults_[api.vault_id()];
+  auto* slot = static_cast<ResponseSlot<Reply>*>(m.slot);
+  if (vs.enq_seg == nullptr) {
+    slot->publish(Reply{false, false, 0}, api.reply_ready_ns());
+    return;
+  }
+  Segment& seg = *vs.enq_seg;
+
+  // Gather the batch: just this request, or — with Section 5.1's fat-node
+  // combining — every enqueue already delivered to the mailbox. Non-enqueue
+  // messages picked up while draining are replayed afterwards.
+  std::vector<Message> batch{m};
+  std::vector<Message> replay;
+  if (options_.enqueue_combining) {
+    while (auto more = api.poll()) {
+      if (more->kind == kEnq && vs.enq_seg != nullptr) {
+        batch.push_back(*more);
+      } else {
+        replay.push_back(*more);
+      }
+    }
+    // One local access per cache-line-sized array of values.
+    api.charge_local_access((batch.size() + options_.fat_node_capacity - 1) /
+                            options_.fat_node_capacity);
+    std::uint64_t seen = max_enq_batch_.value.load(std::memory_order_relaxed);
+    while (batch.size() > seen &&
+           !max_enq_batch_.value.compare_exchange_weak(
+               seen, batch.size(), std::memory_order_relaxed)) {
+    }
+  } else {
+    api.charge_local_access();  // the node write; head/tail updates are L1
+  }
+  for (const Message& e : batch) {
+    Node* node = api.vault().create<Node>(Node{e.value, nullptr});
+    if (seg.head != nullptr) {
+      seg.head->next = node;
+      seg.head = node;
+    } else {
+      seg.head = node;
+      seg.tail = node;
+    }
+    static_cast<ResponseSlot<Reply>*>(e.slot)->publish(
+        Reply{true, false, 0}, api.reply_ready_ns());
+  }
+  seg.count += batch.size();
+  enq_count_.value.fetch_add(batch.size(), std::memory_order_relaxed);
+  for (const Message& r : replay) handle(api, r);
+  if (seg.count > options_.segment_threshold) {
+    const std::size_t next = pick_next_core(api.vault_id());
+    seg.next_seg_cid = next;
+    if (next == api.vault_id()) {
+      // Self hand-off (k == 1, or antipodal landed here): create locally
+      // instead of bouncing a message off our own mailbox.
+      Message create;
+      create.kind = kNewEnqSeg;
+      handle(api, create);
+    } else {
+      Message create;
+      create.kind = kNewEnqSeg;
+      api.send(next, create);
+      vs.enq_seg = nullptr;
+    }
+  }
+}
+
+void PimFifoQueue::handle_deq(PimCoreApi& api, const Message& m) {
+  VaultState& vs = *vaults_[api.vault_id()];
+  auto* slot = static_cast<ResponseSlot<Reply>*>(m.slot);
+  if (vs.deq_seg == nullptr) {
+    slot->publish(Reply{false, false, 0}, api.reply_ready_ns());
+    return;
+  }
+  Segment& seg = *vs.deq_seg;
+  if (seg.tail != nullptr) {
+    Node* node = seg.tail;
+    api.charge_local_access();  // reading the node
+    const std::uint64_t value = node->value;
+    seg.tail = node->next;
+    if (seg.tail == nullptr) seg.head = nullptr;
+    api.vault().destroy(node);
+    deq_count_.value.fetch_add(1, std::memory_order_relaxed);
+    slot->publish(Reply{true, true, value}, api.reply_ready_ns());
+    return;
+  }
+  if (vs.deq_seg == vs.enq_seg) {
+    // Single-segment case: the queue really is empty right now.
+    slot->publish(Reply{true, false, 0}, api.reply_ready_ns());
+    return;
+  }
+  // Segment exhausted: pass the dequeue role along the chain, delete the
+  // spent segment, and tell the CPU to retry (Algorithm 1 lines 33-35).
+  const std::size_t next = seg.next_seg_cid;
+  assert(next < vaults_.size() && "exhausted segment has no successor");
+  vs.deq_seg = nullptr;
+  api.vault().destroy(&seg);
+  Message pass;
+  pass.kind = kNewDeqSeg;
+  if (next == api.vault_id()) {
+    handle(api, pass);
+  } else {
+    api.send(next, pass);
+  }
+  slot->publish(Reply{false, false, 0}, api.reply_ready_ns());
+}
+
+void PimFifoQueue::enqueue(std::uint64_t value) {
+  ResponseSlot<Reply> slot;
+  for (;;) {
+    Message m;
+    m.kind = kEnq;
+    m.value = value;
+    m.slot = &slot;
+    system_.send(enq_cid_.value.load(std::memory_order_acquire), m);
+    if (slot.await().accepted) return;
+    rejections_.value.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+std::optional<std::uint64_t> PimFifoQueue::dequeue() {
+  ResponseSlot<Reply> slot;
+  for (;;) {
+    Message m;
+    m.kind = kDeq;
+    m.slot = &slot;
+    system_.send(deq_cid_.value.load(std::memory_order_acquire), m);
+    const Reply r = slot.await();
+    if (r.accepted) {
+      if (r.has_value) return r.value;
+      return std::nullopt;
+    }
+    rejections_.value.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace pimds::core

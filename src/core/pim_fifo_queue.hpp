@@ -1,0 +1,129 @@
+// PIM-managed FIFO queue (Section 5, Algorithm 1).
+//
+// The queue is a chain of segments, each resident in some vault. Two roles
+// travel along the chain: the ENQUEUE segment (accepts new nodes) and the
+// DEQUEUE segment (surrenders nodes); when they sit in different vaults,
+// enqueues and dequeues are served by two PIM cores in parallel. When a
+// segment outgrows the threshold, its core hands the enqueue role to
+// another core (newEnqSeg); when the dequeue segment drains, its core hands
+// the dequeue role to the core holding the next segment (newDeqSeg).
+//
+// CPUs learn role locations from a shared directory (standing in for the
+// paper's notification broadcast); a stale read leads to a rejected request
+// and a retry — the protocol's correctness does not depend on freshness.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+
+#include "common/cacheline.hpp"
+#include "runtime/system.hpp"
+
+namespace pimds::core {
+
+class PimFifoQueue {
+ public:
+  struct Options {
+    /// Segment length threshold (Algorithm 1 line 13).
+    std::uint64_t segment_threshold = 1024;
+    /// Segment placement: antipodal to the dequeue core (see the simulator
+    /// twin in sim/ds/queues.hpp for why round-robin can serialize the two
+    /// roles onto one core). Set false for strict round-robin.
+    bool antipodal_placement = true;
+    /// Section 5.1's further optimization: the enqueue core drains every
+    /// already-delivered enqueue request and appends the whole batch as one
+    /// "fat" node's worth of work, charging one local access per
+    /// fat_node_capacity values under latency injection.
+    bool enqueue_combining = false;
+    std::size_t fat_node_capacity = 8;
+  };
+
+  /// Installs handlers on ALL vaults of `system`; construct before start().
+  PimFifoQueue(runtime::PimSystem& system, Options options);
+  explicit PimFifoQueue(runtime::PimSystem& system);
+
+  PimFifoQueue(const PimFifoQueue&) = delete;
+  PimFifoQueue& operator=(const PimFifoQueue&) = delete;
+
+  /// Blocking in the bounded-retry sense: resends on stale-directory
+  /// rejections until the owning core accepts.
+  void enqueue(std::uint64_t value);
+
+  /// Returns nullopt when the queue is observed empty.
+  std::optional<std::uint64_t> dequeue();
+
+  /// Racy stats snapshots.
+  std::uint64_t approx_size() const noexcept {
+    const auto enq = enq_count_.value.load(std::memory_order_relaxed);
+    const auto deq = deq_count_.value.load(std::memory_order_relaxed);
+    return enq >= deq ? enq - deq : 0;
+  }
+  std::uint64_t rejections() const noexcept {
+    return rejections_.value.load(std::memory_order_relaxed);
+  }
+  std::uint64_t segments_created() const noexcept {
+    return segments_created_.value.load(std::memory_order_relaxed);
+  }
+  /// Largest enqueue batch combined into one fat node so far.
+  std::uint64_t max_enqueue_batch() const noexcept {
+    return max_enq_batch_.value.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Node {
+    std::uint64_t value;
+    Node* next;
+  };
+
+  /// Algorithm 1's segment: head/tail pointers over vault-resident nodes.
+  struct Segment {
+    Node* head = nullptr;  ///< newest node (enqueue side)
+    Node* tail = nullptr;  ///< oldest node (dequeue side)
+    std::uint64_t count = 0;
+    std::size_t next_seg_cid = ~std::size_t{0};
+    Segment* next_in_queue = nullptr;  ///< this core's segQueue link
+  };
+
+  /// Per-vault state; touched only by that vault's PIM core.
+  struct VaultState {
+    Segment* enq_seg = nullptr;
+    Segment* deq_seg = nullptr;
+    Segment* seg_queue_head = nullptr;  ///< oldest segment created here
+    Segment* seg_queue_tail = nullptr;
+  };
+
+  struct Reply {
+    bool accepted = false;
+    bool has_value = false;
+    std::uint64_t value = 0;
+  };
+
+  enum Kind : std::uint32_t {
+    kEnq = 1,
+    kDeq = 2,
+    kNewEnqSeg = 3,
+    kNewDeqSeg = 4,
+  };
+
+  void handle(runtime::PimCoreApi& api, const runtime::Message& m);
+  void handle_enq(runtime::PimCoreApi& api, const runtime::Message& m);
+  void handle_deq(runtime::PimCoreApi& api, const runtime::Message& m);
+  std::size_t pick_next_core(std::size_t self) const;
+
+  runtime::PimSystem& system_;
+  Options options_;
+  std::vector<CachePadded<VaultState>> vaults_;
+
+  // CPU-visible role directory.
+  CachePadded<std::atomic<std::size_t>> enq_cid_{0};
+  CachePadded<std::atomic<std::size_t>> deq_cid_{0};
+
+  CachePadded<std::atomic<std::uint64_t>> enq_count_{0};
+  CachePadded<std::atomic<std::uint64_t>> deq_count_{0};
+  CachePadded<std::atomic<std::uint64_t>> rejections_{0};
+  CachePadded<std::atomic<std::uint64_t>> segments_created_{0};
+  CachePadded<std::atomic<std::uint64_t>> max_enq_batch_{0};
+};
+
+}  // namespace pimds::core

@@ -1,0 +1,121 @@
+#include "core/pim_linked_list.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <vector>
+
+#include "runtime/mailbox.hpp"
+
+namespace pimds::core {
+
+using runtime::Message;
+using runtime::PimCoreApi;
+using runtime::ResponseSlot;
+
+PimLinkedList::PimLinkedList(runtime::PimSystem& system)
+    : PimLinkedList(system, Options{}) {}
+
+PimLinkedList::PimLinkedList(runtime::PimSystem& system, Options options)
+    : system_(system), options_(options) {
+  head_ = system_.vault(options_.vault).create<Node>(Node{0, nullptr});
+  system_.set_handler(options_.vault,
+                      [this](PimCoreApi& api, const Message& m) {
+                        handle(api, m);
+                      });
+}
+
+bool PimLinkedList::submit(Kind kind, std::uint64_t key) {
+  assert(key >= 1 && "key 0 is reserved for the dummy head");
+  ResponseSlot<bool> slot;
+  Message m;
+  m.kind = kind;
+  m.key = key;
+  m.slot = &slot;
+  system_.send(options_.vault, m);
+  return slot.await();
+}
+
+bool PimLinkedList::add(std::uint64_t key) { return submit(kAdd, key); }
+bool PimLinkedList::remove(std::uint64_t key) { return submit(kRemove, key); }
+bool PimLinkedList::contains(std::uint64_t key) {
+  return submit(kContains, key);
+}
+
+/// Serve one request at the traversal cursor. `cursor_prev` is the last
+/// node with key < the previous request's key; since requests are served in
+/// ascending key order the cursor only ever moves forward.
+bool PimLinkedList::apply(PimCoreApi& api, std::uint32_t kind,
+                          std::uint64_t key, Node*& cursor_prev) {
+  Node* prev = cursor_prev;
+  Node* curr = prev->next;
+  while (curr != nullptr && curr->key < key) {
+    api.charge_local_access();
+    prev = curr;
+    curr = curr->next;
+  }
+  cursor_prev = prev;
+  const bool present = curr != nullptr && curr->key == key;
+  switch (kind) {
+    case kContains:
+      return present;
+    case kAdd: {
+      if (present) return false;
+      Node* node = api.vault().create<Node>(Node{key, curr});
+      prev->next = node;
+      size_.value.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
+    case kRemove: {
+      if (!present) return false;
+      prev->next = curr->next;
+      api.vault().destroy(curr);
+      size_.value.fetch_sub(1, std::memory_order_relaxed);
+      return true;
+    }
+    default:
+      assert(false && "unknown linked-list opcode");
+      return false;
+  }
+}
+
+void PimLinkedList::handle(PimCoreApi& api, const Message& first) {
+  if (!options_.combining) {
+    Node* cursor = head_;
+    api.charge_local_access();  // reading the head
+    const bool result = apply(api, first.kind, first.key, cursor);
+    static_cast<ResponseSlot<bool>*>(first.slot)->publish(
+        result, api.reply_ready_ns());
+    return;
+  }
+
+  // Combining: drain whatever else has already been delivered, then serve
+  // the whole batch in one ascending traversal.
+  std::vector<Message> batch;
+  batch.push_back(first);
+  while (batch.size() < options_.max_batch) {
+    std::optional<Message> more = api.poll();
+    if (!more) break;
+    batch.push_back(*more);
+  }
+  std::stable_sort(batch.begin(), batch.end(),
+                   [](const Message& a, const Message& b) {
+                     return a.key < b.key;
+                   });
+  std::size_t seen = max_batch_seen_.value.load(std::memory_order_relaxed);
+  while (batch.size() > seen &&
+         !max_batch_seen_.value.compare_exchange_weak(
+             seen, batch.size(), std::memory_order_relaxed)) {
+  }
+
+  Node* cursor = head_;
+  api.charge_local_access();
+  for (const Message& m : batch) {
+    const bool result = apply(api, m.kind, m.key, cursor);
+    // Respond asynchronously: with latency injection on, the reply becomes
+    // visible Lmessage later while the core continues the same traversal.
+    static_cast<ResponseSlot<bool>*>(m.slot)->publish(result,
+                                                      api.reply_ready_ns());
+  }
+}
+
+}  // namespace pimds::core

@@ -1,0 +1,72 @@
+// PIM-managed linked-list (Section 4.1).
+//
+// The entire sorted list lives in one vault; CPU threads send operation
+// requests to that vault's PIM core and wait on a response slot. With the
+// combining optimization the core drains every request already delivered to
+// its mailbox and serves the whole batch in ONE traversal (requests are
+// served in ascending key order), which is what lets the structure beat a
+// fine-grained-locking list despite having no intra-structure parallelism.
+//
+// Thread-safety: add/remove/contains may be called concurrently from any
+// number of CPU threads once the owning PimSystem has started.
+#pragma once
+
+#include <cstdint>
+
+#include "runtime/system.hpp"
+
+namespace pimds::core {
+
+class PimLinkedList {
+ public:
+  struct Options {
+    std::size_t vault = 0;       ///< vault that stores the list
+    bool combining = true;       ///< Section 4.1 combining optimization
+    std::size_t max_batch = 64;  ///< cap on requests combined per traversal
+  };
+
+  /// Installs this list's message handler on `options.vault`. Must be
+  /// constructed before `system.start()`.
+  PimLinkedList(runtime::PimSystem& system, Options options);
+  explicit PimLinkedList(runtime::PimSystem& system);
+
+  PimLinkedList(const PimLinkedList&) = delete;
+  PimLinkedList& operator=(const PimLinkedList&) = delete;
+
+  /// Set operations; keys must be >= 1 (0 is the dummy head).
+  bool add(std::uint64_t key);
+  bool remove(std::uint64_t key);
+  bool contains(std::uint64_t key);
+
+  /// Current number of keys (maintained by the PIM core; reads are
+  /// racy-but-monotonic snapshots suitable for stats).
+  std::size_t size() const noexcept {
+    return size_.value.load(std::memory_order_relaxed);
+  }
+
+  /// Largest batch the core has combined so far (diagnostics).
+  std::size_t max_observed_batch() const noexcept {
+    return max_batch_seen_.value.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Node {
+    std::uint64_t key;
+    Node* next;
+  };
+
+  enum Kind : std::uint32_t { kAdd = 1, kRemove = 2, kContains = 3 };
+
+  void handle(runtime::PimCoreApi& api, const runtime::Message& first);
+  bool apply(runtime::PimCoreApi& api, std::uint32_t kind, std::uint64_t key,
+             Node*& cursor_prev);
+  bool submit(Kind kind, std::uint64_t key);
+
+  runtime::PimSystem& system_;
+  Options options_;
+  Node* head_;  // dummy node with key 0, allocated in the vault
+  CachePadded<std::atomic<std::size_t>> size_{0};
+  CachePadded<std::atomic<std::size_t>> max_batch_seen_{0};
+};
+
+}  // namespace pimds::core

@@ -1,0 +1,286 @@
+#include "core/pim_skiplist.hpp"
+
+#include <cassert>
+
+#include "runtime/mailbox.hpp"
+
+namespace pimds::core {
+
+using runtime::Message;
+using runtime::PimCoreApi;
+using runtime::ResponseSlot;
+
+namespace {
+
+std::vector<SentinelDirectory::Entry> initial_partitions(
+    const PimSkipList::Options& options, std::size_t vaults) {
+  const std::uint64_t span = options.key_max - options.key_min + 1;
+  std::vector<SentinelDirectory::Entry> entries;
+  entries.reserve(vaults);
+  for (std::size_t v = 0; v < vaults; ++v) {
+    entries.push_back({options.key_min + v * span / vaults, v});
+  }
+  return entries;
+}
+
+}  // namespace
+
+PimSkipList::PimSkipList(runtime::PimSystem& system)
+    : PimSkipList(system, Options{}) {}
+
+PimSkipList::PimSkipList(runtime::PimSystem& system, Options options)
+    : system_(system),
+      options_(options),
+      directory_(initial_partitions(options, system.num_vaults())) {
+  for (std::size_t v = 0; v < system_.num_vaults(); ++v) {
+    auto state = std::make_unique<VaultState>();
+    // Every vault's local sentinel is the GLOBAL minimum (key_min - 1), not
+    // its initial partition bound: migrations may later hand this vault a
+    // range below the range it started with (Section 4.2.1), and the local
+    // structure must be able to hold any key. Range routing is the
+    // directory's job, not the local skip-list's.
+    state->list = std::make_unique<LocalSkipList>(
+        system_.vault(v), options_.key_min - 1, options_.seed + v);
+    vaults_.push_back(std::move(state));
+    system_.set_handler(v, [this](PimCoreApi& api, const Message& m) {
+      handle(api, m);
+    });
+    system_.set_idle_handler(v, [this](PimCoreApi& api) {
+      VaultState& vs = *vaults_[api.vault_id()];
+      if (vs.mig.active && vs.mig.outgoing) return step_migration(api);
+      return false;
+    });
+  }
+}
+
+bool PimSkipList::submit(Kind kind, std::uint64_t key) {
+  assert(key >= options_.key_min && key <= options_.key_max &&
+         "key outside the configured range");
+  ResponseSlot<OpReply> slot;
+  for (;;) {
+    Message m;
+    m.kind = kind;
+    m.key = key;
+    m.slot = &slot;
+    system_.send(directory_.route(key), m);
+    const OpReply r = slot.await();
+    if (r.accepted) return r.result;
+    // Stale routing: the partition moved; the directory has (or will have)
+    // the new owner.
+  }
+}
+
+bool PimSkipList::add(std::uint64_t key) { return submit(kAdd, key); }
+bool PimSkipList::remove(std::uint64_t key) { return submit(kRemove, key); }
+bool PimSkipList::contains(std::uint64_t key) {
+  return submit(kContains, key);
+}
+
+bool PimSkipList::migrate(std::uint64_t split_key, std::size_t to_vault) {
+  if (to_vault >= system_.num_vaults() || split_key < options_.key_min ||
+      split_key > options_.key_max) {
+    return false;
+  }
+  bool expected = false;
+  if (!migration_busy_.value.compare_exchange_strong(
+          expected, true, std::memory_order_acq_rel)) {
+    return false;  // one migration at a time (Section 4.2.1's restriction)
+  }
+  const SentinelDirectory::Range range = directory_.partition_of(split_key);
+  if (range.vault == to_vault) {
+    migration_busy_.value.store(false, std::memory_order_release);
+    return false;
+  }
+  ResponseSlot<OpReply> slot;
+  Message m;
+  m.kind = kMigStart;
+  m.key = split_key;
+  m.value = range.hi;
+  m.sender = static_cast<std::uint32_t>(to_vault);
+  m.slot = &slot;
+  system_.send(range.vault, m);
+  if (!slot.await().accepted) {
+    migration_busy_.value.store(false, std::memory_order_release);
+    return false;
+  }
+  return true;
+}
+
+void PimSkipList::execute_and_reply(PimCoreApi& api, const Message& m) {
+  VaultState& vs = *vaults_[api.vault_id()];
+  std::uint64_t steps = 0;
+  bool result = false;
+  switch (m.kind) {
+    case kAdd:
+      result = vs.list->add(m.key, &steps);
+      if (result) vs.keys.value.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case kRemove:
+      result = vs.list->remove(m.key, &steps);
+      if (result) vs.keys.value.fetch_sub(1, std::memory_order_relaxed);
+      break;
+    case kContains:
+      result = vs.list->contains(m.key, &steps);
+      break;
+    default:
+      assert(false && "not an operation message");
+  }
+  api.charge_local_access(steps);
+  static_cast<ResponseSlot<OpReply>*>(m.slot)->publish(
+      OpReply{true, result}, api.reply_ready_ns());
+}
+
+bool PimSkipList::step_migration(PimCoreApi& api) {
+  VaultState& vs = *vaults_[api.vault_id()];
+  Migration& mig = vs.mig;
+  assert(mig.active && mig.outgoing);
+  for (std::size_t moved = 0; moved < options_.migrate_chunk; ++moved) {
+    const std::optional<std::uint64_t> key =
+        vs.list->first_at_least(mig.cursor);
+    if (!key.has_value() || *key >= mig.hi) {
+      // Hand-over complete: first redirect the CPUs (the paper notifies
+      // them before telling the target the migration is over), then tell
+      // the target, whose kMigEnd processing releases the deferred
+      // requests and the global migration slot.
+      directory_.move_range(mig.lo, mig.peer);
+      mig.active = false;
+      Message end;
+      end.kind = kMigEnd;
+      end.key = mig.lo;
+      api.send(mig.peer, end);
+      return true;
+    }
+    std::uint64_t steps = 0;
+    vs.list->extract_first_at_least(mig.cursor, &steps);
+    api.charge_local_access(steps);
+    vs.keys.value.fetch_sub(1, std::memory_order_relaxed);
+    Message node;
+    node.kind = kMigNode;
+    node.key = *key;
+    api.send(mig.peer, node);
+    mig.cursor = *key + 1;
+  }
+  return true;
+}
+
+void PimSkipList::handle_op(PimCoreApi& api, const Message& m,
+                            bool forwarded) {
+  VaultState& vs = *vaults_[api.vault_id()];
+  vs.requests.value.fetch_add(1, std::memory_order_relaxed);
+  if (forwarded) {
+    // The source only forwards keys it has already handed over, and the
+    // per-channel FIFO guarantees the kMigNode carrying them arrived first.
+    execute_and_reply(api, m);
+    return;
+  }
+  const Migration& mig = vs.mig;
+  if (mig.active && m.key >= mig.lo && m.key < mig.hi) {
+    if (mig.outgoing) {
+      if (m.key >= mig.cursor) {
+        execute_and_reply(api, m);  // not yet migrated: still ours
+      } else {
+        Message fwd = m;
+        fwd.kind = forward_kind(m.kind);
+        api.send(mig.peer, fwd);  // migrated: the target owns it
+      }
+    } else {
+      // Incoming range: defer direct requests until kMigEnd so they cannot
+      // overtake in-flight kMigNode messages on the source's channel.
+      vs.deferred.push_back(m);
+    }
+    return;
+  }
+  if (directory_.route(m.key) != api.vault_id()) {
+    // Stale request for a range that moved away: make the CPU re-route.
+    static_cast<ResponseSlot<OpReply>*>(m.slot)->publish(
+        OpReply{false, false}, api.reply_ready_ns());
+    return;
+  }
+  execute_and_reply(api, m);
+}
+
+void PimSkipList::handle(PimCoreApi& api, const Message& m) {
+  VaultState& vs = *vaults_[api.vault_id()];
+  switch (m.kind) {
+    case kAdd:
+    case kRemove:
+    case kContains:
+      handle_op(api, m, /*forwarded=*/false);
+      break;
+    case kFwdAdd:
+    case kFwdRemove:
+    case kFwdContains: {
+      Message op = m;
+      op.kind = m.kind - 7;  // back to kAdd / kRemove / kContains
+      handle_op(api, op, /*forwarded=*/true);
+      break;
+    }
+    case kMigStart: {
+      auto* slot = static_cast<ResponseSlot<OpReply>*>(m.slot);
+      if (vs.mig.active) {
+        slot->publish(OpReply{false, false}, api.reply_ready_ns());
+        break;
+      }
+      vs.mig = Migration{true, /*outgoing=*/true, m.key, m.value,
+                         static_cast<std::size_t>(m.sender), m.key};
+      Message begin;
+      begin.kind = kMigBegin;
+      begin.key = m.key;
+      begin.value = m.value;
+      api.send(vs.mig.peer, begin);
+      slot->publish(OpReply{true, true}, api.reply_ready_ns());
+      break;
+    }
+    case kMigBegin:
+      assert(!vs.mig.active);
+      vs.mig = Migration{true, /*outgoing=*/false, m.key, m.value,
+                         static_cast<std::size_t>(m.sender), m.key};
+      vs.incoming_cursor = LocalSkipList::InsertCursor{};
+      break;
+    case kMigNode: {
+      std::uint64_t steps = 0;
+      const bool inserted =
+          vs.list->insert_ascending(vs.incoming_cursor, m.key, &steps);
+      api.charge_local_access(steps);
+      assert(inserted && "migrated key already present at target");
+      (void)inserted;
+      vs.keys.value.fetch_add(1, std::memory_order_relaxed);
+      break;
+    }
+    case kMigEnd: {
+      assert(vs.mig.active && !vs.mig.outgoing);
+      vs.mig.active = false;
+      // Serve requests that raced with the migration; the directory already
+      // points here, so they execute locally now.
+      std::deque<Message> deferred;
+      deferred.swap(vs.deferred);
+      for (const Message& req : deferred) handle_op(api, req, false);
+      migration_busy_.value.store(false, std::memory_order_release);
+      break;
+    }
+    default:
+      assert(false && "unknown skip-list opcode");
+  }
+  // Drive an outgoing migration forward even under request load.
+  if (vs.mig.active && vs.mig.outgoing) step_migration(api);
+}
+
+std::vector<PimSkipList::VaultStats> PimSkipList::vault_stats() const {
+  std::vector<VaultStats> out;
+  out.reserve(vaults_.size());
+  for (const auto& vs : vaults_) {
+    out.push_back({vs->keys.value.load(std::memory_order_relaxed),
+                   vs->requests.value.load(std::memory_order_relaxed)});
+  }
+  return out;
+}
+
+std::size_t PimSkipList::size() const noexcept {
+  std::size_t total = 0;
+  for (const auto& vs : vaults_) {
+    total += vs->keys.value.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+}  // namespace pimds::core

@@ -1,0 +1,132 @@
+// PIM-managed skip-list with partitioning and non-blocking node migration
+// (Sections 4.2 and 4.2.1).
+//
+// The key space splits into one partition per vault initially; CPUs route
+// each operation through the sentinel directory to the owning vault's PIM
+// core. migrate() moves a suffix of a partition to another vault using the
+// paper's protocol: the source keeps serving requests during the migration
+// (keys not yet migrated are served locally, already-migrated keys are
+// forwarded to the target), the directory is updated when the hand-over
+// completes, and stale requests are rejected so the CPU re-routes.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "common/cacheline.hpp"
+#include "core/local_skiplist.hpp"
+#include "core/sentinel_directory.hpp"
+#include "runtime/system.hpp"
+
+namespace pimds::core {
+
+class PimSkipList {
+ public:
+  struct Options {
+    std::uint64_t key_min = 1;            ///< smallest usable key
+    std::uint64_t key_max = 1u << 20;     ///< largest usable key
+    std::uint64_t seed = 42;              ///< tower-height RNG seed
+    std::size_t migrate_chunk = 32;       ///< nodes moved per migration step
+  };
+
+  /// Installs handlers on ALL vaults of `system`; construct before start().
+  /// Partition i initially covers an equal share of [key_min, key_max].
+  PimSkipList(runtime::PimSystem& system, Options options);
+  explicit PimSkipList(runtime::PimSystem& system);
+
+  PimSkipList(const PimSkipList&) = delete;
+  PimSkipList& operator=(const PimSkipList&) = delete;
+
+  bool add(std::uint64_t key);
+  bool remove(std::uint64_t key);
+  bool contains(std::uint64_t key);
+
+  /// Section 4.2.1 rebalancing primitive: move every key in
+  /// [split_key, end of split_key's partition) to `to_vault`, concurrently
+  /// with ongoing operations. Returns false (without side effects) if
+  /// another migration is still in flight, `to_vault` already owns the
+  /// range, or `split_key` is out of bounds. Completion is asynchronous:
+  /// poll migration_active().
+  bool migrate(std::uint64_t split_key, std::size_t to_vault);
+  bool migration_active() const noexcept {
+    return migration_busy_.value.load(std::memory_order_acquire);
+  }
+
+  /// Racy per-vault statistics (request counts drive rebalancing policy).
+  struct VaultStats {
+    std::uint64_t keys = 0;
+    std::uint64_t requests = 0;
+  };
+  std::vector<VaultStats> vault_stats() const;
+
+  std::vector<SentinelDirectory::Entry> partitions() const {
+    return directory_.snapshot();
+  }
+
+  std::size_t size() const noexcept;
+
+  const Options& options() const noexcept { return options_; }
+
+ private:
+  enum Kind : std::uint32_t {
+    kAdd = 1,
+    kRemove = 2,
+    kContains = 3,
+    kMigStart = 4,  ///< CPU -> source: begin migration (key=split, value=hi)
+    kMigBegin = 5,  ///< source -> target: incoming range announcement
+    kMigNode = 6,   ///< source -> target: one migrated key
+    kMigEnd = 7,    ///< source -> target: hand-over complete
+    kFwdAdd = 8,    ///< source -> target: forwarded operations
+    kFwdRemove = 9,
+    kFwdContains = 10,
+  };
+
+  struct OpReply {
+    bool accepted = false;
+    bool result = false;
+  };
+
+  struct Migration {
+    bool active = false;
+    bool outgoing = false;
+    std::uint64_t lo = 0;
+    std::uint64_t hi = 0;
+    std::size_t peer = 0;
+    std::uint64_t cursor = 0;  ///< next key to migrate (ascending)
+  };
+
+  struct VaultState {
+    std::unique_ptr<LocalSkipList> list;
+    Migration mig;
+    /// Target-side fingers: kMigNode keys arrive ascending, so inserts are
+    /// amortized O(1) (dual of the source's amortized extraction).
+    LocalSkipList::InsertCursor incoming_cursor;
+    /// Direct requests for an incoming range, deferred until kMigEnd so
+    /// they cannot overtake in-flight kMigNode messages.
+    std::deque<runtime::Message> deferred;
+    CachePadded<std::atomic<std::uint64_t>> requests{0};
+    CachePadded<std::atomic<std::uint64_t>> keys{0};
+  };
+
+  void handle(runtime::PimCoreApi& api, const runtime::Message& m);
+  void handle_op(runtime::PimCoreApi& api, const runtime::Message& m,
+                 bool forwarded);
+  void execute_and_reply(runtime::PimCoreApi& api, const runtime::Message& m);
+  /// Move up to migrate_chunk nodes; finishes the migration when drained.
+  bool step_migration(runtime::PimCoreApi& api);
+  bool submit(Kind kind, std::uint64_t key);
+  static Kind forward_kind(std::uint32_t op) {
+    return static_cast<Kind>(op + 7);  // kAdd->kFwdAdd etc.
+  }
+
+  runtime::PimSystem& system_;
+  Options options_;
+  SentinelDirectory directory_;
+  std::vector<std::unique_ptr<VaultState>> vaults_;
+  CachePadded<std::atomic<bool>> migration_busy_{false};
+};
+
+}  // namespace pimds::core

@@ -1,0 +1,58 @@
+#include "model/linked_list_model.hpp"
+
+#include <cmath>
+
+namespace pimds::model {
+
+namespace {
+constexpr double kNsToSec = 1e-9;
+}
+
+double s_p(std::size_t n, std::size_t p) {
+  // Direct summation; n is at most a few thousand in every experiment and
+  // the terms need no special care (all in (0,1]).
+  double sum = 0.0;
+  const double denom = static_cast<double>(n + 1);
+  for (std::size_t i = 1; i <= n; ++i) {
+    sum += std::pow(static_cast<double>(i) / denom, static_cast<double>(p));
+  }
+  return sum;
+}
+
+double fine_grained_lock_list(const LatencyParams& lp, std::size_t n,
+                              std::size_t p) {
+  return 2.0 * static_cast<double>(p) /
+         (static_cast<double>(n + 1) * lp.cpu() * kNsToSec);
+}
+
+double fc_list_no_combining(const LatencyParams& lp, std::size_t n) {
+  return 2.0 / (static_cast<double>(n + 1) * lp.cpu() * kNsToSec);
+}
+
+double pim_list_no_combining(const LatencyParams& lp, std::size_t n) {
+  return 2.0 / (static_cast<double>(n + 1) * lp.pim() * kNsToSec);
+}
+
+double fc_list_combining(const LatencyParams& lp, std::size_t n,
+                         std::size_t p) {
+  return static_cast<double>(p) /
+         ((static_cast<double>(n) - s_p(n, p)) * lp.cpu() * kNsToSec);
+}
+
+double pim_list_combining(const LatencyParams& lp, std::size_t n,
+                          std::size_t p) {
+  return static_cast<double>(p) /
+         ((static_cast<double>(n) - s_p(n, p)) * lp.pim() * kNsToSec);
+}
+
+bool pim_combining_beats_fine_grained(const LatencyParams& lp, std::size_t n,
+                                      std::size_t p) {
+  return lp.r1 >
+         2.0 * (static_cast<double>(n) - s_p(n, p)) / static_cast<double>(n + 1);
+}
+
+std::size_t threads_to_beat_naive_pim(const LatencyParams& lp) {
+  return static_cast<std::size_t>(std::ceil(lp.r1));
+}
+
+}  // namespace pimds::model

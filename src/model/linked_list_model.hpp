@@ -1,0 +1,50 @@
+// Closed-form throughput model for linked-lists (Section 4.1, Table 1).
+//
+// All functions return operations per second for a list of n nodes accessed
+// by p CPU threads with uniformly random keys, under the Section 3 latency
+// parameters. S_p is the expectation term from the paper:
+//     S_p = sum_{i=1..n} (i / (n+1))^p
+// and (n - S_p) is the expected number of pointers a combiner traverses to
+// serve a batch of p random requests in one pass.
+#pragma once
+
+#include <cstddef>
+
+#include "common/latency.hpp"
+
+namespace pimds::model {
+
+/// S_p = sum_{i=1..n} (i/(n+1))^p. Monotonically decreasing in p, with
+/// S_1 = n/2 and S_p -> (n+1)/(p+1)-ish tail behaviour; always in (0, n/2].
+double s_p(std::size_t n, std::size_t p);
+
+/// Table 1 row 1: linked-list with fine-grained locks, p parallel threads.
+double fine_grained_lock_list(const LatencyParams& lp, std::size_t n,
+                              std::size_t p);
+
+/// Table 1 row 2: flat-combining list without the combining optimization.
+double fc_list_no_combining(const LatencyParams& lp, std::size_t n);
+
+/// Table 1 row 3: PIM-managed list without combining.
+double pim_list_no_combining(const LatencyParams& lp, std::size_t n);
+
+/// Table 1 row 4: flat-combining list with combining.
+double fc_list_combining(const LatencyParams& lp, std::size_t n,
+                         std::size_t p);
+
+/// Table 1 row 5: PIM-managed list with combining.
+double pim_list_combining(const LatencyParams& lp, std::size_t n,
+                          std::size_t p);
+
+/// Section 4.1 crossover: the PIM list with combining beats the
+/// fine-grained-lock list iff r1 > 2 (n - S_p) / (n + 1); since
+/// 0 < S_p <= n/2, r1 >= 2 always suffices.
+bool pim_combining_beats_fine_grained(const LatencyParams& lp, std::size_t n,
+                                      std::size_t p);
+
+/// Section 1 claim: the minimum number of CPU threads at which the
+/// fine-grained-lock list overtakes the *naive* (no combining) PIM list.
+/// Equals ceil(r1) by Table 1.
+std::size_t threads_to_beat_naive_pim(const LatencyParams& lp);
+
+}  // namespace pimds::model

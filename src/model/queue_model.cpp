@@ -1,0 +1,46 @@
+#include "model/queue_model.hpp"
+
+#include <cmath>
+
+namespace pimds::model {
+
+namespace {
+constexpr double kNsToSec = 1e-9;
+}
+
+double faa_queue(const LatencyParams& lp) {
+  return 1.0 / (lp.atomic() * kNsToSec);
+}
+
+double fc_queue(const LatencyParams& lp) {
+  return 1.0 / (2.0 * lp.llc() * kNsToSec);
+}
+
+double pim_queue_pipelined(const LatencyParams& lp, double epsilon_ns) {
+  // x (Lpim + eps) + 2 Lmessage = 1 second  =>  x = (1 - 2 Lmsg) / (Lpim+eps)
+  const double lmsg_s = lp.message() * kNsToSec;
+  return (1.0 - 2.0 * lmsg_s) / ((lp.pim() + epsilon_ns) * kNsToSec);
+}
+
+double pim_queue_unpipelined(const LatencyParams& lp, double epsilon_ns) {
+  return 1.0 / ((lp.pim() + epsilon_ns + lp.message()) * kNsToSec);
+}
+
+double pim_queue_single_segment(const LatencyParams& lp, double epsilon_ns) {
+  return 0.5 * pim_queue_pipelined(lp, epsilon_ns);
+}
+
+bool pim_beats_fc_queue(const LatencyParams& lp) {
+  return 2.0 * lp.r1 / lp.r2 > 1.0;
+}
+
+bool pim_beats_faa_queue(const LatencyParams& lp) {
+  return lp.r1 * lp.r3 > 1.0;
+}
+
+std::size_t min_cpus_to_saturate_pim(const LatencyParams& lp) {
+  return static_cast<std::size_t>(
+      std::ceil(2.0 * lp.message() / lp.pim()));
+}
+
+}  // namespace pimds::model

@@ -1,0 +1,45 @@
+// Closed-form throughput model for FIFO queues (Section 5.2).
+//
+// Per-side (dequeue or enqueue) throughputs; the F&A and PIM queues serve
+// both sides in parallel when the queue is long, the FC queue uses two
+// combiner locks, so combined throughput is 2x each bound for all three.
+#pragma once
+
+#include <cstddef>
+
+#include "common/latency.hpp"
+
+namespace pimds::model {
+
+/// F&A queue [41]: p concurrent requests serialize on one F&A variable,
+/// so throughput <= 1 / Latomic.
+double faa_queue(const LatencyParams& lp);
+
+/// Flat-combining queue [25]: serving p requests costs >= (2p - 1) LLC
+/// accesses, so throughput <= 1 / (2 Lllc) for large p.
+double fc_queue(const LatencyParams& lp);
+
+/// PIM-managed queue with pipelining (Figure 6): throughput
+/// x = (1 - 2 Lmessage[s]) / (Lpim + eps) ~= 1 / Lpim.
+/// `epsilon_ns` is the PIM core's non-memory work per request (two L1
+/// accesses plus issuing one message), negligible by default.
+double pim_queue_pipelined(const LatencyParams& lp, double epsilon_ns = 0.0);
+
+/// PIM queue without pipelining: the core stalls Lmessage per response.
+double pim_queue_unpipelined(const LatencyParams& lp, double epsilon_ns = 0.0);
+
+/// Short (single-segment) PIM queue: one core serves both enqueues and
+/// dequeues, halving per-side throughput (end of Section 5.2).
+double pim_queue_single_segment(const LatencyParams& lp,
+                                double epsilon_ns = 0.0);
+
+/// Section 5.2 crossovers: the PIM queue beats the FC queue iff
+/// 2 r1 / r2 > 1, and beats the F&A queue iff r1 r3 > 1.
+bool pim_beats_fc_queue(const LatencyParams& lp);
+bool pim_beats_faa_queue(const LatencyParams& lp);
+
+/// Minimum number of CPUs needed to keep the pipelined PIM core saturated:
+/// 2 Lmessage / Lpim (Section 5.2).
+std::size_t min_cpus_to_saturate_pim(const LatencyParams& lp);
+
+}  // namespace pimds::model

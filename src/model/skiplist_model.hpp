@@ -1,0 +1,42 @@
+// Closed-form throughput model for skip-lists (Section 4.2, Table 2).
+//
+// beta is the average number of nodes an operation accesses to locate its
+// key (Theta(log N)). The paper leaves beta abstract; callers either supply
+// a measured value (SimSkipList::observed_beta) or use estimate_beta().
+#pragma once
+
+#include <cstddef>
+
+#include "common/latency.hpp"
+
+namespace pimds::model {
+
+/// Rough analytic estimate of beta for a skip-list of `size` nodes with
+/// tower probability 1/2: ~2 * log2(size) steps (one right-move and one
+/// down-move per level on average), floored at 1.
+double estimate_beta(std::size_t size);
+
+/// Table 2 row 1: lock-free skip-list, p threads in parallel.
+double lock_free_skiplist(const LatencyParams& lp, double beta, std::size_t p);
+
+/// Table 2 row 2: flat-combining skip-list (single combiner).
+double fc_skiplist(const LatencyParams& lp, double beta);
+
+/// Table 2 row 3: PIM-managed skip-list (single vault).
+double pim_skiplist(const LatencyParams& lp, double beta);
+
+/// Table 2 row 4: flat-combining skip-list with k partitions.
+double fc_skiplist_partitioned(const LatencyParams& lp, double beta,
+                               std::size_t k);
+
+/// Table 2 row 5: PIM-managed skip-list with k partitions.
+double pim_skiplist_partitioned(const LatencyParams& lp, double beta,
+                                std::size_t k);
+
+/// Section 4.2 crossover: smallest k for which the partitioned PIM
+/// skip-list out-throughputs the lock-free skip-list with p threads:
+/// k > p (beta Lpim + Lmessage) / (beta Lcpu)   (~ p / r1 for large beta).
+std::size_t min_partitions_to_beat_lock_free(const LatencyParams& lp,
+                                             double beta, std::size_t p);
+
+}  // namespace pimds::model

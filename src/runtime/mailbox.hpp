@@ -1,0 +1,84 @@
+// PIM-core mailbox: many CPU/PIM senders, one PIM-core receiver.
+//
+// Messages are timestamped at send; when latency injection is enabled the
+// receiver defers processing until send_time + Lmessage has elapsed,
+// emulating the crossbar transfer without blocking the sender (this is what
+// makes the Section 5.2 pipelining optimization expressible: responses are
+// in flight while the core serves the next request).
+//
+// FIFO per sender-receiver pair holds because the underlying ring assigns
+// tickets in send order and a single sender's sends are program-ordered.
+#pragma once
+
+#include <optional>
+
+#include "common/latency.hpp"
+#include "common/mpmc_queue.hpp"
+#include "common/spinwait.hpp"
+#include "common/timing.hpp"
+#include "runtime/message.hpp"
+
+namespace pimds::runtime {
+
+class Mailbox {
+ public:
+  explicit Mailbox(std::size_t capacity = 4096) : ring_(capacity) {}
+
+  /// Enqueue a message (spins if the ring is momentarily full).
+  void send(Message m) {
+    m.send_time_ns = now_ns();
+    ring_.push(m);
+  }
+
+  /// Dequeue the next message, honoring its delivery time when injection is
+  /// on. Returns nullopt if the mailbox is empty.
+  std::optional<Message> poll() {
+    std::optional<Message> m = ring_.try_pop();
+    if (m && LatencyInjector::instance().enabled()) {
+      const auto lmsg = static_cast<std::uint64_t>(
+          LatencyInjector::instance().params().message());
+      const std::uint64_t ready = m->send_time_ns + lmsg;
+      while (now_ns() < ready) cpu_relax();
+    }
+    return m;
+  }
+
+  bool empty() const noexcept { return ring_.empty(); }
+
+ private:
+  MpmcQueue<Message> ring_;
+};
+
+/// One-shot response slot a CPU thread waits on. Single producer (the PIM
+/// core serving the request), single consumer (the requesting CPU), reused
+/// across requests by the same CPU.
+template <typename R>
+class ResponseSlot {
+ public:
+  /// Producer: publish a response that becomes visible at `ready_ns`
+  /// (pass 0 for "immediately").
+  void publish(R value, std::uint64_t ready_ns = 0) {
+    value_ = std::move(value);
+    ready_ns_.value.store(ready_ns, std::memory_order_relaxed);
+    full_.value.store(true, std::memory_order_release);
+  }
+
+  /// Consumer: spin until a response is published AND its delivery time has
+  /// passed, then consume it.
+  R await() {
+    SpinWait spin;
+    while (!full_.value.load(std::memory_order_acquire)) spin.wait();
+    const std::uint64_t ready = ready_ns_.value.load(std::memory_order_relaxed);
+    while (now_ns() < ready) cpu_relax();
+    R out = std::move(value_);
+    full_.value.store(false, std::memory_order_release);
+    return out;
+  }
+
+ private:
+  R value_{};
+  CachePadded<std::atomic<std::uint64_t>> ready_ns_{0};
+  CachePadded<std::atomic<bool>> full_{false};
+};
+
+}  // namespace pimds::runtime

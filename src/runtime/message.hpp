@@ -1,0 +1,24 @@
+// Fixed-size message exchanged between CPU threads and PIM cores in the
+// real-thread emulation. One cache line, as assumed by the paper's Section 3
+// ("the size of a message ... is at most the size of a cache line").
+#pragma once
+
+#include <cstdint>
+
+#include "common/cacheline.hpp"
+
+namespace pimds::runtime {
+
+struct Message {
+  std::uint32_t kind = 0;    ///< data-structure-specific opcode
+  std::uint32_t sender = 0;  ///< sending CPU thread or PIM core id
+  std::uint64_t key = 0;
+  std::uint64_t value = 0;
+  void* slot = nullptr;          ///< response slot, when a reply is expected
+  std::uint64_t send_time_ns = 0;  ///< stamped by Mailbox::send
+};
+
+static_assert(sizeof(Message) <= kCacheLineSize,
+              "a message must fit in one cache line");
+
+}  // namespace pimds::runtime

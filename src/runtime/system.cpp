@@ -1,0 +1,136 @@
+#include "runtime/system.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "common/timing.hpp"
+#include "common/spinwait.hpp"
+
+namespace pimds::runtime {
+
+Vault& PimCoreApi::vault() { return *system_.cores_[vault_id_]->vault; }
+
+std::size_t PimCoreApi::num_vaults() const { return system_.num_vaults(); }
+
+void PimCoreApi::send(std::size_t other_vault, Message m) {
+  m.sender = static_cast<std::uint32_t>(vault_id_);
+  system_.cores_[other_vault]->mailbox.send(m);
+}
+
+std::optional<Message> PimCoreApi::poll() {
+  return system_.cores_[vault_id_]->mailbox.poll();
+}
+
+void PimCoreApi::charge_local_access(std::uint64_t n) const {
+  auto& injector = LatencyInjector::instance();
+  if (!injector.enabled()) return;
+  spin_for_ns(static_cast<std::uint64_t>(injector.params().pim()) * n);
+}
+
+std::uint64_t PimCoreApi::reply_ready_ns() const {
+  auto& injector = LatencyInjector::instance();
+  if (!injector.enabled()) return 0;
+  return now_ns() + static_cast<std::uint64_t>(injector.params().message());
+}
+
+PimSystem::PimSystem(Config config) : config_(config) {
+  if (config_.num_vaults == 0) {
+    throw std::invalid_argument("PimSystem needs at least one vault");
+  }
+  for (std::size_t v = 0; v < config_.num_vaults; ++v) {
+    cores_.push_back(std::make_unique<Core>(v, config_));
+  }
+}
+
+PimSystem::~PimSystem() { stop(); }
+
+void PimSystem::set_handler(std::size_t vault, Handler handler) {
+  if (started_) {
+    throw std::logic_error("set_handler must precede start()");
+  }
+  cores_[vault]->handler = std::move(handler);
+}
+
+void PimSystem::set_idle_handler(std::size_t vault, IdleHandler handler) {
+  if (started_) {
+    throw std::logic_error("set_idle_handler must precede start()");
+  }
+  cores_[vault]->idle_handler = std::move(handler);
+}
+
+void PimSystem::start() {
+  if (started_) return;
+  // The injector is process-wide; configuring it here keeps instrumented
+  // CPU-side structures and the PIM cores on the same parameters.
+  LatencyInjector::instance().configure(config_.params);
+  LatencyInjector::instance().set_enabled(config_.inject_latency);
+  stop_.store(false, std::memory_order_relaxed);
+  started_ = true;
+  for (std::size_t v = 0; v < cores_.size(); ++v) {
+    cores_[v]->thread = std::thread([this, v] { core_loop(v); });
+  }
+}
+
+void PimSystem::stop() {
+  if (!started_) return;
+  stop_.store(true, std::memory_order_release);
+  for (auto& core : cores_) {
+    if (core->thread.joinable()) core->thread.join();
+  }
+  started_ = false;
+  // Undo the process-wide injection this system enabled, so unrelated code
+  // running after shutdown is not slowed down.
+  if (config_.inject_latency) {
+    LatencyInjector::instance().set_enabled(false);
+  }
+}
+
+void PimSystem::send(std::size_t vault, Message m) {
+  if (!started_) {
+    // A request sent with no core to serve it would spin its sender
+    // forever on the response slot; fail fast instead.
+    throw std::logic_error("PimSystem::send called while stopped");
+  }
+  cores_[vault]->mailbox.send(m);
+}
+
+std::uint64_t PimSystem::messages_processed(std::size_t vault) const noexcept {
+  return cores_[vault]->processed.value.load(std::memory_order_relaxed);
+}
+
+void PimSystem::core_loop(std::size_t vault_id) {
+  Core& core = *cores_[vault_id];
+  core.vault->bind_owner();
+  PimCoreApi api(*this, vault_id);
+  SpinWait idle_spin;
+  for (;;) {
+    std::optional<Message> m = core.mailbox.poll();
+    if (m.has_value()) {
+      if (core.handler) core.handler(api, *m);
+      core.processed.value.fetch_add(1, std::memory_order_relaxed);
+      idle_spin.reset();
+      continue;
+    }
+    if (stop_.load(std::memory_order_acquire)) {
+      // Shutdown: drain stragglers (e.g. a segment hand-off sent by a peer
+      // core) and let background idle work (e.g. an in-flight outgoing
+      // migration) run to completion, interleaving the two since idle work
+      // can generate further messages. An idle handler that never returns
+      // false would hang shutdown — background jobs must be finite.
+      do {
+        while ((m = core.mailbox.poll())) {
+          if (core.handler) core.handler(api, *m);
+          core.processed.value.fetch_add(1, std::memory_order_relaxed);
+        }
+      } while (core.idle_handler && core.idle_handler(api));
+      return;
+    }
+    if (core.idle_handler && core.idle_handler(api)) {
+      idle_spin.reset();
+      continue;
+    }
+    idle_spin.wait();
+  }
+}
+
+}  // namespace pimds::runtime

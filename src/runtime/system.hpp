@@ -1,0 +1,135 @@
+// Real-thread PIM emulation: one mailbox-driven PIM-core thread per vault.
+//
+// This is the substrate the `core/` PIM data structures run on. It mirrors
+// the paper's architecture (Section 2):
+//  - each vault is owned by exactly one in-order PIM core (here: a thread);
+//  - PIM cores and CPUs communicate only by message passing, with FIFO
+//    delivery per sender-receiver pair;
+//  - PIM cores perform only plain reads/writes to their local vault (the
+//    emulation needs no atomics inside a handler — single-threaded by
+//    construction);
+//  - optional latency injection (common/latency.hpp) emulates the Section 3
+//    cost model on real hardware.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "common/cacheline.hpp"
+#include "common/latency.hpp"
+#include "runtime/mailbox.hpp"
+#include "runtime/message.hpp"
+#include "runtime/vault.hpp"
+
+namespace pimds::runtime {
+
+class PimSystem;
+
+/// Capabilities a message handler may use while running on a PIM core.
+class PimCoreApi {
+ public:
+  PimCoreApi(PimSystem& system, std::size_t vault_id)
+      : system_(system), vault_id_(vault_id) {}
+
+  std::size_t vault_id() const noexcept { return vault_id_; }
+  Vault& vault();
+  std::size_t num_vaults() const;
+
+  /// PIM-to-PIM message (goes through the same crossbar as CPU traffic).
+  void send(std::size_t other_vault, Message m);
+
+  /// Non-blocking receive from this core's own mailbox: lets a handler
+  /// drain additional already-delivered requests (the combining
+  /// optimization, Section 4.1).
+  std::optional<Message> poll();
+
+  /// Charge `n` local-vault accesses (spins for n * Lpim when injection is
+  /// enabled, otherwise free).
+  void charge_local_access(std::uint64_t n = 1) const;
+
+  /// Delivery deadline for a reply published right now: now + Lmessage when
+  /// injection is enabled, 0 (immediately visible) otherwise.
+  std::uint64_t reply_ready_ns() const;
+
+ private:
+  PimSystem& system_;
+  std::size_t vault_id_;
+};
+
+class PimSystem {
+ public:
+  struct Config {
+    std::size_t num_vaults = 4;
+    /// Default vault arena: 32 MB (the HMC 1.0 spec puts ~100 MB per vault;
+    /// scaled down so tests stay lightweight).
+    std::size_t vault_bytes = 32ull << 20;
+    std::size_t mailbox_capacity = 4096;
+    LatencyParams params = LatencyParams::paper_defaults();
+    /// Emulate the Section 3 latencies with calibrated spin waits. Off by
+    /// default: functional runs measure real hardware.
+    bool inject_latency = false;
+  };
+
+  /// A handler runs on the vault's PIM-core thread for every message.
+  using Handler = std::function<void(PimCoreApi&, const Message&)>;
+  /// An idle handler runs when the mailbox is empty; return true if it did
+  /// work (used by background jobs such as incremental node migration,
+  /// Section 4.2.1).
+  using IdleHandler = std::function<bool(PimCoreApi&)>;
+
+  explicit PimSystem(Config config);
+  ~PimSystem();
+
+  PimSystem(const PimSystem&) = delete;
+  PimSystem& operator=(const PimSystem&) = delete;
+
+  const Config& config() const noexcept { return config_; }
+  std::size_t num_vaults() const noexcept { return cores_.size(); }
+
+  /// Install the message handler for one vault. Must be called before
+  /// start(); typically each PIM data structure installs handlers for the
+  /// vaults it owns.
+  void set_handler(std::size_t vault, Handler handler);
+  void set_idle_handler(std::size_t vault, IdleHandler handler);
+
+  void start();
+  void stop();
+  bool running() const noexcept { return started_; }
+
+  /// CPU-side send to a vault's PIM core.
+  void send(std::size_t vault, Message m);
+
+  Vault& vault(std::size_t v) { return *cores_[v]->vault; }
+
+  /// Messages processed by a vault's core so far (diagnostics, load stats).
+  std::uint64_t messages_processed(std::size_t vault) const noexcept;
+
+ private:
+  friend class PimCoreApi;
+
+  struct Core {
+    explicit Core(std::size_t id, const Config& config)
+        : vault(std::make_unique<Vault>(id, config.vault_bytes)),
+          mailbox(config.mailbox_capacity) {}
+
+    std::unique_ptr<Vault> vault;
+    Mailbox mailbox;
+    Handler handler;
+    IdleHandler idle_handler;
+    std::thread thread;
+    CachePadded<std::atomic<std::uint64_t>> processed{0};
+  };
+
+  void core_loop(std::size_t vault_id);
+
+  Config config_;
+  std::vector<std::unique_ptr<Core>> cores_;
+  std::atomic<bool> stop_{false};
+  bool started_ = false;
+};
+
+}  // namespace pimds::runtime

@@ -1,0 +1,65 @@
+#include "runtime/vault.hpp"
+
+#include <cassert>
+#include <cstring>
+
+namespace pimds::runtime {
+
+Vault::Vault(std::size_t vault_id, std::size_t capacity_bytes)
+    : id_(vault_id),
+      capacity_(capacity_bytes),
+      arena_(new std::byte[capacity_bytes]) {}
+
+void Vault::assert_owner() const noexcept {
+  assert((owner_ == std::thread::id{} || owner_ == std::this_thread::get_id()) &&
+         "vault accessed from a thread other than its PIM core");
+}
+
+std::size_t Vault::size_class(std::size_t bytes) noexcept {
+  if (bytes <= 16) return 0;
+  if (bytes <= 32) return 1;
+  if (bytes <= 64) return 2;
+  if (bytes <= 128) return 3;
+  if (bytes <= 256) return 4;
+  return kNumClasses;  // not recycled
+}
+
+void* Vault::allocate(std::size_t bytes, std::size_t alignment) {
+  assert_owner();
+  const std::size_t cls = size_class(bytes);
+  if (cls < kNumClasses && free_lists_[cls] != nullptr &&
+      alignment <= alignof(std::max_align_t)) {
+    void* p = free_lists_[cls];
+    std::memcpy(&free_lists_[cls], p, sizeof(void*));
+    used_ += bytes;
+    return p;
+  }
+  // Bump allocation; free-listed classes round up so recycled blocks fit any
+  // request of the same class. Alignment applies to the absolute address,
+  // not the arena offset (the arena base is only new[]-aligned).
+  const std::size_t alloc_bytes =
+      cls < kNumClasses ? (std::size_t{16} << cls) : bytes;
+  const auto base = reinterpret_cast<std::uintptr_t>(arena_.get());
+  const std::uintptr_t aligned =
+      (base + bump_ + alignment - 1) & ~(alignment - 1);
+  const std::size_t offset = aligned - base;
+  if (offset + alloc_bytes > capacity_) throw std::bad_alloc();
+  bump_ = offset + alloc_bytes;
+  used_ += bytes;
+  return arena_.get() + offset;
+}
+
+void Vault::deallocate(void* p, std::size_t bytes,
+                       std::size_t alignment) noexcept {
+  assert_owner();
+  if (p == nullptr) return;
+  used_ -= bytes;
+  const std::size_t cls = size_class(bytes);
+  if (cls >= kNumClasses || alignment > alignof(std::max_align_t)) {
+    return;  // large blocks are abandoned to the arena
+  }
+  std::memcpy(p, &free_lists_[cls], sizeof(void*));
+  free_lists_[cls] = p;
+}
+
+}  // namespace pimds::runtime

@@ -1,0 +1,74 @@
+// A PIM vault: a memory partition owned by exactly one PIM core.
+//
+// Per the paper's architecture (Section 2), "a vault can be accessed only by
+// its local PIM core" and PIM cores do not share memory. The emulation
+// enforces this in debug builds: after the owning core thread binds itself,
+// every allocation and free asserts it runs on that thread.
+//
+// Allocation is a bump arena plus per-size-class free lists — single-
+// threaded by construction, so no synchronization is needed (that absence
+// is itself part of what makes PIM data structures simpler, a point the
+// paper emphasizes).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace pimds::runtime {
+
+class Vault {
+ public:
+  Vault(std::size_t vault_id, std::size_t capacity_bytes);
+
+  Vault(const Vault&) = delete;
+  Vault& operator=(const Vault&) = delete;
+
+  std::size_t vault_id() const noexcept { return id_; }
+  std::size_t capacity() const noexcept { return capacity_; }
+  std::size_t bytes_used() const noexcept { return used_; }
+
+  /// Called once by the owning PIM core thread; enables owner assertions.
+  void bind_owner() noexcept { owner_ = std::this_thread::get_id(); }
+
+  /// Raw allocation (throws std::bad_alloc when the vault is exhausted).
+  void* allocate(std::size_t bytes, std::size_t alignment);
+
+  /// Return a block obtained from allocate() to the vault's free list.
+  void deallocate(void* p, std::size_t bytes, std::size_t alignment) noexcept;
+
+  /// Typed helpers.
+  template <typename T, typename... Args>
+  T* create(Args&&... args) {
+    void* p = allocate(sizeof(T), alignof(T));
+    return ::new (p) T(std::forward<Args>(args)...);
+  }
+
+  template <typename T>
+  void destroy(T* p) noexcept {
+    if (p == nullptr) return;
+    p->~T();
+    deallocate(p, sizeof(T), alignof(T));
+  }
+
+ private:
+  void assert_owner() const noexcept;
+  static std::size_t size_class(std::size_t bytes) noexcept;
+
+  std::size_t id_;
+  std::size_t capacity_;
+  std::size_t used_ = 0;
+  std::unique_ptr<std::byte[]> arena_;
+  std::size_t bump_ = 0;
+  // Free lists for 16/32/64/128/256-byte classes; larger blocks are not
+  // recycled (rare in the data structures here).
+  static constexpr std::size_t kNumClasses = 5;
+  void* free_lists_[kNumClasses] = {};
+  std::thread::id owner_{};
+};
+
+}  // namespace pimds::runtime

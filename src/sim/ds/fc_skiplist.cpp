@@ -1,0 +1,64 @@
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/ds/skiplist_common.hpp"
+#include "sim/ds/skiplists.hpp"
+#include "sim/flat_combining.hpp"
+
+namespace pimds::sim {
+
+RunResult run_fc_skiplist(const SkipListConfig& cfg, std::size_t partitions) {
+  Engine engine(cfg.params, cfg.seed);
+
+  // k independent flat-combining skip-lists, one combiner per partition
+  // (Section 4.2: "k combiners are in charge of k partitions").
+  std::vector<std::unique_ptr<SimSkipList>> lists;
+  using Combiner = SimFlatCombiner<std::pair<SetOp, std::uint64_t>, bool>;
+  std::vector<std::unique_ptr<Combiner>> combiners;
+  for (std::size_t i = 0; i < partitions; ++i) {
+    lists.push_back(std::make_unique<SimSkipList>(
+        partition_sentinel(i, cfg.key_range, partitions)));
+    combiners.push_back(std::make_unique<Combiner>());
+  }
+  Xoshiro256 setup(cfg.seed ^ 0x5eedULL);
+  std::size_t total_size = 0;
+  while (total_size < cfg.initial_size) {
+    const std::uint64_t key = setup.next_in(1, cfg.key_range);
+    SimSkipList& part = *lists[partition_of(key, cfg.key_range, partitions)];
+    if (part.insert_for_setup(setup, key)) ++total_size;
+  }
+
+  std::uint64_t total_ops = 0;
+  for (std::size_t i = 0; i < cfg.num_cpus; ++i) {
+    engine.spawn("cpu" + std::to_string(i), [&](Context& ctx) {
+      std::uint64_t ops = 0;
+      while (ctx.now() < cfg.duration_ns) {
+        const SetOp op = pick_op(ctx.rng(), cfg.mix);
+        const std::uint64_t key = ctx.rng().next_in(1, cfg.key_range);
+        const std::size_t p = partition_of(key, cfg.key_range, partitions);
+        SimSkipList& list = *lists[p];
+        // No combining optimization for skip-lists (Section 4.2: distant
+        // keys share no traversal prefix); the combiner executes requests
+        // one by one.
+        combiners[p]->submit(
+            ctx, {op, key},
+            [&list](Context& cctx, std::vector<Combiner::Pending>& batch) {
+              for (auto& pending : batch) {
+                const bool r =
+                    list.execute(cctx, pending.request.first,
+                                 pending.request.second, MemClass::kCpuDram);
+                pending.slot->set(cctx, r);
+              }
+            });
+        ++ops;
+      }
+      total_ops += ops;
+    });
+  }
+  engine.run();
+  return {total_ops, cfg.duration_ns};
+}
+
+}  // namespace pimds::sim

@@ -1,0 +1,108 @@
+#include "sim/ds/list_common.hpp"
+
+#include <cassert>
+#include <numeric>
+
+namespace pimds::sim {
+
+void SimList::populate(Xoshiro256& rng, std::size_t target_size,
+                       std::uint64_t key_range) {
+  while (size_ < target_size) {
+    const std::uint64_t key = rng.next_in(1, key_range);
+    Node* prev = head_;
+    Node* curr = head_->next;
+    while (curr != nullptr && curr->key < key) {
+      prev = curr;
+      curr = curr->next;
+    }
+    if (curr != nullptr && curr->key == key) continue;  // distinct keys only
+    prev->next = new Node{key, curr};
+    ++size_;
+  }
+}
+
+void SimList::locate(Context& ctx, std::uint64_t key, MemClass hop_class,
+                     Node*& prev, Node*& curr) {
+  prev = head_;
+  ctx.charge(hop_class);  // reading the head node
+  curr = head_->next;
+  while (curr != nullptr && curr->key < key) {
+    ctx.charge(hop_class);
+    prev = curr;
+    curr = curr->next;
+  }
+}
+
+bool SimList::apply(SetOp op, std::uint64_t key, Node* prev, Node* curr) {
+  const bool present = curr != nullptr && curr->key == key;
+  switch (op) {
+    case SetOp::kContains:
+      return present;
+    case SetOp::kAdd:
+      if (present) return false;
+      prev->next = new Node{key, curr};
+      ++size_;
+      return true;
+    case SetOp::kRemove:
+      if (!present) return false;
+      prev->next = curr->next;
+      delete curr;
+      --size_;
+      return true;
+  }
+  return false;
+}
+
+bool SimList::execute(Context& ctx, SetOp op, std::uint64_t key,
+                      MemClass hop_class) {
+  assert(key >= 1 && "key 0 is reserved for the dummy head");
+  Node* prev = nullptr;
+  Node* curr = nullptr;
+  locate(ctx, key, hop_class, prev, curr);
+  return apply(op, key, prev, curr);
+}
+
+void SimList::execute_combined(
+    Context& ctx, std::vector<std::pair<SetOp, std::uint64_t>>& batch,
+    std::vector<bool>& results, MemClass hop_class) {
+  results.assign(batch.size(), false);
+  // Serve in ascending key order with one traversal; remember original
+  // positions so results land where the callers expect them.
+  std::vector<std::size_t> order(batch.size());
+  std::iota(order.begin(), order.end(), 0);
+  // Stable: requests with equal keys are served in arrival order.
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return batch[a].second < batch[b].second;
+                   });
+
+  Node* prev = head_;
+  ctx.charge(hop_class);
+  Node* curr = head_->next;
+  for (const std::size_t idx : order) {
+    const auto [op, key] = batch[idx];
+    assert(key >= 1);
+    while (curr != nullptr && curr->key < key) {
+      ctx.charge(hop_class);
+      prev = curr;
+      curr = curr->next;
+    }
+    results[idx] = apply(op, key, prev, curr);
+    // apply() may have inserted or removed at the cursor: re-establish curr
+    // as prev->next. It is again the first node with key >= the served key
+    // (an inserted node carries exactly that key), so duplicate keys later
+    // in the batch are adjudicated correctly.
+    curr = prev->next;
+  }
+}
+
+std::vector<std::uint64_t> SimList::keys() const {
+  std::vector<std::uint64_t> out;
+  out.reserve(size_);
+  for (const Node* n = head_->next; n != nullptr; n = n->next) {
+    out.push_back(n->key);
+  }
+  return out;
+}
+
+}  // namespace pimds::sim

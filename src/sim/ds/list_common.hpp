@@ -1,0 +1,77 @@
+// Shared sorted singly-linked list used by the simulated linked-list
+// experiments (Section 4.1).
+//
+// The structure itself is plain (non-atomic): the simulator is single-OS-
+// threaded and actors only touch it inside their scheduled slice. What the
+// experiments measure is the *virtual-time cost* of traversals, charged per
+// next-pointer dereference at the latency class of whoever is traversing
+// (CPU: Lcpu, PIM core: Lpim).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/latency.hpp"
+#include "common/rng.hpp"
+#include "sim/engine.hpp"
+#include "sim/workload.hpp"
+
+namespace pimds::sim {
+
+class SimList {
+ public:
+  SimList() : head_(new Node{0, nullptr}) {}
+  ~SimList() {
+    Node* n = head_;
+    while (n != nullptr) {
+      Node* next = n->next;
+      delete n;
+      n = next;
+    }
+  }
+
+  SimList(const SimList&) = delete;
+  SimList& operator=(const SimList&) = delete;
+
+  /// Populate with distinct keys drawn uniformly from [1, key_range] until
+  /// the list holds `target_size` nodes. No latency charged (setup phase).
+  void populate(Xoshiro256& rng, std::size_t target_size,
+                std::uint64_t key_range);
+
+  /// Execute one operation, charging `hop_class` per next-pointer
+  /// dereference on `ctx`. Returns the operation's boolean result.
+  bool execute(Context& ctx, SetOp op, std::uint64_t key, MemClass hop_class);
+
+  /// Execute a whole batch in ONE traversal (the combining optimization of
+  /// Section 4.1): requests are served in ascending key order, so the
+  /// traversal walks only as far as the largest key in the batch.
+  /// `results[i]` receives the outcome of `batch[i]` (original order).
+  void execute_combined(Context& ctx,
+                        std::vector<std::pair<SetOp, std::uint64_t>>& batch,
+                        std::vector<bool>& results, MemClass hop_class);
+
+  std::size_t size() const noexcept { return size_; }
+
+  /// Test hook: keys in order.
+  std::vector<std::uint64_t> keys() const;
+
+ private:
+  struct Node {
+    std::uint64_t key;
+    Node* next;
+  };
+
+  /// Walk until `curr` is the first node with key >= `key`; `prev` trails.
+  /// Charges one `hop_class` access per dereference.
+  void locate(Context& ctx, std::uint64_t key, MemClass hop_class, Node*& prev,
+              Node*& curr);
+
+  bool apply(SetOp op, std::uint64_t key, Node* prev, Node* curr);
+
+  Node* head_;  // dummy head with key 0 (operation keys are >= 1)
+  std::size_t size_ = 0;
+};
+
+}  // namespace pimds::sim

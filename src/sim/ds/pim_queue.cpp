@@ -1,0 +1,275 @@
+// Simulated PIM-managed FIFO queue: a faithful rendition of Algorithm 1,
+// including segment hand-off between PIM cores, CPU retry on rejection, and
+// response pipelining (Figure 6).
+#include <cassert>
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/ds/queues.hpp"
+#include "sim/mailbox.hpp"
+#include "sim/sync.hpp"
+
+namespace pimds::sim {
+
+namespace {
+
+struct Segment {
+  std::deque<std::uint64_t> nodes;
+  std::uint64_t enq_count = 0;  ///< total ever enqueued (threshold check)
+  std::size_t next_seg_cid = ~std::size_t{0};
+};
+
+struct Reply {
+  bool accepted = false;   ///< false => wrong core, CPU must resend
+  bool has_value = false;  ///< dequeue: a node was returned
+  std::uint64_t value = 0;
+};
+
+struct QMsg {
+  enum class Kind : std::uint8_t { kEnq, kDeq, kNewEnqSeg, kNewDeqSeg, kStop };
+  Kind kind = Kind::kStop;
+  std::uint64_t value = 0;
+  SimSlot<Reply>* reply = nullptr;
+};
+
+/// CPU-visible directory of which core currently owns each special segment.
+/// Stands in for the paper's notification broadcast: cores update it when
+/// they take ownership; CPUs consult it after a rejection. It may be stale,
+/// which is exactly the race the rejection path exists to absorb.
+struct Directory {
+  std::size_t enq_cid = 0;
+  std::size_t deq_cid = 0;
+};
+
+struct Vault {
+  Mailbox<QMsg> inbox;
+  std::deque<std::shared_ptr<Segment>> seg_queue;
+  std::shared_ptr<Segment> enq_seg;
+  std::shared_ptr<Segment> deq_seg;
+};
+
+}  // namespace
+
+PimQueueResult run_pim_queue(const QueueConfig& cfg,
+                             const PimQueueOptions& opts) {
+  Engine engine(cfg.params, cfg.seed);
+  const std::size_t k = opts.num_vaults;
+  assert(k >= 1);
+  const double msg_ns = cfg.params.message();
+  const std::size_t total_cpus = cfg.enqueuers + cfg.dequeuers;
+
+  std::vector<std::unique_ptr<Vault>> vaults;
+  for (std::size_t v = 0; v < k; ++v) vaults.push_back(std::make_unique<Vault>());
+
+  Directory directory;
+  PimQueueResult result;
+
+  // Pre-fill: materialize the state Algorithm 1 would have reached after
+  // `initial_nodes` enqueues — a chain of segments round-robined over the
+  // vaults, each below the threshold, with next_seg_cid links in place.
+  {
+    const std::uint64_t cap = opts.segment_threshold;
+    std::size_t remaining = cfg.initial_nodes;
+    std::uint64_t next_value = 0;
+    std::size_t core = 0;
+    std::shared_ptr<Segment> prev;
+    bool first = true;
+    do {
+      auto seg = std::make_shared<Segment>();
+      const std::size_t take =
+          remaining < cap ? remaining : static_cast<std::size_t>(cap);
+      for (std::size_t i = 0; i < take; ++i) seg->nodes.push_back(next_value++);
+      seg->enq_count = take;
+      remaining -= take;
+      if (prev) prev->next_seg_cid = core;
+      if (first) {
+        // Oldest segment: already the dequeue segment, so NOT in seg_queue
+        // (newDeqSeg pops segments out of seg_queue when they take the role).
+        vaults[core]->deq_seg = seg;
+        directory.deq_cid = core;
+        first = false;
+      } else {
+        vaults[core]->seg_queue.push_back(seg);
+      }
+      vaults[core]->enq_seg = nullptr;
+      prev = seg;
+      if (remaining > 0) core = (core + 1) % k;
+    } while (remaining > 0);
+    // Youngest segment doubles as the enqueue segment.
+    vaults[core]->enq_seg = prev;
+    directory.enq_cid = core;
+  }
+
+  for (std::size_t v = 0; v < k; ++v) {
+    engine.spawn("pim-core" + std::to_string(v), [&, v](Context& ctx) {
+      Vault& vault = *vaults[v];
+      std::size_t stopped = 0;
+      // Non-enqueue messages picked up while draining an enqueue batch
+      // (Section 5.1 fat-node combining) are replayed in arrival order.
+      std::deque<QMsg> replay;
+      while (stopped < total_cpus) {
+        QMsg m;
+        if (!replay.empty()) {
+          m = replay.front();
+          replay.pop_front();
+        } else {
+          m = vault.inbox.recv(ctx);
+        }
+        switch (m.kind) {
+          case QMsg::Kind::kEnq: {
+            if (!vault.enq_seg) {
+              m.reply->set(ctx, Reply{false, false, 0}, msg_ns);
+              break;
+            }
+            std::size_t appended = 1;
+            if (opts.enqueue_combining) {
+              // Drain every already-delivered enqueue into one fat node;
+              // anything else goes to the replay queue.
+              std::vector<QMsg> batch{m};
+              while (auto more = vault.inbox.try_recv(ctx)) {
+                if (more->kind == QMsg::Kind::kEnq) {
+                  batch.push_back(*more);
+                } else {
+                  replay.push_back(*more);
+                }
+              }
+              appended = batch.size();
+              // One memory access per cache-line-sized array of values.
+              ctx.charge(MemClass::kPimLocal,
+                         (appended + opts.fat_node_capacity - 1) /
+                             opts.fat_node_capacity);
+              for (const QMsg& e : batch) {
+                vault.enq_seg->nodes.push_back(e.value);
+                e.reply->set(ctx, Reply{true, false, 0}, msg_ns);
+              }
+            } else {
+              // Append the node: one local memory access; the two L1
+              // accesses for head/tail bookkeeping are the epsilon the
+              // paper neglects.
+              ctx.charge(MemClass::kPimLocal);
+              vault.enq_seg->nodes.push_back(m.value);
+              m.reply->set(ctx, Reply{true, false, 0}, msg_ns);
+            }
+            vault.enq_seg->enq_count += appended;
+            result.enq_ops += appended;
+            if (vault.deq_seg) result.co_resident_ops += appended;
+            if (!opts.pipelining) ctx.advance(msg_ns);
+            if (vault.enq_seg->enq_count > opts.segment_threshold) {
+              std::size_t next = (v + 1) % k;
+              if (opts.placement == SegmentPlacement::kAvoidDequeueCore &&
+                  k > 1 && next == directory.deq_cid) {
+                next = (next + 1) % k;
+              } else if (opts.placement ==
+                             SegmentPlacement::kOppositeDequeueCore &&
+                         k > 1) {
+                next = (directory.deq_cid + k / 2) % k;
+                if (next == directory.deq_cid) next = (next + 1) % k;
+              }
+              vault.enq_seg->next_seg_cid = next;
+              vaults[next]->inbox.send(
+                  ctx, QMsg{QMsg::Kind::kNewEnqSeg, 0, nullptr});
+              vault.enq_seg = nullptr;
+            }
+            break;
+          }
+          case QMsg::Kind::kNewEnqSeg: {
+            auto seg = std::make_shared<Segment>();
+            vault.seg_queue.push_back(seg);
+            vault.enq_seg = seg;
+            ctx.charge(MemClass::kPimLocal);  // allocation bookkeeping
+            directory.enq_cid = v;            // notify the CPUs
+            ++result.segments_created;
+            break;
+          }
+          case QMsg::Kind::kDeq: {
+            if (!vault.deq_seg) {
+              m.reply->set(ctx, Reply{false, false, 0}, msg_ns);
+              break;
+            }
+            if (!vault.deq_seg->nodes.empty()) {
+              ctx.charge(MemClass::kPimLocal);  // read the node
+              const std::uint64_t value = vault.deq_seg->nodes.front();
+              vault.deq_seg->nodes.pop_front();
+              ++result.deq_ops;
+              if (vault.enq_seg) ++result.co_resident_ops;
+              m.reply->set(ctx, Reply{true, true, value}, msg_ns);
+              if (!opts.pipelining) ctx.advance(msg_ns);
+            } else if (vault.deq_seg == vault.enq_seg) {
+              // Single-segment case: the queue really is empty.
+              m.reply->set(ctx, Reply{true, false, 0}, msg_ns);
+              ++result.empty_dequeues;
+              ++result.deq_ops;
+            } else {
+              // This segment is exhausted; pass the dequeue role to the
+              // core that created the next segment (Algorithm 1 line 33).
+              const std::size_t next = vault.deq_seg->next_seg_cid;
+              assert(next < k && "exhausted segment has no successor");
+              vaults[next]->inbox.send(
+                  ctx, QMsg{QMsg::Kind::kNewDeqSeg, 0, nullptr});
+              vault.deq_seg = nullptr;
+              m.reply->set(ctx, Reply{false, false, 0}, msg_ns);
+            }
+            break;
+          }
+          case QMsg::Kind::kNewDeqSeg: {
+            // FIFO channel delivery guarantees the matching newEnqSeg (sent
+            // earlier on the same core-to-core channel) was processed first.
+            assert(!vault.seg_queue.empty());
+            vault.deq_seg = vault.seg_queue.front();
+            vault.seg_queue.pop_front();
+            directory.deq_cid = v;
+            break;
+          }
+          case QMsg::Kind::kStop:
+            ++stopped;
+            break;
+        }
+      }
+    });
+  }
+
+  std::uint64_t total_ops = 0;
+  const auto spawn_cpu = [&](std::string name, bool is_enq) {
+    engine.spawn(std::move(name), [&, is_enq](Context& ctx) {
+      std::uint64_t ops = 0;
+      SimSlot<Reply> reply;
+      while (ctx.now() < cfg.duration_ns) {
+        const Time issued = ctx.now();
+        for (;;) {
+          const std::size_t target =
+              is_enq ? directory.enq_cid : directory.deq_cid;
+          const QMsg::Kind kind =
+              is_enq ? QMsg::Kind::kEnq : QMsg::Kind::kDeq;
+          vaults[target]->inbox.send(ctx,
+                                     QMsg{kind, ctx.rng().next(), &reply});
+          const Reply r = reply.await(ctx);
+          if (r.accepted) break;
+          ++result.rejections;  // stale directory: re-read and resend
+        }
+        if (cfg.latency_sink_ns != nullptr) {
+          cfg.latency_sink_ns->push_back(
+              static_cast<double>(ctx.now() - issued));
+        }
+        ++ops;
+      }
+      for (std::size_t v = 0; v < k; ++v) {
+        vaults[v]->inbox.send(ctx, QMsg{QMsg::Kind::kStop, 0, nullptr});
+      }
+      total_ops += ops;
+    });
+  };
+  for (std::size_t i = 0; i < cfg.enqueuers; ++i) {
+    spawn_cpu("enq" + std::to_string(i), true);
+  }
+  for (std::size_t i = 0; i < cfg.dequeuers; ++i) {
+    spawn_cpu("deq" + std::to_string(i), false);
+  }
+
+  engine.run();
+  result.run = {total_ops, cfg.duration_ns};
+  return result;
+}
+
+}  // namespace pimds::sim

@@ -1,0 +1,372 @@
+// Simulated PIM skip-list with the full Section 4.2.1 node-migration
+// protocol, driven by a Zipf-skewed workload and an online rebalancer.
+//
+// Protocol fidelity mirrors core/pim_skiplist.cpp:
+//  - the migration source serves not-yet-migrated keys locally and
+//    forwards already-migrated keys to the target on the same channel as
+//    the kMigNode stream (per-channel FIFO makes the forward safe);
+//  - the target defers direct requests for the incoming range until
+//    kMigEnd, so they cannot overtake in-flight kMigNode messages;
+//  - the source updates the CPU-visible directory BEFORE sending kMigEnd
+//    (the paper notifies the CPUs first), so a post-migration request at
+//    the source is simply rejected and re-routed.
+#include <algorithm>
+#include <cassert>
+#include <deque>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/zipf.hpp"
+#include "sim/ds/skiplist_common.hpp"
+#include "sim/ds/skiplists.hpp"
+#include "sim/mailbox.hpp"
+#include "sim/sync.hpp"
+
+namespace pimds::sim {
+
+namespace {
+
+struct Reply {
+  bool accepted = false;
+  bool result = false;
+};
+
+struct Msg {
+  enum class Kind : std::uint8_t {
+    kOp,
+    kMigStart,
+    kMigBegin,
+    kMigNode,
+    kMigEnd,
+    kFwdOp,
+    kStop,
+  };
+  Kind kind = Kind::kStop;
+  SetOp op = SetOp::kContains;
+  std::uint64_t key = 0;
+  std::uint64_t hi = 0;      ///< kMigStart / kMigBegin: range end
+  std::size_t peer = 0;      ///< kMigStart: target vault
+  SimSlot<Reply>* reply = nullptr;
+};
+
+struct Migration {
+  bool active = false;
+  bool outgoing = false;
+  std::uint64_t lo = 0;
+  std::uint64_t hi = 0;
+  std::size_t peer = 0;
+  std::uint64_t cursor = 0;
+};
+
+struct Directory {
+  std::vector<std::pair<std::uint64_t, std::size_t>> entries;  // sorted
+
+  std::size_t route(std::uint64_t key) const {
+    auto it = std::upper_bound(
+        entries.begin(), entries.end(), key,
+        [](std::uint64_t k, const auto& e) { return k < e.first; });
+    assert(it != entries.begin());
+    return (it - 1)->second;
+  }
+
+  std::uint64_t end_of(std::uint64_t key) const {
+    auto it = std::upper_bound(
+        entries.begin(), entries.end(), key,
+        [](std::uint64_t k, const auto& e) { return k < e.first; });
+    return it == entries.end() ? ~std::uint64_t{0} : it->first;
+  }
+
+  void move_range(std::uint64_t split, std::size_t vault) {
+    auto it = std::upper_bound(
+        entries.begin(), entries.end(), split,
+        [](std::uint64_t k, const auto& e) { return k < e.first; });
+    --it;
+    if (it->first == split) {
+      it->second = vault;
+    } else {
+      entries.insert(it + 1, {split, vault});
+    }
+  }
+};
+
+struct SimVault {
+  std::unique_ptr<SimSkipList> list;
+  Mailbox<Msg> inbox;
+  Migration mig;
+  std::deque<Msg> deferred;
+  /// Target-side fingers: kMigNode keys arrive ascending, so inserts are
+  /// amortized O(1) (the dual of the source's amortized extraction).
+  SimSkipList::InsertCursor incoming_cursor;
+  std::uint64_t requests = 0;
+};
+
+}  // namespace
+
+RebalanceResult run_pim_skiplist_rebalance(const RebalanceConfig& cfg) {
+  Engine engine(cfg.params, cfg.seed);
+  const std::size_t k = cfg.partitions;
+  const double msg_ns = cfg.params.message();
+  RebalanceResult result;
+
+  Directory dir;
+  std::vector<std::unique_ptr<SimVault>> vaults;
+  for (std::size_t v = 0; v < k; ++v) {
+    dir.entries.push_back({1 + v * cfg.key_range / k, v});
+    auto vault = std::make_unique<SimVault>();
+    // Global-minimum sentinel: migrations may hand any vault any range.
+    vault->list = std::make_unique<SimSkipList>(0);
+    vaults.push_back(std::move(vault));
+  }
+  {
+    Xoshiro256 setup(cfg.seed ^ 0xfeedULL);
+    std::size_t total = 0;
+    while (total < cfg.initial_size) {
+      const std::uint64_t key = setup.next_in(1, cfg.key_range);
+      if (vaults[dir.route(key)]->list->insert_for_setup(setup, key)) {
+        ++total;
+      }
+    }
+  }
+
+  bool migration_busy = false;  // the Section 4.2.1 one-at-a-time guard
+  std::int64_t net_adds = 0;    // successful adds minus successful removes
+
+  const auto execute_and_reply = [&](Context& ctx, SimVault& vault,
+                                     const Msg& m) {
+    ++vault.requests;
+    const bool r = vault.list->execute(ctx, m.op, m.key, MemClass::kPimLocal);
+    if (r && m.op == SetOp::kAdd) ++net_adds;
+    if (r && m.op == SetOp::kRemove) --net_adds;
+    m.reply->set(ctx, Reply{true, r}, msg_ns);
+  };
+
+  // Returns true when it did migration work.
+  const auto step_migration = [&](Context& ctx, std::size_t v) -> bool {
+    SimVault& vault = *vaults[v];
+    Migration& mig = vault.mig;
+    for (std::size_t moved = 0; moved < cfg.migrate_chunk; ++moved) {
+      const auto key = vault.list->first_at_least(mig.cursor);
+      if (!key.has_value() || *key >= mig.hi) {
+        dir.move_range(mig.lo, mig.peer);  // redirect the CPUs first
+        mig.active = false;
+        Msg end;
+        end.kind = Msg::Kind::kMigEnd;
+        vaults[mig.peer]->inbox.send(ctx, end);
+        return true;
+      }
+      vault.list->extract_first_at_least(ctx, mig.cursor, MemClass::kPimLocal);
+      ++result.migrated_keys;
+      Msg node;
+      node.kind = Msg::Kind::kMigNode;
+      node.key = *key;
+      vaults[mig.peer]->inbox.send(ctx, node);
+      mig.cursor = *key + 1;
+    }
+    return true;
+  };
+
+  const std::size_t total_cpus = cfg.num_cpus;
+  for (std::size_t v = 0; v < k; ++v) {
+    engine.spawn("pim-core" + std::to_string(v), [&, v](Context& ctx) {
+      SimVault& vault = *vaults[v];
+      std::size_t stopped = 0;
+      // One extra stop comes from the rebalancer actor.
+      while (stopped < total_cpus + 1) {
+        Msg m;
+        if (vault.mig.active && vault.mig.outgoing) {
+          // Keep the migration moving even while requests arrive.
+          auto polled = vault.inbox.try_recv(ctx);
+          if (!polled.has_value()) {
+            step_migration(ctx, v);
+            continue;
+          }
+          m = *polled;
+        } else {
+          m = vault.inbox.recv(ctx);
+        }
+        switch (m.kind) {
+          case Msg::Kind::kOp: {
+            const Migration& mig = vault.mig;
+            if (mig.active && m.key >= mig.lo && m.key < mig.hi) {
+              if (mig.outgoing) {
+                if (m.key >= mig.cursor) {
+                  execute_and_reply(ctx, vault, m);
+                } else {
+                  Msg fwd = m;
+                  fwd.kind = Msg::Kind::kFwdOp;
+                  vaults[mig.peer]->inbox.send(ctx, fwd);
+                  ++result.forwarded;
+                }
+              } else {
+                vault.deferred.push_back(m);
+                ++result.deferred;
+              }
+              break;
+            }
+            if (dir.route(m.key) != v) {
+              m.reply->set(ctx, Reply{false, false}, msg_ns);
+              ++result.rejections;
+              break;
+            }
+            execute_and_reply(ctx, vault, m);
+            break;
+          }
+          case Msg::Kind::kFwdOp:
+            execute_and_reply(ctx, vault, m);
+            break;
+          case Msg::Kind::kMigStart: {
+            if (vault.mig.active || dir.route(m.key) != v) {
+              m.reply->set(ctx, Reply{false, false}, msg_ns);
+              break;
+            }
+            vault.mig = Migration{true, true, m.key, m.hi, m.peer, m.key};
+            Msg begin;
+            begin.kind = Msg::Kind::kMigBegin;
+            begin.key = m.key;
+            begin.hi = m.hi;
+            begin.peer = v;
+            vaults[m.peer]->inbox.send(ctx, begin);
+            m.reply->set(ctx, Reply{true, true}, msg_ns);
+            break;
+          }
+          case Msg::Kind::kMigBegin:
+            assert(!vault.mig.active);
+            vault.mig = Migration{true, false, m.key, m.hi, m.peer, m.key};
+            vault.incoming_cursor = SimSkipList::InsertCursor{};
+            break;
+          case Msg::Kind::kMigNode:
+            vault.list->insert_ascending(ctx, vault.incoming_cursor, m.key,
+                                         MemClass::kPimLocal);
+            break;
+          case Msg::Kind::kMigEnd: {
+            assert(vault.mig.active && !vault.mig.outgoing);
+            vault.mig.active = false;
+            std::deque<Msg> pending;
+            pending.swap(vault.deferred);
+            for (const Msg& req : pending) execute_and_reply(ctx, vault, req);
+            migration_busy = false;
+            break;
+          }
+          case Msg::Kind::kStop:
+            ++stopped;
+            break;
+        }
+        if (vault.mig.active && vault.mig.outgoing) step_migration(ctx, v);
+      }
+    });
+  }
+
+  // CPU clients with a Zipf-skewed key stream (rank 0 -> key 1: vault 0 is
+  // the hot spot).
+  const Time third = cfg.duration_ns / 3;
+  std::uint64_t before_ops = 0;
+  std::uint64_t after_ops = 0;
+  for (std::size_t i = 0; i < cfg.num_cpus; ++i) {
+    engine.spawn("cpu" + std::to_string(i), [&](Context& ctx) {
+      ZipfGenerator zipf(cfg.key_range, cfg.zipf_theta);
+      SimSlot<Reply> reply;
+      while (ctx.now() < cfg.duration_ns) {
+        const std::uint64_t key = zipf.next(ctx.rng()) + 1;
+        const SetOp op = pick_op(ctx.rng(), cfg.mix);
+        for (;;) {
+          Msg m;
+          m.kind = Msg::Kind::kOp;
+          m.op = op;
+          m.key = key;
+          m.reply = &reply;
+          vaults[dir.route(key)]->inbox.send(ctx, m);
+          if (reply.await(ctx).accepted) break;
+        }
+        if (ctx.now() < third) {
+          ++before_ops;
+        } else if (ctx.now() >= 2 * third) {
+          ++after_ops;
+        }
+      }
+      for (std::size_t v = 0; v < k; ++v) {
+        Msg stop;
+        stop.kind = Msg::Kind::kStop;
+        vaults[v]->inbox.send(ctx, stop);
+      }
+    });
+  }
+
+  // The rebalancer: at t = duration/3, split the workload's quartiles off
+  // the hot range, one migration at a time (the Section 4.2.1 guard).
+  engine.spawn("rebalancer", [&](Context& ctx) {
+    if (cfg.rebalance && k > 1) {
+      ctx.advance(static_cast<double>(third));
+      // Quantile estimate of the Zipf mass (operator-side knowledge).
+      Xoshiro256 rng(cfg.seed ^ 0x9a17ULL);
+      ZipfGenerator zipf(cfg.key_range, cfg.zipf_theta);
+      std::vector<std::uint64_t> sample(20000);
+      for (auto& s : sample) s = zipf.next(rng) + 1;
+      std::sort(sample.begin(), sample.end());
+      std::vector<std::uint64_t> splits;
+      for (std::size_t q = 1; q < k; ++q) {
+        std::uint64_t split = sample[q * sample.size() / k];
+        const std::uint64_t prev = splits.empty() ? 1 : splits.back();
+        if (split <= prev) split = prev + 1;
+        splits.push_back(split);
+      }
+      SimSlot<Reply> reply;
+      // Descending split order: each range leaves the hot vault directly
+      // instead of cascading through every intermediate target.
+      for (std::size_t qi = splits.size(); qi-- > 0;) {
+        const std::size_t q = qi;
+        const std::size_t target = q + 1;
+        for (;;) {
+          if (migration_busy) {
+            ctx.advance(50'000);
+            ctx.sync();
+            continue;
+          }
+          ctx.sync();
+          const std::size_t source = dir.route(splits[q]);
+          if (source == target) break;
+          migration_busy = true;
+          Msg m;
+          m.kind = Msg::Kind::kMigStart;
+          m.key = splits[q];
+          m.hi = dir.end_of(splits[q]);
+          m.peer = target;
+          m.reply = &reply;
+          vaults[source]->inbox.send(ctx, m);
+          if (reply.await(ctx).accepted) break;
+          migration_busy = false;
+          ctx.advance(50'000);
+        }
+        // Wait for completion (kMigEnd clears the guard).
+        while (migration_busy) {
+          ctx.advance(50'000);
+          ctx.sync();
+        }
+      }
+    }
+    // Counts as one "stop" so the cores can wind down.
+    for (std::size_t v = 0; v < k; ++v) {
+      Msg stop;
+      stop.kind = Msg::Kind::kStop;
+      vaults[v]->inbox.send(ctx, stop);
+    }
+  });
+
+  engine.run();
+
+  result.before = {before_ops, third};
+  result.after = {after_ops, third};
+  for (const auto& vault : vaults) {
+    result.final_requests_per_vault.push_back(vault->requests);
+  }
+  std::int64_t final_size = 0;
+  for (const auto& vault : vaults) {
+    final_size += static_cast<std::int64_t>(vault->list->size());
+  }
+  result.size_consistent =
+      final_size == static_cast<std::int64_t>(cfg.initial_size) + net_adds;
+  return result;
+}
+
+}  // namespace pimds::sim

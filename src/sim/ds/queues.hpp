@@ -1,0 +1,112 @@
+// Simulated FIFO queue experiments (Section 5, Algorithm 1, Section 5.2).
+//
+// Three queues:
+//   - F&A-based queue [41]: every enqueue/dequeue performs one F&A on a
+//     shared cache line; k concurrent F&As serialize at Latomic each, so
+//     per-side throughput is bounded by 1/Latomic.
+//   - Flat-combining queue [25] with two combiner locks (one for enqueues,
+//     one for dequeues, as in Section 5.2's setup): bounded by 1/(2 Lllc).
+//   - PIM-managed queue (Algorithm 1): per-vault segments, distinct enqueue
+//     and dequeue segments served by different PIM cores, segment hand-off
+//     via newEnqSeg/newDeqSeg messages, CPU retry on rejection, and
+//     response pipelining; per-side throughput approaches 1/Lpim.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/latency.hpp"
+#include "sim/workload.hpp"
+
+namespace pimds::sim {
+
+struct QueueConfig {
+  LatencyParams params = LatencyParams::paper_defaults();
+  std::uint64_t seed = 1;
+  Time duration_ns = 10'000'000;
+  std::size_t enqueuers = 4;
+  std::size_t dequeuers = 4;
+  /// Nodes pre-filled so dequeuers on a "long queue" never observe empty.
+  /// Deliberately NOT a multiple of the default segment threshold, so the
+  /// pre-filled enqueue segment is half full and the enqueue side does not
+  /// hand off at t=0 in phase with the dequeue side.
+  std::size_t initial_nodes = 63 * 1024 + 512;
+  /// Realism flag: also charge the queue-node memory access that the
+  /// paper's F&A / FC analysis deliberately ignores ("we have ignored the
+  /// latency of accessing and modifying queue nodes").
+  bool charge_node_access = false;
+  /// When non-null, every completed operation appends its virtual latency
+  /// (request issue to response consumption, in ns) here. The paper argues
+  /// pipelining buys throughput; the latency distribution shows what each
+  /// design pays per operation to get it.
+  std::vector<double>* latency_sink_ns = nullptr;
+};
+
+/// Where a PIM core creates the next enqueue segment (Algorithm 1 line 14
+/// leaves the choice open; the paper notes richer policies as future work).
+enum class SegmentPlacement : std::uint8_t {
+  /// Strict round-robin. Pathology worth knowing about: because enqueue and
+  /// dequeue roles advance at the same rate (one core per `threshold`
+  /// operations), round-robin can park both roles on the SAME core and keep
+  /// them there — a stable fixed point that serializes the two sides and
+  /// halves throughput. The ablation bench demonstrates this.
+  kRoundRobin,
+  /// Round-robin, but skip the core currently holding the dequeue segment.
+  /// Reduces — but does not eliminate — co-residency: once both roles land
+  /// on the SAME core, the skip condition never fires and they advance in
+  /// lockstep.
+  kAvoidDequeueCore,
+  /// Place each new enqueue segment on the core "opposite" the current
+  /// dequeue core ((deq + k/2) mod k). Self-stabilizing: when the dequeue
+  /// role reaches a segment, the enqueue role is by construction filling a
+  /// segment placed half a ring away, so the two sides stay on distinct
+  /// cores — the Section 5 assumption that enqueues and dequeues proceed in
+  /// parallel. This is the default.
+  kOppositeDequeueCore,
+};
+
+struct PimQueueOptions {
+  std::size_t num_vaults = 4;
+  /// Segment length threshold (Algorithm 1 line 13). A huge threshold keeps
+  /// the queue in the single-segment ("short queue") regime, where one core
+  /// serves both request types and throughput halves (end of Section 5.2).
+  std::uint64_t segment_threshold = 1024;
+  /// Response pipelining (Figure 6). When off, the PIM core stalls for
+  /// Lmessage after each response before serving the next request.
+  bool pipelining = true;
+  SegmentPlacement placement = SegmentPlacement::kOppositeDequeueCore;
+  /// Section 5.1's further optimization: the enqueue core drains every
+  /// already-delivered enqueue request and stores the values as one "fat"
+  /// array node, paying one local memory access per `fat_node_capacity`
+  /// values instead of one per value.
+  bool enqueue_combining = false;
+  std::size_t fat_node_capacity = 8;  ///< values per cache-line array node
+};
+
+RunResult run_faa_queue(const QueueConfig& cfg);
+/// Flat-combining queue. The paper's Section 5.2 variant uses TWO combiner
+/// locks (enqueues and dequeues in parallel); `single_lock` switches to the
+/// original one-lock flat-combining queue for the ablation.
+RunResult run_fc_queue(const QueueConfig& cfg, bool single_lock = false);
+/// Extra baseline (not in the paper's tables): CAS-retry Michael-Scott
+/// queue, which degrades under contention — the reason the paper compares
+/// against the F&A queue as the strongest CPU FIFO.
+RunResult run_ms_queue(const QueueConfig& cfg);
+
+struct PimQueueResult {
+  RunResult run;
+  std::uint64_t rejections = 0;        ///< requests that had to be resent
+  std::uint64_t segments_created = 0;  ///< newEnqSeg activations
+  std::uint64_t empty_dequeues = 0;    ///< dequeues that found the queue empty
+  /// Ops served by a core holding BOTH special segments (the serialized
+  /// regime; see SegmentPlacement::kRoundRobin).
+  std::uint64_t co_resident_ops = 0;
+  std::uint64_t enq_ops = 0;  ///< accepted enqueues
+  std::uint64_t deq_ops = 0;  ///< accepted dequeues (incl. empty results)
+};
+
+PimQueueResult run_pim_queue(const QueueConfig& cfg,
+                             const PimQueueOptions& opts);
+
+}  // namespace pimds::sim

@@ -1,0 +1,241 @@
+#include "sim/ds/skiplist_common.hpp"
+
+#include <cassert>
+
+namespace pimds::sim {
+
+SimSkipList::SimSkipList(std::uint64_t sentinel_key) {
+  head_ = new Node{sentinel_key,
+                   std::vector<Node*>(static_cast<std::size_t>(kMaxHeight),
+                                      nullptr)};
+}
+
+SimSkipList::~SimSkipList() {
+  Node* n = head_;
+  while (n != nullptr) {
+    Node* next = n->next[0];
+    delete n;
+    n = next;
+  }
+}
+
+int SimSkipList::random_height(Xoshiro256& rng) const {
+  int h = 1;
+  while (h < kMaxHeight && rng.next_bool(0.5)) ++h;
+  return h;
+}
+
+void SimSkipList::insert_internal(Xoshiro256& rng, std::uint64_t key) {
+  std::vector<Node*> preds(kMaxHeight, head_);
+  Node* pred = head_;
+  for (int lvl = kMaxHeight - 1; lvl >= 0; --lvl) {
+    Node* curr = pred->next[lvl];
+    while (curr != nullptr && curr->key < key) {
+      pred = curr;
+      curr = curr->next[lvl];
+    }
+    preds[lvl] = pred;
+  }
+  Node* at = preds[0]->next[0];
+  if (at != nullptr && at->key == key) return;  // distinct keys only
+  const int height = random_height(rng);
+  Node* node = new Node{key, std::vector<Node*>(
+                                 static_cast<std::size_t>(height), nullptr)};
+  for (int lvl = 0; lvl < height; ++lvl) {
+    node->next[lvl] = preds[lvl]->next[lvl];
+    preds[lvl]->next[lvl] = node;
+  }
+  ++size_;
+}
+
+void SimSkipList::populate(Xoshiro256& rng, std::size_t target_size,
+                           std::uint64_t lo, std::uint64_t hi) {
+  while (size_ < target_size) {
+    insert_internal(rng, rng.next_in(lo, hi));
+  }
+}
+
+bool SimSkipList::insert_for_setup(Xoshiro256& rng, std::uint64_t key) {
+  const std::size_t before = size_;
+  insert_internal(rng, key);
+  return size_ != before;
+}
+
+std::optional<std::uint64_t> SimSkipList::extract_first_at_least(
+    Context& ctx, std::uint64_t key, MemClass hop_class) {
+  std::vector<Node*> preds(kMaxHeight, head_);
+  Node* pred = head_;
+  for (int lvl = kMaxHeight - 1; lvl >= 0; --lvl) {
+    Node* curr = pred->next[lvl];
+    while (curr != nullptr && curr->key < key) {
+      pred = curr;
+      curr = curr->next[lvl];
+    }
+    preds[lvl] = pred;
+  }
+  Node* victim = preds[0]->next[0];
+  if (victim == nullptr) return std::nullopt;
+  for (int lvl = 0; lvl < static_cast<int>(victim->next.size()); ++lvl) {
+    if (preds[lvl]->next[lvl] == victim) {
+      preds[lvl]->next[lvl] = victim->next[lvl];
+    }
+  }
+  const std::uint64_t out = victim->key;
+  delete victim;
+  --size_;
+  ++mutation_epoch_;
+  ctx.charge(hop_class, 2);  // amortized sweep cost (see header)
+  return out;
+}
+
+bool SimSkipList::insert_ascending(Context& ctx, InsertCursor& cursor,
+                                   std::uint64_t key, MemClass hop_class) {
+  auto** preds = reinterpret_cast<Node**>(cursor.preds_);
+  std::uint64_t steps = 0;
+  if (!cursor.valid || cursor.epoch != mutation_epoch_) {
+    // (Re-)seed the fingers with one full search.
+    Node* pred = head_;
+    int top = kMaxHeight - 1;
+    while (top > 0 && head_->next[top] == nullptr) --top;
+    for (int lvl = kMaxHeight - 1; lvl > top; --lvl) preds[lvl] = head_;
+    for (int lvl = top; lvl >= 0; --lvl) {
+      Node* curr = pred->next[lvl];
+      ++steps;
+      while (curr != nullptr && curr->key < key) {
+        pred = curr;
+        curr = curr->next[lvl];
+        ++steps;
+      }
+      preds[lvl] = pred;
+    }
+    cursor.valid = true;
+  } else {
+    // Advance the fingers monotonically; total movement over a whole
+    // migration is one bottom-level walk, so per-insert cost is O(1)
+    // amortized plus the tower links.
+    for (int lvl = kMaxHeight - 1; lvl >= 0; --lvl) {
+      Node* pred = preds[lvl];
+      Node* curr = pred->next[lvl];
+      while (curr != nullptr && curr->key < key) {
+        pred = curr;
+        curr = curr->next[lvl];
+        ++steps;
+      }
+      preds[lvl] = pred;
+    }
+    ++steps;  // reading the insertion point
+  }
+  Node* at = preds[0]->next[0];
+  if (at != nullptr && at->key == key) {
+    ctx.charge(hop_class, steps);
+    return false;
+  }
+  const int height = random_height(ctx.rng());
+  Node* node = new Node{key, std::vector<Node*>(
+                                 static_cast<std::size_t>(height), nullptr)};
+  for (int lvl = 0; lvl < height; ++lvl) {
+    node->next[lvl] = preds[lvl]->next[lvl];
+    preds[lvl]->next[lvl] = node;
+  }
+  ++size_;
+  steps += static_cast<std::uint64_t>(height);
+  cursor.epoch = mutation_epoch_;  // our own insert does not invalidate us
+  ctx.charge(hop_class, steps);
+  return true;
+}
+
+std::optional<std::uint64_t> SimSkipList::first_at_least(
+    std::uint64_t key) const {
+  const Node* pred = head_;
+  int top = kMaxHeight - 1;
+  while (top > 0 && head_->next[top] == nullptr) --top;
+  for (int lvl = top; lvl >= 0; --lvl) {
+    const Node* curr = pred->next[lvl];
+    while (curr != nullptr && curr->key < key) {
+      pred = curr;
+      curr = curr->next[lvl];
+    }
+  }
+  const Node* found = pred->next[0];
+  if (found == nullptr) return std::nullopt;
+  return found->key;
+}
+
+SimSkipList::Node* SimSkipList::locate(Context& ctx, std::uint64_t key,
+                                       MemClass hop_class,
+                                       std::vector<Node*>& preds) {
+  preds.assign(kMaxHeight, head_);
+  Node* pred = head_;
+  std::uint64_t steps = 0;
+  // Start at the highest level that is actually populated: a real skip-list
+  // tracks its height in a head-resident variable, so probing the empty top
+  // levels costs nothing.
+  int top = kMaxHeight - 1;
+  while (top > 0 && head_->next[top] == nullptr) --top;
+  for (int lvl = top; lvl >= 0; --lvl) {
+    Node* curr = pred->next[lvl];
+    ++steps;  // reading the forward pointer at this level
+    while (curr != nullptr && curr->key < key) {
+      pred = curr;
+      curr = curr->next[lvl];
+      ++steps;
+    }
+    preds[lvl] = pred;
+  }
+  // Charge the whole search at once: the paper's beta counts "nodes an
+  // operation has to access to find the location of its key".
+  ctx.charge(hop_class, steps);
+  steps_ += steps;
+  ++searches_;
+  return preds[0]->next[0];
+}
+
+bool SimSkipList::execute(Context& ctx, SetOp op, std::uint64_t key,
+                          MemClass hop_class) {
+  assert(key > head_->key && "operation key must exceed the sentinel key");
+  std::vector<Node*> preds;
+  Node* found = locate(ctx, key, hop_class, preds);
+  const bool present = found != nullptr && found->key == key;
+  switch (op) {
+    case SetOp::kContains:
+      return present;
+    case SetOp::kAdd: {
+      if (present) return false;
+      ++mutation_epoch_;
+      const int height = random_height(ctx.rng());
+      Node* node = new Node{
+          key, std::vector<Node*>(static_cast<std::size_t>(height), nullptr)};
+      for (int lvl = 0; lvl < height; ++lvl) {
+        node->next[lvl] = preds[lvl]->next[lvl];
+        preds[lvl]->next[lvl] = node;
+      }
+      ++size_;
+      return true;
+    }
+    case SetOp::kRemove: {
+      if (!present) return false;
+      ++mutation_epoch_;
+      for (int lvl = 0;
+           lvl < static_cast<int>(found->next.size()); ++lvl) {
+        if (preds[lvl]->next[lvl] == found) {
+          preds[lvl]->next[lvl] = found->next[lvl];
+        }
+      }
+      delete found;
+      --size_;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<std::uint64_t> SimSkipList::keys() const {
+  std::vector<std::uint64_t> out;
+  out.reserve(size_);
+  for (const Node* n = head_->next[0]; n != nullptr; n = n->next[0]) {
+    out.push_back(n->key);
+  }
+  return out;
+}
+
+}  // namespace pimds::sim

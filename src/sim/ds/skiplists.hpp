@@ -1,0 +1,82 @@
+// Simulated skip-list experiments (Section 4.2, Table 2, Figure 4).
+//
+// Algorithms, as in Table 2:
+//   1. lock-free skip-list                 -> run_lockfree_skiplist
+//   2. flat-combining skip-list            -> run_fc_skiplist(k = 1)
+//   3. PIM-managed skip-list               -> run_pim_skiplist(k = 1)
+//   4. FC skip-list with k partitions      -> run_fc_skiplist(k)
+//   5. PIM skip-list with k partitions     -> run_pim_skiplist(k)
+//
+// Partitioning (Figure 3): the key space [1, N] splits into k contiguous
+// ranges, each with a max-height sentinel pinned at its lower bound; a CPU
+// routes each operation by comparing against the (cached) sentinels.
+#pragma once
+
+#include <cstddef>
+
+#include "sim/workload.hpp"
+
+namespace pimds::sim {
+
+struct SkipListConfig : SimConfig {
+  std::uint64_t key_range = 1u << 17;  ///< N
+  std::size_t initial_size = 16384;    ///< skip-list size
+  SetOpMix mix{};
+  /// Lock-free variant: also charge Latomic per update op. Table 2 ignores
+  /// CAS costs (the paper notes actual lock-free performance "could be even
+  /// worse"); the realism ablation (bench A4) turns this on.
+  bool charge_cas = false;
+};
+
+/// Partition index of `key` among k equal ranges of [1, N].
+constexpr std::size_t partition_of(std::uint64_t key, std::uint64_t n,
+                                   std::size_t k) noexcept {
+  const std::uint64_t idx = (key - 1) * k / n;
+  return idx >= k ? k - 1 : static_cast<std::size_t>(idx);
+}
+
+/// Sentinel key (lower bound, exclusive for operations) of partition i.
+constexpr std::uint64_t partition_sentinel(std::size_t i, std::uint64_t n,
+                                           std::size_t k) noexcept {
+  return i * n / k;
+}
+
+RunResult run_lockfree_skiplist(const SkipListConfig& cfg);
+RunResult run_fc_skiplist(const SkipListConfig& cfg, std::size_t partitions);
+RunResult run_pim_skiplist(const SkipListConfig& cfg, std::size_t partitions);
+
+/// Section 4.2.1 at full scale: the PIM skip-list under a Zipf-skewed
+/// workload, with the non-blocking node-migration protocol (source keeps
+/// serving: not-yet-migrated keys locally, already-migrated keys by
+/// forwarding; target defers racing direct requests until the hand-over
+/// completes; CPUs re-route after rejection).
+struct RebalanceConfig {
+  LatencyParams params = LatencyParams::paper_defaults();
+  std::uint64_t seed = 1;
+  std::size_t num_cpus = 16;
+  std::size_t partitions = 4;
+  std::uint64_t key_range = 1 << 16;
+  std::size_t initial_size = 1 << 15;
+  SetOpMix mix{};
+  double zipf_theta = 0.99;
+  Time duration_ns = 60'000'000;
+  /// When true, a rebalancer actor splits the workload's quartile ranges
+  /// off the hot partition at t = duration/3 (migration chunk below).
+  bool rebalance = true;
+  std::size_t migrate_chunk = 32;
+};
+
+struct RebalanceResult {
+  RunResult before;  ///< ops completed in [0, duration/3)
+  RunResult after;   ///< ops completed in [2*duration/3, duration)
+  std::vector<std::uint64_t> final_requests_per_vault;
+  std::uint64_t migrated_keys = 0;
+  std::uint64_t rejections = 0;
+  std::uint64_t forwarded = 0;
+  std::uint64_t deferred = 0;
+  bool size_consistent = false;  ///< final size == successful adds - removes
+};
+
+RebalanceResult run_pim_skiplist_rebalance(const RebalanceConfig& cfg);
+
+}  // namespace pimds::sim

@@ -1,0 +1,100 @@
+#include "sim/engine.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+#include <utility>
+
+namespace pimds::sim {
+
+Engine::Engine(LatencyParams params, std::uint64_t seed)
+    : params_(params), seed_(seed) {}
+
+Engine::~Engine() = default;
+
+ActorId Engine::spawn(std::string name, std::function<void(Context&)> body) {
+  const auto id = static_cast<ActorId>(actors_.size());
+  Actor actor;
+  actor.name = std::move(name);
+  // Derive per-actor RNG streams from the engine seed so adding an actor
+  // does not perturb the streams of existing ones.
+  SplitMix64 mix(seed_ ^ (0x517cc1b727220a95ULL * (id + 1)));
+  actor.context = std::make_unique<Context>(*this, id, mix.next());
+  Context* ctx = actor.context.get();
+  actor.fiber = std::make_unique<Fiber>(
+      [body = std::move(body), ctx] { body(*ctx); });
+  actors_.push_back(std::move(actor));
+  schedule(id, 0);
+  return id;
+}
+
+void Engine::schedule(ActorId id, Time t) {
+  Actor& actor = actors_[id];
+  actor.state = State::kRunnable;
+  actor.scheduled_seq = next_seq_++;
+  queue_.push(Event{t, actor.scheduled_seq, id});
+}
+
+void Engine::wake_at(ActorId id, Time t) {
+  Actor& actor = actors_[id];
+  assert(actor.state == State::kBlocked && "waking a non-blocked actor");
+  const Time wake = std::max(t, actor.context->local_time_);
+  schedule(id, wake);
+}
+
+void Engine::yield_current(Time wake) {
+  assert(current_ != kNoActor);
+  Actor& actor = actors_[current_];
+  schedule(current_, wake);
+  actor.state = State::kRunnable;
+  actor.fiber->yield_to_resumer();
+}
+
+void Engine::block_current() {
+  assert(current_ != kNoActor);
+  Actor& actor = actors_[current_];
+  actor.state = State::kBlocked;
+  actor.fiber->yield_to_resumer();
+}
+
+void Engine::run() {
+  while (!queue_.empty()) {
+    const Event ev = queue_.top();
+    queue_.pop();
+    Actor& actor = actors_[ev.actor];
+    if (actor.state != State::kRunnable || actor.scheduled_seq != ev.seq) {
+      continue;  // superseded entry
+    }
+    now_ = std::max(now_, ev.time);
+    actor.context->set_time(ev.time);
+    actor.state = State::kRunning;
+    current_ = ev.actor;
+    ++switches_;
+    actor.fiber->resume();
+    current_ = kNoActor;
+    if (actor.fiber->finished()) {
+      actor.state = State::kFinished;
+    }
+    // Otherwise yield_current/block_current already updated the state.
+  }
+  std::string stuck;
+  for (const Actor& actor : actors_) {
+    if (actor.state != State::kFinished) {
+      if (!stuck.empty()) stuck += ", ";
+      stuck += actor.name;
+    }
+  }
+  if (!stuck.empty()) {
+    throw std::runtime_error("sim::Engine deadlock; blocked actors: " + stuck);
+  }
+}
+
+const std::string& Engine::actor_name(ActorId id) const {
+  return actors_[id].name;
+}
+
+void Context::sync() { engine_.yield_current(local_time_); }
+
+void Context::block() { engine_.block_current(); }
+
+}  // namespace pimds::sim

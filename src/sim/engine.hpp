@@ -1,0 +1,155 @@
+// Discrete-event simulation engine with the paper's Section 3 cost model.
+//
+// Every simulated CPU thread and PIM core is an *actor* (a fiber) with its
+// own virtual clock. Pure computation and private memory traffic accumulate
+// on the local clock without a context switch; at every interaction with
+// shared state (locks, contended cache lines, mailboxes, futures) the actor
+// first re-enters the scheduler so that interactions system-wide execute in
+// global virtual-time order. This makes runs deterministic for a given seed
+// and independent of the host's core count.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "common/latency.hpp"
+#include "common/rng.hpp"
+#include "sim/fiber.hpp"
+
+namespace pimds::sim {
+
+/// Virtual nanoseconds.
+using Time = std::uint64_t;
+using ActorId = std::uint32_t;
+inline constexpr ActorId kNoActor = ~ActorId{0};
+
+class Engine;
+
+/// Per-actor handle through which simulated code advances time, charges
+/// model latencies, and reaches synchronization primitives.
+class Context {
+ public:
+  Context(Engine& engine, ActorId id, std::uint64_t seed)
+      : engine_(engine), id_(id), rng_(seed) {}
+
+  Engine& engine() noexcept { return engine_; }
+  ActorId id() const noexcept { return id_; }
+  Time now() const noexcept { return local_time_; }
+  Xoshiro256& rng() noexcept { return rng_; }
+
+  /// Accumulate `ns` of local virtual time (no scheduler interaction).
+  void advance(double ns) noexcept {
+    fractional_ += ns;
+    const auto whole = static_cast<Time>(fractional_);
+    local_time_ += whole;
+    fractional_ -= static_cast<double>(whole);
+  }
+
+  /// Charge `count` accesses of latency class `c` (Section 3 model).
+  void charge(MemClass c, std::uint64_t count = 1) noexcept;
+
+  /// Re-enter the scheduler at the current local time. On return this actor
+  /// is the globally earliest, so it may touch shared simulation state.
+  void sync();
+
+  /// Block until another actor wakes this one (via Engine::wake_at).
+  void block();
+
+  /// Jump the local clock forward to `t` (used by primitives that compute a
+  /// completion time, e.g. serialized atomics). No-op if t <= now().
+  void set_time(Time t) noexcept {
+    if (t > local_time_) {
+      local_time_ = t;
+      fractional_ = 0.0;
+    }
+  }
+
+ private:
+  Engine& engine_;
+  ActorId id_;
+  Time local_time_ = 0;
+  double fractional_ = 0.0;
+  Xoshiro256 rng_;
+
+  friend class Engine;
+};
+
+class Engine {
+ public:
+  explicit Engine(LatencyParams params = LatencyParams::paper_defaults(),
+                  std::uint64_t seed = 1);
+  ~Engine();
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Create an actor; it becomes runnable at virtual time 0.
+  ActorId spawn(std::string name, std::function<void(Context&)> body);
+
+  /// Run until every actor has finished. Throws std::runtime_error on
+  /// deadlock (some actor blocked forever), naming the stuck actors.
+  void run();
+
+  const LatencyParams& params() const noexcept { return params_; }
+
+  /// Global virtual time of the most recently dispatched event.
+  Time now() const noexcept { return now_; }
+
+  /// Virtual-time of the currently running actor (valid inside run()).
+  ActorId current() const noexcept { return current_; }
+
+  /// Wake a blocked actor no earlier than virtual time `t` (and no earlier
+  /// than the actor's own clock).
+  void wake_at(ActorId id, Time t);
+
+  std::size_t actor_count() const noexcept { return actors_.size(); }
+  const std::string& actor_name(ActorId id) const;
+
+  /// Total fiber context switches performed (diagnostics).
+  std::uint64_t switch_count() const noexcept { return switches_; }
+
+ private:
+  enum class State : std::uint8_t { kRunnable, kRunning, kBlocked, kFinished };
+
+  struct Actor {
+    std::string name;
+    std::unique_ptr<Fiber> fiber;
+    std::unique_ptr<Context> context;
+    State state = State::kRunnable;
+    std::uint64_t scheduled_seq = 0;  // matches the live heap entry
+  };
+
+  struct Event {
+    Time time;
+    std::uint64_t seq;
+    ActorId actor;
+    bool operator>(const Event& other) const noexcept {
+      return time != other.time ? time > other.time : seq > other.seq;
+    }
+  };
+
+  void schedule(ActorId id, Time t);
+  void yield_current(Time wake);
+  void block_current();
+
+  LatencyParams params_;
+  std::uint64_t seed_;
+  std::vector<Actor> actors_;
+  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> queue_;
+  std::uint64_t next_seq_ = 1;
+  Time now_ = 0;
+  ActorId current_ = kNoActor;
+  std::uint64_t switches_ = 0;
+
+  friend class Context;
+};
+
+inline void Context::charge(MemClass c, std::uint64_t count) noexcept {
+  advance(engine_.params().latency(c) * static_cast<double>(count));
+}
+
+}  // namespace pimds::sim

@@ -1,0 +1,110 @@
+#include "sim/fiber.hpp"
+
+#include <cassert>
+#include <cstdint>
+#include <cstdlib>
+#include <stdexcept>
+#include <utility>
+
+namespace pimds::sim {
+
+#if defined(__x86_64__)
+
+extern "C" void pimds_fiber_swap(void** save_sp, void* restore_sp);
+
+namespace {
+// The fiber being entered for the first time. The engine is single-OS-
+// threaded, so a plain global suffices and keeps the entry path trivial.
+Fiber* g_starting_fiber = nullptr;
+}  // namespace
+
+Fiber::Fiber(std::function<void()> body, std::size_t stack_bytes)
+    : body_(std::move(body)), stack_(new char[stack_bytes]) {
+  // Craft an initial frame that pimds_fiber_swap can "return" into:
+  // six callee-saved register slots followed by the entry address. The
+  // base is 16-aligned so the entry thunk sees rsp % 16 == 8, exactly as
+  // after a call instruction.
+  auto top = reinterpret_cast<std::uintptr_t>(stack_.get()) + stack_bytes;
+  top &= ~std::uintptr_t{15};
+  top -= 8;  // entry must observe rsp % 16 == 8, as right after a call
+  auto* frame = reinterpret_cast<void**>(top) - 7;
+  for (int i = 0; i < 6; ++i) frame[i] = nullptr;  // r15,r14,r13,r12,rbx,rbp
+  frame[6] = reinterpret_cast<void*>(&Fiber::entry_thunk);
+  fiber_sp_ = frame;
+}
+
+Fiber::~Fiber() = default;
+
+void Fiber::entry_thunk() {
+  Fiber* self = g_starting_fiber;
+  self->run_body();
+  self->finished_ = true;
+  // Return control to the resumer for good. The loop guards against a
+  // buggy resume() of a finished fiber ever "returning" here.
+  for (;;) {
+    pimds_fiber_swap(&self->fiber_sp_, self->resumer_sp_);
+    assert(false && "resumed a finished fiber");
+  }
+}
+
+void Fiber::resume() {
+  assert(!finished_ && "resuming a finished fiber");
+  g_starting_fiber = this;  // only read on first entry; cheap to always set
+  pimds_fiber_swap(&resumer_sp_, fiber_sp_);
+}
+
+void Fiber::yield_to_resumer() {
+  pimds_fiber_swap(&fiber_sp_, resumer_sp_);
+}
+
+#else  // ucontext fallback
+
+namespace {
+Fiber* from_halves(unsigned hi, unsigned lo) {
+  const std::uint64_t bits =
+      (static_cast<std::uint64_t>(hi) << 32) | static_cast<std::uint64_t>(lo);
+  return reinterpret_cast<Fiber*>(bits);
+}
+}  // namespace
+
+Fiber::Fiber(std::function<void()> body, std::size_t stack_bytes)
+    : body_(std::move(body)), stack_(new char[stack_bytes]) {
+  if (getcontext(&context_) != 0) {
+    throw std::runtime_error("Fiber: getcontext failed");
+  }
+  context_.uc_stack.ss_sp = stack_.get();
+  context_.uc_stack.ss_size = stack_bytes;
+  context_.uc_link = &resumer_;
+  const auto bits = reinterpret_cast<std::uint64_t>(this);
+  makecontext(&context_, reinterpret_cast<void (*)()>(&Fiber::trampoline), 2,
+              static_cast<unsigned>(bits >> 32),
+              static_cast<unsigned>(bits & 0xffffffffu));
+}
+
+Fiber::~Fiber() = default;
+
+void Fiber::trampoline(unsigned hi, unsigned lo) {
+  Fiber* self = from_halves(hi, lo);
+  self->run_body();
+  self->finished_ = true;
+  // uc_link returns control to the resumer when the trampoline returns.
+}
+
+void Fiber::resume() {
+  assert(!finished_ && "resuming a finished fiber");
+  if (swapcontext(&resumer_, &context_) != 0) {
+    throw std::runtime_error("Fiber: swapcontext (resume) failed");
+  }
+}
+
+void Fiber::yield_to_resumer() {
+  if (swapcontext(&context_, &resumer_) != 0) {
+    throw std::runtime_error("Fiber: swapcontext (yield) failed");
+  }
+}
+
+#endif
+
+void Fiber::run_body() { body_(); }
+
+}  // namespace pimds::sim

@@ -1,0 +1,91 @@
+// Simulated message passing between CPUs and PIM cores (Section 2).
+//
+// Guarantees modeled after the paper's architecture section:
+//  - every message eventually arrives at the receiver's buffer;
+//  - messages from the same sender to the same receiver arrive in FIFO
+//    order (delivery time = send time + Lmessage, and a sender's send
+//    times are monotone, so per-sender FIFO holds by construction);
+//  - messages from different senders may interleave arbitrarily.
+//
+// Sends are asynchronous: the sender continues immediately, which is what
+// enables the FIFO-queue pipelining optimization of Section 5.2.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <optional>
+#include <queue>
+#include <utility>
+#include <vector>
+
+#include "sim/engine.hpp"
+
+namespace pimds::sim {
+
+template <typename M>
+class Mailbox {
+ public:
+  /// Deliver `msg` to this mailbox at sender's now() + Lmessage.
+  void send(Context& ctx, M msg) {
+    send_delayed(ctx, std::move(msg), ctx.engine().params().message());
+  }
+
+  /// Deliver with an explicit latency (used by tests and by zero-latency
+  /// self-sends).
+  void send_delayed(Context& ctx, M msg, double delay_ns) {
+    ctx.sync();
+    const Time deliver = ctx.now() + static_cast<Time>(delay_ns);
+    heap_.push(Entry{deliver, seq_++, std::move(msg)});
+    if (receiver_ != kNoActor) {
+      const ActorId r = receiver_;
+      receiver_ = kNoActor;
+      ctx.engine().wake_at(r, deliver);
+    }
+  }
+
+  /// Blocking receive: returns the earliest-delivered message, advancing the
+  /// receiver's clock to its delivery time if it has not yet "arrived".
+  M recv(Context& ctx) {
+    ctx.sync();
+    if (heap_.empty()) {
+      assert(receiver_ == kNoActor && "mailbox already has a blocked receiver");
+      receiver_ = ctx.id();
+      ctx.block();
+      assert(!heap_.empty());
+    }
+    Entry top = heap_.top();
+    heap_.pop();
+    ctx.set_time(top.deliver);
+    return std::move(top.msg);
+  }
+
+  /// Non-blocking receive: a message is returned only if it has been
+  /// delivered by the receiver's current time.
+  std::optional<M> try_recv(Context& ctx) {
+    ctx.sync();
+    if (heap_.empty() || heap_.top().deliver > ctx.now()) return std::nullopt;
+    Entry top = heap_.top();
+    heap_.pop();
+    return std::move(top.msg);
+  }
+
+  bool empty() const noexcept { return heap_.empty(); }
+  std::size_t size() const noexcept { return heap_.size(); }
+
+ private:
+  struct Entry {
+    Time deliver;
+    std::uint64_t seq;
+    M msg;
+    bool operator>(const Entry& other) const noexcept {
+      return deliver != other.deliver ? deliver > other.deliver
+                                      : seq > other.seq;
+    }
+  };
+
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> heap_;
+  std::uint64_t seq_ = 0;
+  ActorId receiver_ = kNoActor;
+};
+
+}  // namespace pimds::sim

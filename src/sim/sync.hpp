@@ -1,0 +1,152 @@
+// Synchronization primitives for the simulator, each charging exactly what
+// the paper's Section 3 model charges.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+
+#include "sim/engine.hpp"
+
+namespace pimds::sim {
+
+/// A contended cache line. Concurrent atomic RMWs (CAS / F&A) serialize:
+/// with k requests in flight, the i-th completes at time i * Latomic
+/// (Section 3). Plain reads hit the LLC (charged by the caller).
+class SimCacheLine {
+ public:
+  /// Perform one atomic RMW at the caller's current time; the caller's
+  /// clock advances to the operation's completion time.
+  void atomic_rmw(Context& ctx) {
+    ctx.sync();  // interactions execute in global time order
+    const Time start = std::max(ctx.now(), busy_until_);
+    busy_until_ = start + static_cast<Time>(ctx.engine().params().atomic());
+    ctx.set_time(busy_until_);
+  }
+
+  Time busy_until() const noexcept { return busy_until_; }
+
+ private:
+  Time busy_until_ = 0;
+};
+
+/// A contended cache line with CAS semantics: a compare-and-swap succeeds
+/// only if no other successful RMW completed after the caller's `read()`.
+/// Failed attempts still pay the serialized Latomic (they occupied the
+/// line), which is why CAS-retry structures (e.g. the Michael-Scott queue)
+/// degrade under contention while F&A-based ones hold their bound [16].
+class SimCasLine {
+ public:
+  /// Observation token for a subsequent compare_and_swap.
+  using ReadToken = Time;
+
+  /// Read the line (the caller charges its own read latency, e.g. one LLC
+  /// access for a cache-hot queue head).
+  ReadToken read(Context& ctx) {
+    ctx.sync();
+    return ctx.now();
+  }
+
+  /// Attempt an RMW conditional on nothing having succeeded since `token`.
+  bool compare_and_swap(Context& ctx, ReadToken token) {
+    ctx.sync();
+    const Time start = std::max(ctx.now(), busy_until_);
+    busy_until_ = start + static_cast<Time>(ctx.engine().params().atomic());
+    ctx.set_time(busy_until_);
+    if (last_success_ > token) return false;  // somebody won since our read
+    last_success_ = busy_until_;
+    return true;
+  }
+
+ private:
+  Time busy_until_ = 0;
+  Time last_success_ = 0;
+};
+
+/// FIFO mutex in virtual time with direct hand-off to the next waiter.
+/// Lock/unlock themselves charge nothing; callers charge whatever their
+/// algorithm's model says (e.g. the flat-combining analysis charges one LLC
+/// access for competing for the combiner lock).
+class SimMutex {
+ public:
+  void lock(Context& ctx) {
+    ctx.sync();
+    if (!locked_) {
+      locked_ = true;
+      return;
+    }
+    waiters_.push_back(ctx.id());
+    ctx.block();  // woken holding the lock (hand-off)
+  }
+
+  /// Returns false immediately if the lock is held.
+  bool try_lock(Context& ctx) {
+    ctx.sync();
+    if (locked_) return false;
+    locked_ = true;
+    return true;
+  }
+
+  void unlock(Context& ctx) {
+    ctx.sync();
+    if (waiters_.empty()) {
+      locked_ = false;
+      return;
+    }
+    const ActorId next = waiters_.front();
+    waiters_.pop_front();
+    ctx.engine().wake_at(next, ctx.now());  // lock stays held: hand-off
+  }
+
+  bool locked() const noexcept { return locked_; }
+
+ private:
+  bool locked_ = false;
+  std::deque<ActorId> waiters_;
+};
+
+/// One-shot rendezvous slot: a consumer awaits a value a producer sets.
+/// Used for flat-combining publication-list result slots and CPU response
+/// slots. The producer decides how much delivery latency to charge.
+template <typename T>
+class SimSlot {
+ public:
+  /// Producer side: publish `value`, visible to the consumer at
+  /// `ctx.now() + delay_ns`. The producer's clock is unaffected (it may
+  /// pipeline past the delivery, Section 5.2). Does not re-enter the
+  /// scheduler: a slot is single-producer/single-consumer and one-shot, so
+  /// publishing early in host time is indistinguishable to the sole waiter,
+  /// which cannot observe the value before `ready_at` anyway.
+  void set(Context& ctx, T value, double delay_ns = 0.0) {
+    value_ = std::move(value);
+    ready_at_ = ctx.now() + static_cast<Time>(delay_ns);
+    if (waiter_ != kNoActor) {
+      const ActorId w = waiter_;
+      waiter_ = kNoActor;
+      ctx.engine().wake_at(w, ready_at_);
+    }
+  }
+
+  /// Consumer side: block until a value is available, then consume it.
+  /// The consumer's clock advances to the delivery time.
+  T await(Context& ctx) {
+    ctx.sync();
+    if (!value_.has_value()) {
+      waiter_ = ctx.id();
+      ctx.block();
+    }
+    ctx.set_time(ready_at_);
+    T out = std::move(*value_);
+    value_.reset();
+    return out;
+  }
+
+  bool has_value() const noexcept { return value_.has_value(); }
+
+ private:
+  std::optional<T> value_;
+  Time ready_at_ = 0;
+  ActorId waiter_ = kNoActor;
+};
+
+}  // namespace pimds::sim

@@ -1,0 +1,12 @@
+#include "sim/workload.hpp"
+
+namespace pimds::sim {
+
+SetOp pick_op(Xoshiro256& rng, const SetOpMix& mix) {
+  const double u = rng.next_double();
+  if (u < mix.add) return SetOp::kAdd;
+  if (u < mix.add + mix.remove) return SetOp::kRemove;
+  return SetOp::kContains;
+}
+
+}  // namespace pimds::sim

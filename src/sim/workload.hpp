@@ -1,0 +1,47 @@
+// Shared workload configuration and result types for simulator experiments.
+#pragma once
+
+#include <cstdint>
+
+#include "common/latency.hpp"
+#include "common/rng.hpp"
+#include "sim/engine.hpp"
+
+namespace pimds::sim {
+
+/// Operation mix for set-like structures (linked-lists, skip-lists).
+/// Fractions of add and remove; the remainder are contains. The paper keeps
+/// add ~= remove so structure size stays near its initial value.
+struct SetOpMix {
+  double add = 0.3;
+  double remove = 0.3;
+};
+
+enum class SetOp : std::uint8_t { kAdd, kRemove, kContains };
+
+/// Draw the next operation for the given mix.
+SetOp pick_op(Xoshiro256& rng, const SetOpMix& mix);
+
+/// Result of one simulated throughput run.
+struct RunResult {
+  std::uint64_t total_ops = 0;
+  Time virtual_ns = 0;
+
+  double ops_per_sec() const noexcept {
+    return virtual_ns == 0
+               ? 0.0
+               : static_cast<double>(total_ops) /
+                     (static_cast<double>(virtual_ns) * 1e-9);
+  }
+  double mops() const noexcept { return ops_per_sec() * 1e-6; }
+};
+
+/// Base configuration shared by all simulator experiments.
+struct SimConfig {
+  LatencyParams params = LatencyParams::paper_defaults();
+  std::uint64_t seed = 1;
+  std::size_t num_cpus = 8;          ///< p, simulated CPU threads
+  Time duration_ns = 10'000'000;     ///< virtual measurement window (10 ms)
+};
+
+}  // namespace pimds::sim

@@ -1,0 +1,167 @@
+// Unit tests for the core/ building blocks used by the PIM structures:
+// the sentinel directory, the vault-local skip-list, and the sequential
+// structures behind the flat-combining baselines.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "baselines/seq_structures.hpp"
+#include "common/rng.hpp"
+#include "core/local_skiplist.hpp"
+#include "core/sentinel_directory.hpp"
+#include "runtime/vault.hpp"
+
+namespace pimds {
+namespace {
+
+using core::LocalSkipList;
+using core::SentinelDirectory;
+
+TEST(SentinelDirectory, RoutesByGreatestSentinelAtMostKey) {
+  SentinelDirectory dir({{1, 0}, {100, 1}, {200, 2}});
+  EXPECT_EQ(dir.route(1), 0u);
+  EXPECT_EQ(dir.route(99), 0u);
+  EXPECT_EQ(dir.route(100), 1u);
+  EXPECT_EQ(dir.route(150), 1u);
+  EXPECT_EQ(dir.route(200), 2u);
+  EXPECT_EQ(dir.route(~std::uint64_t{0}), 2u);
+}
+
+TEST(SentinelDirectory, PartitionOfReportsBounds) {
+  SentinelDirectory dir({{1, 0}, {100, 1}, {200, 2}});
+  const auto mid = dir.partition_of(150);
+  EXPECT_EQ(mid.lo, 100u);
+  EXPECT_EQ(mid.hi, 200u);
+  EXPECT_EQ(mid.vault, 1u);
+  const auto last = dir.partition_of(5000);
+  EXPECT_EQ(last.lo, 200u);
+  EXPECT_EQ(last.hi, ~std::uint64_t{0});
+}
+
+TEST(SentinelDirectory, WholePartitionTransferRetargetsEntry) {
+  SentinelDirectory dir({{1, 0}, {100, 1}});
+  dir.move_range(100, 3);  // split key == existing sentinel
+  EXPECT_EQ(dir.partition_count(), 2u);
+  EXPECT_EQ(dir.route(150), 3u);
+  EXPECT_EQ(dir.route(50), 0u);
+}
+
+TEST(SentinelDirectory, SuffixSplitInsertsSentinel) {
+  SentinelDirectory dir({{1, 0}, {100, 1}});
+  dir.move_range(50, 2);  // suffix [50, 100) of partition 0
+  EXPECT_EQ(dir.partition_count(), 3u);
+  EXPECT_EQ(dir.route(49), 0u);
+  EXPECT_EQ(dir.route(50), 2u);
+  EXPECT_EQ(dir.route(99), 2u);
+  EXPECT_EQ(dir.route(100), 1u);
+}
+
+TEST(SentinelDirectory, RepeatedSplitsStaySorted) {
+  SentinelDirectory dir({{1, 0}});
+  dir.move_range(1000, 1);
+  dir.move_range(100, 2);
+  dir.move_range(10, 3);
+  const auto snap = dir.snapshot();
+  ASSERT_EQ(snap.size(), 4u);
+  for (std::size_t i = 1; i < snap.size(); ++i) {
+    EXPECT_LT(snap[i - 1].sentinel, snap[i].sentinel);
+  }
+  EXPECT_EQ(dir.route(5), 0u);
+  EXPECT_EQ(dir.route(10), 3u);
+  EXPECT_EQ(dir.route(500), 2u);
+  EXPECT_EQ(dir.route(5000), 1u);
+}
+
+TEST(LocalSkipList, MatchesStdSetAndCountsSteps) {
+  runtime::Vault vault(0, 16u << 20);
+  LocalSkipList list(vault, 0, 77);
+  std::set<std::uint64_t> reference;
+  Xoshiro256 rng(9);
+  std::uint64_t total_steps = 0;
+  for (int i = 0; i < 6000; ++i) {
+    const std::uint64_t key = rng.next_in(1, 500);
+    std::uint64_t steps = 0;
+    switch (rng.next_below(3)) {
+      case 0:
+        ASSERT_EQ(list.add(key, &steps), reference.insert(key).second);
+        break;
+      case 1:
+        ASSERT_EQ(list.remove(key, &steps), reference.erase(key) > 0);
+        break;
+      default:
+        ASSERT_EQ(list.contains(key, &steps), reference.count(key) > 0);
+    }
+    EXPECT_GT(steps, 0u);
+    total_steps += steps;
+  }
+  EXPECT_EQ(list.size(), reference.size());
+  EXPECT_GT(total_steps, 0u);
+}
+
+TEST(LocalSkipList, FirstAtLeastScansInOrder) {
+  runtime::Vault vault(0, 1u << 20);
+  LocalSkipList list(vault, 0, 3);
+  for (std::uint64_t k : {10u, 20u, 30u}) list.add(k);
+  EXPECT_EQ(list.first_at_least(1), std::optional<std::uint64_t>(10));
+  EXPECT_EQ(list.first_at_least(10), std::optional<std::uint64_t>(10));
+  EXPECT_EQ(list.first_at_least(11), std::optional<std::uint64_t>(20));
+  EXPECT_EQ(list.first_at_least(30), std::optional<std::uint64_t>(30));
+  EXPECT_EQ(list.first_at_least(31), std::nullopt);
+}
+
+TEST(LocalSkipList, MemoryIsReturnedToTheVault) {
+  runtime::Vault vault(0, 1u << 20);
+  LocalSkipList list(vault, 0, 3);
+  for (std::uint64_t k = 1; k <= 200; ++k) list.add(k);
+  const std::size_t peak = vault.bytes_used();
+  for (std::uint64_t k = 1; k <= 200; ++k) list.remove(k);
+  EXPECT_LT(vault.bytes_used(), peak);
+  // Re-adding recycles free-listed blocks; usage returns to roughly the
+  // previous peak (tower heights are random, so allow slack for a taller
+  // second population).
+  for (std::uint64_t k = 1; k <= 200; ++k) list.add(k);
+  EXPECT_LE(vault.bytes_used(), peak + 1024);
+}
+
+TEST(SeqList, CursorBatchesEqualScratchExecution) {
+  baselines::SeqList with_cursor;
+  baselines::SeqList plain;
+  Xoshiro256 rng(21);
+  // Pre-populate identically.
+  for (std::uint64_t k = 2; k <= 100; k += 2) {
+    with_cursor.add(k);
+    plain.add(k);
+  }
+  // Ascending batch through the cursor API must equal one-by-one calls.
+  std::vector<std::uint64_t> keys;
+  for (int i = 0; i < 50; ++i) keys.push_back(rng.next_in(1, 120));
+  std::sort(keys.begin(), keys.end());
+  baselines::SeqList::Cursor cursor;
+  for (const std::uint64_t k : keys) {
+    EXPECT_EQ(with_cursor.add_from(&cursor, k), plain.add(k)) << k;
+  }
+  EXPECT_EQ(with_cursor.size(), plain.size());
+}
+
+TEST(SeqSkipList, MatchesStdSet) {
+  baselines::SeqSkipList list(0, 5);
+  std::set<std::uint64_t> reference;
+  Xoshiro256 rng(31);
+  for (int i = 0; i < 5000; ++i) {
+    const std::uint64_t key = rng.next_in(1, 400);
+    switch (rng.next_below(3)) {
+      case 0:
+        ASSERT_EQ(list.add(key), reference.insert(key).second);
+        break;
+      case 1:
+        ASSERT_EQ(list.remove(key), reference.erase(key) > 0);
+        break;
+      default:
+        ASSERT_EQ(list.contains(key), reference.count(key) > 0);
+    }
+  }
+  EXPECT_EQ(list.size(), reference.size());
+}
+
+}  // namespace
+}  // namespace pimds

@@ -1,0 +1,208 @@
+// Tests for the extension features beyond the paper's core: the
+// auto-rebalancing policy, runtime fat-node enqueue combining, the
+// simulated Michael-Scott queue, and the LocalSkipList migration helpers.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <thread>
+
+#include "common/rng.hpp"
+#include "common/zipf.hpp"
+#include "core/auto_rebalancer.hpp"
+#include "core/local_skiplist.hpp"
+#include "core/pim_fifo_queue.hpp"
+#include "core/pim_skiplist.hpp"
+#include "sim/ds/queues.hpp"
+
+namespace pimds {
+namespace {
+
+TEST(LocalSkipListMigrationHelpers, ExtractDrainsInAscendingOrder) {
+  runtime::Vault vault(0, 4u << 20);
+  core::LocalSkipList list(vault, 0, 11);
+  Xoshiro256 rng(1);
+  std::set<std::uint64_t> keys;
+  for (int i = 0; i < 500; ++i) {
+    const std::uint64_t k = rng.next_in(1, 5000);
+    if (list.add(k)) keys.insert(k);
+  }
+  // Extract [100, 2000) and check order + completeness.
+  std::uint64_t cursor = 100;
+  std::vector<std::uint64_t> extracted;
+  for (;;) {
+    const auto k = list.extract_first_at_least(cursor);
+    if (!k.has_value() || *k >= 2000) break;
+    extracted.push_back(*k);
+    cursor = *k + 1;
+  }
+  std::vector<std::uint64_t> expected;
+  for (const auto k : keys) {
+    if (k >= 100 && k < 2000) expected.push_back(k);
+  }
+  EXPECT_EQ(extracted, expected);
+  for (const auto k : expected) EXPECT_FALSE(list.contains(k));
+}
+
+TEST(LocalSkipListMigrationHelpers, AscendingInsertMatchesRegularAdd) {
+  runtime::Vault vault(0, 4u << 20);
+  core::LocalSkipList via_cursor(vault, 0, 3);
+  runtime::Vault vault2(1, 4u << 20);
+  core::LocalSkipList regular(vault2, 0, 3);
+  core::LocalSkipList::InsertCursor cursor;
+  Xoshiro256 rng(2);
+  std::vector<std::uint64_t> keys;
+  for (int i = 0; i < 400; ++i) keys.push_back(rng.next_in(1, 1000));
+  std::sort(keys.begin(), keys.end());
+  for (const auto k : keys) {
+    ASSERT_EQ(via_cursor.insert_ascending(cursor, k), regular.add(k)) << k;
+  }
+  EXPECT_EQ(via_cursor.size(), regular.size());
+  for (std::uint64_t k = 1; k <= 1000; ++k) {
+    ASSERT_EQ(via_cursor.contains(k), regular.contains(k)) << k;
+  }
+}
+
+TEST(LocalSkipListMigrationHelpers, CursorSurvivesInterleavedMutations) {
+  runtime::Vault vault(0, 4u << 20);
+  core::LocalSkipList list(vault, 0, 7);
+  core::LocalSkipList::InsertCursor cursor;
+  for (std::uint64_t k = 10; k <= 300; k += 10) {
+    ASSERT_TRUE(list.insert_ascending(cursor, k));
+    if (k % 50 == 0) {
+      list.add(k + 1);       // invalidates the fingers
+      list.remove(k - 10);
+    }
+  }
+  EXPECT_TRUE(list.contains(300));
+  EXPECT_TRUE(list.contains(51));
+  EXPECT_FALSE(list.contains(40));
+}
+
+TEST(AutoRebalancer, SpreadsAZipfHotSpot) {
+  runtime::PimSystem::Config config;
+  config.num_vaults = 4;
+  runtime::PimSystem system(config);
+  core::PimSkipList::Options options;
+  options.key_max = 1 << 16;
+  core::PimSkipList list(system, options);
+  core::AutoRebalancer::Options rb_options;
+  rb_options.period = std::chrono::milliseconds(20);
+  core::AutoRebalancer rebalancer(list, rb_options);
+  system.start();
+  std::size_t loaded = 0;
+  {
+    Xoshiro256 rng(3);
+    for (int i = 0; i < 5000; ++i) {
+      loaded += list.add(rng.next_in(1, 1 << 16));  // random draws collide
+    }
+  }
+  rebalancer.start();
+
+  std::atomic<bool> stop{false};
+  std::thread worker([&] {
+    Xoshiro256 rng(4);
+    ZipfGenerator zipf(1 << 16, 0.99);
+    while (!stop.load(std::memory_order_relaxed)) {
+      list.contains(zipf.next(rng) + 1);
+    }
+  });
+  // Give the policy a few periods to act.
+  std::this_thread::sleep_for(std::chrono::milliseconds(600));
+  stop.store(true);
+  worker.join();
+  rebalancer.stop();
+  system.stop();
+
+  EXPECT_GT(rebalancer.migrations_triggered(), 0u)
+      << "a theta=0.99 hot spot must trip a 2x imbalance trigger";
+  EXPECT_GT(list.partitions().size(), 4u)
+      << "splits should have created new sentinels";
+  EXPECT_EQ(list.size(), loaded) << "rebalancing must not lose keys";
+}
+
+TEST(AutoRebalancer, StaysQuietUnderUniformLoad) {
+  runtime::PimSystem::Config config;
+  config.num_vaults = 4;
+  runtime::PimSystem system(config);
+  core::PimSkipList::Options options;
+  options.key_max = 1 << 16;
+  core::PimSkipList list(system, options);
+  core::AutoRebalancer::Options rb_options;
+  rb_options.period = std::chrono::milliseconds(10);
+  core::AutoRebalancer rebalancer(list, rb_options);
+  system.start();
+  rebalancer.start();
+  std::atomic<bool> stop{false};
+  std::thread worker([&] {
+    Xoshiro256 rng(5);
+    while (!stop.load(std::memory_order_relaxed)) {
+      list.contains(rng.next_in(1, 1 << 16));  // uniform: balanced
+    }
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  stop.store(true);
+  worker.join();
+  rebalancer.stop();
+  system.stop();
+  EXPECT_EQ(rebalancer.migrations_triggered(), 0u)
+      << "uniform load must not trigger migrations";
+}
+
+TEST(RuntimeFatNodes, QueueStaysFifoWithEnqueueCombining) {
+  runtime::PimSystem::Config config;
+  config.num_vaults = 4;
+  runtime::PimSystem system(config);
+  core::PimFifoQueue::Options options;
+  options.segment_threshold = 64;
+  options.enqueue_combining = true;
+  core::PimFifoQueue queue(system, options);
+  system.start();
+  constexpr std::uint64_t kPer = 20000;
+  std::vector<std::thread> producers;
+  for (int p = 0; p < 2; ++p) {
+    producers.emplace_back([&, p] {
+      for (std::uint64_t i = 0; i < kPer; ++i) {
+        queue.enqueue((static_cast<std::uint64_t>(p) << 32) | i);
+      }
+    });
+  }
+  std::vector<std::int64_t> last(2, -1);
+  std::uint64_t consumed = 0;
+  while (consumed < 2 * kPer) {
+    const auto v = queue.dequeue();
+    if (!v.has_value()) continue;
+    const auto producer = static_cast<std::size_t>(*v >> 32);
+    const auto seq = static_cast<std::int64_t>(*v & 0xffffffff);
+    ASSERT_GT(seq, last[producer]) << "per-producer FIFO violated";
+    last[producer] = seq;
+    ++consumed;
+  }
+  for (auto& t : producers) t.join();
+  EXPECT_FALSE(queue.dequeue().has_value());
+  EXPECT_GE(queue.max_enqueue_batch(), 1u);
+  system.stop();
+}
+
+TEST(SimMsQueue, DegradesWithContentionWhileFaaHolds) {
+  auto throughput_at = [](std::size_t p, auto runner) {
+    sim::QueueConfig cfg;
+    cfg.enqueuers = p / 2;
+    cfg.dequeuers = p / 2;
+    cfg.duration_ns = 10'000'000;
+    return runner(cfg).ops_per_sec();
+  };
+  const double ms_small = throughput_at(4, sim::run_ms_queue);
+  const double ms_large = throughput_at(32, sim::run_ms_queue);
+  const double faa_small = throughput_at(4, sim::run_faa_queue);
+  const double faa_large = throughput_at(32, sim::run_faa_queue);
+  EXPECT_LT(ms_large, 0.8 * ms_small)
+      << "CAS retries must hurt as threads grow";
+  EXPECT_GT(faa_large, 0.95 * faa_small)
+      << "the F&A queue holds its bound under contention";
+  EXPECT_GT(faa_large, 2.0 * ms_large)
+      << "at high contention F&A clearly beats CAS retry";
+}
+
+}  // namespace
+}  // namespace pimds

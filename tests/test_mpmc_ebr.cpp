@@ -1,0 +1,167 @@
+// Tests for the MPMC ring (runtime mailbox transport) and epoch-based
+// reclamation.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "common/ebr.hpp"
+#include "common/mpmc_queue.hpp"
+
+namespace pimds {
+namespace {
+
+TEST(MpmcQueue, FifoWhenSingleThreaded) {
+  MpmcQueue<int> q(8);
+  for (int i = 0; i < 8; ++i) EXPECT_TRUE(q.try_push(i));
+  EXPECT_FALSE(q.try_push(99)) << "ring of 8 must reject the 9th element";
+  for (int i = 0; i < 8; ++i) {
+    auto v = q.try_pop();
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, i);
+  }
+  EXPECT_FALSE(q.try_pop().has_value());
+}
+
+TEST(MpmcQueue, CapacityRoundsUpToPowerOfTwo) {
+  MpmcQueue<int> q(5);
+  EXPECT_EQ(q.capacity(), 8u);
+}
+
+TEST(MpmcQueue, WrapsAroundManyTimes) {
+  MpmcQueue<int> q(4);
+  for (int round = 0; round < 1000; ++round) {
+    EXPECT_TRUE(q.try_push(round));
+    auto v = q.try_pop();
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, round);
+  }
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(MpmcQueue, ConcurrentProducersConsumersLoseNothing) {
+  constexpr int kProducers = 2;
+  constexpr int kConsumers = 2;
+  constexpr int kPerProducer = 20000;
+  MpmcQueue<std::uint64_t> q(1024);
+  std::atomic<std::uint64_t> sum{0};
+  std::atomic<int> consumed{0};
+  std::vector<std::thread> threads;
+  for (int p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        q.push(static_cast<std::uint64_t>(p) * kPerProducer + i + 1);
+      }
+    });
+  }
+  for (int c = 0; c < kConsumers; ++c) {
+    threads.emplace_back([&] {
+      while (consumed.load() < kProducers * kPerProducer) {
+        if (auto v = q.try_pop()) {
+          sum.fetch_add(*v);
+          consumed.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  // Sum of 1..N where N = kProducers * kPerProducer.
+  const std::uint64_t n = kProducers * kPerProducer;
+  EXPECT_EQ(sum.load(), n * (n + 1) / 2);
+}
+
+TEST(MpmcQueue, PerProducerOrderIsPreserved) {
+  MpmcQueue<std::pair<int, int>> q(256);  // (producer, seq)
+  std::vector<std::thread> producers;
+  std::atomic<bool> done{false};
+  std::vector<int> last_seen(2, -1);
+  std::thread consumer([&] {
+    int count = 0;
+    while (count < 20000) {
+      if (auto v = q.try_pop()) {
+        auto [p, seq] = *v;
+        EXPECT_GT(seq, last_seen[p]) << "per-producer FIFO violated";
+        last_seen[p] = seq;
+        ++count;
+      }
+    }
+    done.store(true);
+  });
+  for (int p = 0; p < 2; ++p) {
+    producers.emplace_back([&, p] {
+      for (int i = 0; i < 10000; ++i) q.push({p, i});
+    });
+  }
+  for (auto& t : producers) t.join();
+  consumer.join();
+  EXPECT_TRUE(done.load());
+}
+
+struct CountedNode {
+  static std::atomic<int> live;
+  int payload = 0;
+  CountedNode() { live.fetch_add(1); }
+  ~CountedNode() { live.fetch_sub(1); }
+};
+std::atomic<int> CountedNode::live{0};
+
+TEST(Ebr, RetiredNodesAreEventuallyFreed) {
+  CountedNode::live = 0;
+  {
+    EbrDomain domain;
+    for (int i = 0; i < 1000; ++i) {
+      EbrDomain::Guard guard(domain);
+      domain.retire(new CountedNode());
+    }
+    // Batching frees most nodes along the way; the destructor frees the rest.
+  }
+  EXPECT_EQ(CountedNode::live.load(), 0);
+}
+
+TEST(Ebr, NodesSurviveWhileAnotherThreadIsPinned) {
+  EbrDomain domain;
+  CountedNode::live = 0;
+  std::atomic<bool> pinned{false};
+  std::atomic<bool> release{false};
+  std::thread reader([&] {
+    EbrDomain::Guard guard(domain);
+    pinned.store(true);
+    while (!release.load()) std::this_thread::yield();
+  });
+  while (!pinned.load()) std::this_thread::yield();
+  {
+    // Retire far more than one batch; the pinned reader must hold them all.
+    EbrDomain::Guard guard(domain);
+    for (int i = 0; i < 300; ++i) domain.retire(new CountedNode());
+  }
+  EXPECT_EQ(CountedNode::live.load(), 300)
+      << "nodes were freed while a guard from an old epoch was active";
+  release.store(true);
+  reader.join();
+  domain.reclaim_all_unsafe();
+  EXPECT_EQ(CountedNode::live.load(), 0);
+}
+
+TEST(Ebr, ManyThreadsRetireConcurrently) {
+  EbrDomain domain;
+  CountedNode::live = 0;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 5000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kPerThread; ++i) {
+        EbrDomain::Guard guard(domain);
+        domain.retire(new CountedNode());
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  domain.reclaim_all_unsafe();
+  EXPECT_EQ(CountedNode::live.load(), 0);
+}
+
+}  // namespace
+}  // namespace pimds

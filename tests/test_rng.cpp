@@ -1,0 +1,133 @@
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <set>
+#include <vector>
+
+#include "common/zipf.hpp"
+
+namespace pimds {
+namespace {
+
+TEST(SplitMix64, DeterministicAndDistinct) {
+  SplitMix64 a(42);
+  SplitMix64 b(42);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const std::uint64_t x = a.next();
+    EXPECT_EQ(x, b.next());
+    seen.insert(x);
+  }
+  EXPECT_EQ(seen.size(), 1000u) << "1000 outputs should all be distinct";
+}
+
+TEST(SplitMix64, KnownVector) {
+  // Reference value from the public-domain splitmix64.c with seed 0.
+  SplitMix64 g(0);
+  EXPECT_EQ(g.next(), 0xE220A8397B1DCDAFULL);
+}
+
+TEST(Xoshiro256, DeterministicPerSeed) {
+  Xoshiro256 a(7);
+  Xoshiro256 b(7);
+  Xoshiro256 c(8);
+  bool diverged = false;
+  for (int i = 0; i < 100; ++i) {
+    const std::uint64_t x = a.next();
+    EXPECT_EQ(x, b.next());
+    if (x != c.next()) diverged = true;
+  }
+  EXPECT_TRUE(diverged) << "different seeds must give different streams";
+}
+
+TEST(Xoshiro256, NextBelowIsInRange) {
+  Xoshiro256 g(123);
+  for (std::uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull, 1ull << 40}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(g.next_below(bound), bound);
+    }
+  }
+}
+
+TEST(Xoshiro256, NextBelowOneIsAlwaysZero) {
+  Xoshiro256 g(5);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(g.next_below(1), 0u);
+}
+
+TEST(Xoshiro256, NextInCoversInclusiveRange) {
+  Xoshiro256 g(9);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const std::uint64_t x = g.next_in(5, 8);
+    ASSERT_GE(x, 5u);
+    ASSERT_LE(x, 8u);
+    seen.insert(x);
+  }
+  EXPECT_EQ(seen.size(), 4u) << "all 4 values should appear in 2000 draws";
+}
+
+TEST(Xoshiro256, NextBelowIsRoughlyUniform) {
+  Xoshiro256 g(2024);
+  constexpr std::uint64_t kBuckets = 10;
+  constexpr int kDraws = 100000;
+  std::array<int, kBuckets> counts{};
+  for (int i = 0; i < kDraws; ++i) ++counts[g.next_below(kBuckets)];
+  for (int c : counts) {
+    // Expected 10000 per bucket; 4-sigma ~ 380.
+    EXPECT_NEAR(c, kDraws / kBuckets, 500);
+  }
+}
+
+TEST(Xoshiro256, NextDoubleInUnitInterval) {
+  Xoshiro256 g(77);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double d = g.next_double();
+    ASSERT_GE(d, 0.0);
+    ASSERT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Xoshiro256, NextBoolMatchesProbability) {
+  Xoshiro256 g(31);
+  int trues = 0;
+  for (int i = 0; i < 10000; ++i) trues += g.next_bool(0.25);
+  EXPECT_NEAR(trues, 2500, 200);
+}
+
+TEST(Zipf, RanksWithinBounds) {
+  Xoshiro256 g(1);
+  ZipfGenerator zipf(100, 0.99);
+  for (int i = 0; i < 5000; ++i) {
+    EXPECT_LT(zipf.next(g), 100u);
+  }
+}
+
+TEST(Zipf, SkewPutsMassOnHeadRanks) {
+  Xoshiro256 g(2);
+  ZipfGenerator zipf(1000, 0.99);
+  std::vector<int> counts(1000, 0);
+  for (int i = 0; i < 50000; ++i) ++counts[zipf.next(g)];
+  // With theta = 0.99 the top rank draws far more than mid ranks.
+  EXPECT_GT(counts[0], counts[500] * 20);
+  // And the head outweighs its immediate successor.
+  EXPECT_GT(counts[0], counts[1]);
+}
+
+TEST(Zipf, LowThetaIsNearlyUniform) {
+  Xoshiro256 g(3);
+  ZipfGenerator zipf(10, 0.01);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 100000; ++i) ++counts[zipf.next(g)];
+  const auto [min_it, max_it] = std::minmax_element(counts.begin(),
+                                                    counts.end());
+  EXPECT_LT(*max_it, *min_it * 2) << "theta~0 should be near-uniform";
+}
+
+}  // namespace
+}  // namespace pimds

@@ -1,0 +1,260 @@
+// Tests for fibers, the discrete-event engine, and its synchronization
+// primitives against the Section 3 cost model.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sim/fiber.hpp"
+#include "sim/mailbox.hpp"
+#include "sim/sync.hpp"
+
+namespace pimds::sim {
+namespace {
+
+TEST(Fiber, RunsBodyToCompletion) {
+  int x = 0;
+  Fiber f([&] { x = 7; });
+  EXPECT_FALSE(f.finished());
+  f.resume();
+  EXPECT_TRUE(f.finished());
+  EXPECT_EQ(x, 7);
+}
+
+TEST(Fiber, YieldsAndResumesPreservingState) {
+  std::vector<int> log;
+  Fiber* self = nullptr;
+  Fiber f([&] {
+    for (int i = 0; i < 3; ++i) {
+      log.push_back(i);
+      self->yield_to_resumer();
+    }
+  });
+  self = &f;
+  while (!f.finished()) f.resume();
+  EXPECT_EQ(log, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(Fiber, ManyFibersInterleave) {
+  constexpr int kFibers = 100;
+  std::vector<std::unique_ptr<Fiber>> fibers;
+  std::vector<Fiber*> raw(kFibers);
+  int sum = 0;
+  for (int i = 0; i < kFibers; ++i) {
+    fibers.push_back(std::make_unique<Fiber>([&, i] {
+      sum += i;
+      raw[i]->yield_to_resumer();
+      sum += i;
+    }));
+    raw[i] = fibers.back().get();
+  }
+  for (auto& f : fibers) f->resume();
+  for (auto& f : fibers) f->resume();
+  EXPECT_EQ(sum, 2 * (kFibers - 1) * kFibers / 2);
+}
+
+TEST(Engine, AdvanceAccumulatesVirtualTime) {
+  Engine engine;
+  Time end = 0;
+  engine.spawn("a", [&](Context& ctx) {
+    ctx.advance(100);
+    ctx.advance(0.5);  // fractional accumulation
+    ctx.advance(0.5);
+    end = ctx.now();
+  });
+  engine.run();
+  EXPECT_EQ(end, 101u);
+}
+
+TEST(Engine, ActorsInterleaveInVirtualTimeOrder) {
+  Engine engine;
+  std::vector<std::pair<std::string, Time>> events;
+  engine.spawn("slow", [&](Context& ctx) {
+    for (int i = 0; i < 3; ++i) {
+      ctx.advance(100);
+      ctx.sync();
+      events.push_back({"slow", ctx.now()});
+    }
+  });
+  engine.spawn("fast", [&](Context& ctx) {
+    for (int i = 0; i < 3; ++i) {
+      ctx.advance(30);
+      ctx.sync();
+      events.push_back({"fast", ctx.now()});
+    }
+  });
+  engine.run();
+  // Events must be globally sorted by virtual time.
+  for (std::size_t i = 1; i < events.size(); ++i) {
+    EXPECT_LE(events[i - 1].second, events[i].second);
+  }
+  EXPECT_EQ(events.front().first, "fast");  // 30 < 100
+}
+
+TEST(Engine, DeterministicAcrossRuns) {
+  auto run_once = [] {
+    Engine engine(LatencyParams::paper_defaults(), 99);
+    std::vector<std::uint64_t> trace;
+    for (int a = 0; a < 4; ++a) {
+      engine.spawn("a", [&](Context& ctx) {
+        for (int i = 0; i < 50; ++i) {
+          ctx.advance(ctx.rng().next_below(100));
+          ctx.sync();
+          trace.push_back(ctx.now());
+        }
+      });
+    }
+    engine.run();
+    return trace;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+TEST(Engine, DetectsDeadlock) {
+  Engine engine;
+  engine.spawn("stuck", [](Context& ctx) { ctx.block(); });
+  EXPECT_THROW(engine.run(), std::runtime_error);
+}
+
+TEST(Engine, WakeAtHonorsBothClocks) {
+  Engine engine;
+  Time woken_at = 0;
+  const ActorId sleeper = engine.spawn("sleeper", [&](Context& ctx) {
+    ctx.block();
+    woken_at = ctx.now();
+  });
+  engine.spawn("waker", [&, sleeper](Context& ctx) {
+    ctx.advance(500);
+    ctx.sync();
+    ctx.engine().wake_at(sleeper, ctx.now() + 250);
+  });
+  engine.run();
+  EXPECT_EQ(woken_at, 750u);
+}
+
+TEST(SimCacheLine, ConcurrentAtomicsSerializeAtLatomicEach) {
+  // Section 3: k concurrent atomics on one line complete at i * Latomic.
+  Engine engine;
+  SimCacheLine line;
+  const auto latomic = static_cast<Time>(engine.params().atomic());
+  std::vector<Time> completions;
+  for (int i = 0; i < 4; ++i) {
+    engine.spawn("t", [&](Context& ctx) {
+      line.atomic_rmw(ctx);
+      completions.push_back(ctx.now());
+    });
+  }
+  engine.run();
+  ASSERT_EQ(completions.size(), 4u);
+  std::sort(completions.begin(), completions.end());
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(completions[i], (i + 1) * latomic);
+  }
+}
+
+TEST(SimMutex, HandsOffInFifoOrder) {
+  Engine engine;
+  SimMutex mutex;
+  std::vector<int> order;
+  for (int i = 0; i < 3; ++i) {
+    engine.spawn("t", [&, i](Context& ctx) {
+      ctx.advance(10 * (i + 1));  // arrival order 0, 1, 2
+      mutex.lock(ctx);
+      order.push_back(i);
+      ctx.advance(1000);  // hold long enough that all others queue up
+      mutex.unlock(ctx);
+    });
+  }
+  engine.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(SimMutex, TryLockFailsWhenHeld) {
+  Engine engine;
+  SimMutex mutex;
+  bool second_got_it = true;
+  engine.spawn("holder", [&](Context& ctx) {
+    ASSERT_TRUE(mutex.try_lock(ctx));
+    ctx.advance(1000);
+    mutex.unlock(ctx);
+  });
+  engine.spawn("prober", [&](Context& ctx) {
+    ctx.advance(100);  // while the holder still holds it
+    second_got_it = mutex.try_lock(ctx);
+  });
+  engine.run();
+  EXPECT_FALSE(second_got_it);
+}
+
+TEST(SimSlot, DeliversAtProducerTimePlusDelay) {
+  Engine engine;
+  SimSlot<int> slot;
+  Time consumer_done = 0;
+  int value = 0;
+  engine.spawn("consumer", [&](Context& ctx) {
+    value = slot.await(ctx);
+    consumer_done = ctx.now();
+  });
+  engine.spawn("producer", [&](Context& ctx) {
+    ctx.advance(300);
+    slot.set(ctx, 42, 600.0);
+  });
+  engine.run();
+  EXPECT_EQ(value, 42);
+  EXPECT_EQ(consumer_done, 900u);
+}
+
+TEST(Mailbox, DeliversWithMessageLatency) {
+  Engine engine;
+  Mailbox<int> box;
+  const auto lmsg = static_cast<Time>(engine.params().message());
+  Time received_at = 0;
+  engine.spawn("receiver", [&](Context& ctx) {
+    (void)box.recv(ctx);
+    received_at = ctx.now();
+  });
+  engine.spawn("sender", [&](Context& ctx) {
+    ctx.advance(100);
+    box.send(ctx, 1);
+  });
+  engine.run();
+  EXPECT_EQ(received_at, 100 + lmsg);
+}
+
+TEST(Mailbox, PerSenderFifoHolds) {
+  Engine engine;
+  Mailbox<int> box;
+  std::vector<int> received;
+  engine.spawn("receiver", [&](Context& ctx) {
+    for (int i = 0; i < 10; ++i) received.push_back(box.recv(ctx));
+  });
+  engine.spawn("sender", [&](Context& ctx) {
+    for (int i = 0; i < 10; ++i) {
+      box.send(ctx, i);
+      ctx.advance(5);
+    }
+  });
+  engine.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(received[i], i);
+}
+
+TEST(Mailbox, TryRecvOnlyReturnsDeliveredMessages) {
+  Engine engine;
+  Mailbox<int> box;
+  bool immediate_empty = true;
+  bool later_full = false;
+  engine.spawn("receiver", [&](Context& ctx) {
+    ctx.advance(50);  // before any delivery completes
+    immediate_empty = !box.try_recv(ctx).has_value();
+    ctx.advance(10000);
+    later_full = box.try_recv(ctx).has_value();
+  });
+  engine.spawn("sender", [&](Context& ctx) { box.send(ctx, 7); });
+  engine.run();
+  EXPECT_TRUE(immediate_empty) << "message read before its delivery time";
+  EXPECT_TRUE(later_full);
+}
+
+}  // namespace
+}  // namespace pimds::sim

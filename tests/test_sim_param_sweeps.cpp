@@ -1,0 +1,187 @@
+// Parameterized model-agreement sweeps: the simulator must track the
+// closed-form model across thread counts, partition counts, and latency
+// ratios, not just at the single configurations the basic tests pin.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "model/linked_list_model.hpp"
+#include "model/queue_model.hpp"
+#include "model/skiplist_model.hpp"
+#include "sim/ds/linked_lists.hpp"
+#include "sim/ds/queues.hpp"
+#include "sim/ds/skiplists.hpp"
+
+namespace pimds::sim {
+namespace {
+
+// ---------------------------------------------------------------- lists
+
+class ListSweep : public ::testing::TestWithParam<std::size_t> {};
+
+ListConfig list_config(std::size_t p) {
+  ListConfig cfg;
+  cfg.num_cpus = p;
+  cfg.key_range = 600;
+  cfg.initial_size = 300;
+  cfg.duration_ns = 20'000'000;
+  return cfg;
+}
+
+TEST_P(ListSweep, FineGrainedTracksModel) {
+  const std::size_t p = GetParam();
+  const ListConfig cfg = list_config(p);
+  const double sim = run_fine_grained_list(cfg).ops_per_sec();
+  const double mdl = model::fine_grained_lock_list(cfg.params, 300, p);
+  EXPECT_GT(sim, 0.80 * mdl) << "p=" << p;
+  EXPECT_LT(sim, 1.20 * mdl) << "p=" << p;
+}
+
+TEST_P(ListSweep, PimCombiningTracksModel) {
+  const std::size_t p = GetParam();
+  const ListConfig cfg = list_config(p);
+  const double sim = run_pim_list(cfg, true).ops_per_sec();
+  const double mdl = model::pim_list_combining(cfg.params, 300, p);
+  EXPECT_GT(sim, 0.80 * mdl) << "p=" << p;
+  EXPECT_LT(sim, 1.20 * mdl) << "p=" << p;
+}
+
+TEST_P(ListSweep, PimBeatsFcByAboutR1) {
+  const std::size_t p = GetParam();
+  const ListConfig cfg = list_config(p);
+  const double pim = run_pim_list(cfg, true).ops_per_sec();
+  const double fc = run_fc_list(cfg, true).ops_per_sec();
+  // Claim C3 at every thread count (combining batches add noise: wide band).
+  EXPECT_GT(pim / fc, 0.7 * cfg.params.r1) << "p=" << p;
+  EXPECT_LT(pim / fc, 1.6 * cfg.params.r1) << "p=" << p;
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, ListSweep,
+                         ::testing::Values(1, 2, 4, 8, 16, 28),
+                         [](const auto& info) {
+                           return "p" + std::to_string(info.param);
+                         });
+
+// ------------------------------------------------------------ skip-lists
+
+class SkipListKSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(SkipListKSweep, PartitionedPimTracksModelUntilSaturation) {
+  const std::size_t k = GetParam();
+  SkipListConfig cfg;
+  cfg.num_cpus = 32;  // enough clients to keep k cores busy for all k here
+  cfg.key_range = 1 << 14;
+  cfg.initial_size = 1 << 13;
+  cfg.duration_ns = 15'000'000;
+  const double beta = model::estimate_beta(cfg.initial_size);
+  const double sim = run_pim_skiplist(cfg, k).ops_per_sec();
+  const double mdl = model::pim_skiplist_partitioned(cfg.params, beta, k);
+  EXPECT_GT(sim, 0.65 * mdl) << "k=" << k;
+  EXPECT_LT(sim, 1.45 * mdl) << "k=" << k;
+}
+
+TEST_P(SkipListKSweep, MorePartitionsNeverHurt) {
+  const std::size_t k = GetParam();
+  if (k == 1) GTEST_SKIP() << "needs a smaller comparison point";
+  SkipListConfig cfg;
+  cfg.num_cpus = 32;
+  cfg.key_range = 1 << 14;
+  cfg.initial_size = 1 << 13;
+  cfg.duration_ns = 10'000'000;
+  const double smaller = run_pim_skiplist(cfg, k / 2).ops_per_sec();
+  const double larger = run_pim_skiplist(cfg, k).ops_per_sec();
+  EXPECT_GE(larger, 0.95 * smaller) << "k=" << k;
+}
+
+INSTANTIATE_TEST_SUITE_P(Partitions, SkipListKSweep,
+                         ::testing::Values(1, 2, 4, 8, 16),
+                         [](const auto& info) {
+                           return "k" + std::to_string(info.param);
+                         });
+
+// --------------------------------------------------------------- queues
+
+class QueueRatioSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(QueueRatioSweep, PimQueueTracksModelAcrossR1) {
+  const double r1 = GetParam();
+  QueueConfig cfg;
+  cfg.params.r1 = r1;
+  cfg.params.pim_ns = 600.0 / r1;  // hold Lcpu at 600 ns
+  cfg.enqueuers = cfg.dequeuers = 16;
+  cfg.duration_ns = 10'000'000;
+  const double sim =
+      run_pim_queue(cfg, PimQueueOptions{}).run.ops_per_sec();
+  const double mdl = 2 * model::pim_queue_pipelined(cfg.params);
+  EXPECT_GT(sim, 0.85 * mdl) << "r1=" << r1;
+  EXPECT_LT(sim, 1.10 * mdl) << "r1=" << r1;
+}
+
+TEST_P(QueueRatioSweep, CrossoverAgainstFaaMatchesPredicate) {
+  const double r1 = GetParam();
+  QueueConfig cfg;
+  cfg.params.r1 = r1;
+  cfg.params.pim_ns = 600.0 / r1;
+  cfg.enqueuers = cfg.dequeuers = 16;
+  cfg.duration_ns = 10'000'000;
+  const double pim =
+      run_pim_queue(cfg, PimQueueOptions{}).run.ops_per_sec();
+  const double faa = run_faa_queue(cfg).ops_per_sec();
+  if (model::pim_beats_faa_queue(cfg.params) && r1 >= 1.2) {
+    EXPECT_GT(pim, faa) << "r1=" << r1;
+  }
+  if (r1 <= 0.8) {
+    EXPECT_LT(pim, faa) << "r1=" << r1;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Ratios, QueueRatioSweep,
+                         ::testing::Values(0.5, 1.5, 2.0, 3.0, 4.0),
+                         [](const auto& info) {
+                           const int tenths =
+                               static_cast<int>(info.param * 10 + 0.5);
+                           return "r1_" + std::to_string(tenths);
+                         });
+
+// Determinism across EVERY simulated structure: identical totals on rerun.
+class DeterminismSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(DeterminismSweep, EachAlgorithmIsBitStable) {
+  const int which = GetParam();
+  const auto run = [&]() -> std::uint64_t {
+    ListConfig lc = list_config(6);
+    lc.duration_ns = 5'000'000;
+    SkipListConfig sc;
+    sc.num_cpus = 6;
+    sc.key_range = 1 << 12;
+    sc.initial_size = 1 << 11;
+    sc.duration_ns = 5'000'000;
+    QueueConfig qc;
+    qc.enqueuers = qc.dequeuers = 4;
+    qc.duration_ns = 5'000'000;
+    switch (which) {
+      case 0: return run_fine_grained_list(lc).total_ops;
+      case 1: return run_fc_list(lc, false).total_ops;
+      case 2: return run_fc_list(lc, true).total_ops;
+      case 3: return run_pim_list(lc, false).total_ops;
+      case 4: return run_pim_list(lc, true).total_ops;
+      case 5: return run_lockfree_skiplist(sc).total_ops;
+      case 6: return run_fc_skiplist(sc, 4).total_ops;
+      case 7: return run_pim_skiplist(sc, 4).total_ops;
+      case 8: return run_faa_queue(qc).total_ops;
+      case 9: return run_fc_queue(qc).total_ops;
+      case 10: return run_pim_queue(qc, PimQueueOptions{}).run.total_ops;
+      default: return 0;
+    }
+  };
+  const std::uint64_t a = run();
+  const std::uint64_t b = run();
+  EXPECT_GT(a, 0u);
+  EXPECT_EQ(a, b) << "algorithm #" << which << " is not deterministic";
+}
+
+INSTANTIATE_TEST_SUITE_P(AllAlgorithms, DeterminismSweep,
+                         ::testing::Range(0, 11));
+
+}  // namespace
+}  // namespace pimds::sim

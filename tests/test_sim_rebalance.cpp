@@ -1,0 +1,138 @@
+// Tests for the simulated Section 4.2.1 rebalancing experiment and the
+// Section 5.1 fat-node enqueue combining.
+#include <gtest/gtest.h>
+
+#include "sim/ds/queues.hpp"
+#include "sim/ds/skiplist_common.hpp"
+#include "sim/ds/skiplists.hpp"
+
+namespace pimds::sim {
+namespace {
+
+RebalanceConfig quick_config() {
+  RebalanceConfig cfg;
+  cfg.num_cpus = 12;
+  cfg.partitions = 4;
+  cfg.key_range = 1 << 14;
+  cfg.initial_size = 1 << 13;
+  cfg.duration_ns = 30'000'000;
+  return cfg;
+}
+
+TEST(SimRebalance, MigrationImprovesSkewedThroughput) {
+  RebalanceConfig cfg = quick_config();
+  const RebalanceResult with = run_pim_skiplist_rebalance(cfg);
+  cfg.rebalance = false;
+  const RebalanceResult without = run_pim_skiplist_rebalance(cfg);
+  EXPECT_TRUE(with.size_consistent);
+  EXPECT_TRUE(without.size_consistent);
+  EXPECT_GT(with.migrated_keys, 0u);
+  EXPECT_EQ(without.migrated_keys, 0u);
+  // Before the split both runs are identical-ish; after it, the rebalanced
+  // run must clearly beat both its own past and the control.
+  EXPECT_GT(with.after.ops_per_sec(), 1.5 * with.before.ops_per_sec());
+  EXPECT_GT(with.after.ops_per_sec(), 1.5 * without.after.ops_per_sec());
+}
+
+TEST(SimRebalance, NoKeysLostAcrossMigrations) {
+  RebalanceConfig cfg = quick_config();
+  cfg.mix = {0.4, 0.4};  // heavy churn while ranges move
+  const RebalanceResult r = run_pim_skiplist_rebalance(cfg);
+  EXPECT_TRUE(r.size_consistent)
+      << "final size disagrees with successful add/remove accounting";
+}
+
+TEST(SimRebalance, ProtocolPathsAreExercised) {
+  RebalanceConfig cfg = quick_config();
+  cfg.migrate_chunk = 2;  // slow migration: maximize racing requests
+  const RebalanceResult r = run_pim_skiplist_rebalance(cfg);
+  EXPECT_TRUE(r.size_consistent);
+  // With a crawling migration under a hot workload, some requests must have
+  // hit the forwarding path (keys already handed over).
+  EXPECT_GT(r.forwarded, 0u);
+}
+
+TEST(SimRebalance, Deterministic) {
+  const RebalanceConfig cfg = quick_config();
+  const RebalanceResult a = run_pim_skiplist_rebalance(cfg);
+  const RebalanceResult b = run_pim_skiplist_rebalance(cfg);
+  EXPECT_EQ(a.before.total_ops, b.before.total_ops);
+  EXPECT_EQ(a.after.total_ops, b.after.total_ops);
+  EXPECT_EQ(a.migrated_keys, b.migrated_keys);
+  EXPECT_EQ(a.final_requests_per_vault, b.final_requests_per_vault);
+}
+
+TEST(InsertCursor, AscendingInsertsMatchRegularInserts) {
+  Engine engine;
+  engine.spawn("t", [](Context& ctx) {
+    SimSkipList via_cursor(0);
+    SimSkipList regular(0);
+    SimSkipList::InsertCursor cursor;
+    Xoshiro256 rng(5);
+    std::vector<std::uint64_t> keys;
+    for (int i = 0; i < 500; ++i) keys.push_back(rng.next_in(1, 2000));
+    std::sort(keys.begin(), keys.end());
+    for (const std::uint64_t k : keys) {
+      const bool a = via_cursor.insert_ascending(ctx, cursor, k,
+                                                 MemClass::kPimLocal);
+      const bool b = regular.execute(ctx, SetOp::kAdd, k,
+                                     MemClass::kPimLocal);
+      ASSERT_EQ(a, b) << k;
+    }
+    ASSERT_EQ(via_cursor.keys(), regular.keys());
+  });
+  engine.run();
+}
+
+TEST(InsertCursor, SurvivesInterleavedMutations) {
+  Engine engine;
+  engine.spawn("t", [](Context& ctx) {
+    SimSkipList list(0);
+    SimSkipList::InsertCursor cursor;
+    // Ascending inserts with unrelated mutations in between (which
+    // invalidate the fingers and force a re-seed).
+    for (std::uint64_t k = 10; k <= 500; k += 10) {
+      ASSERT_TRUE(list.insert_ascending(ctx, cursor, k, MemClass::kPimLocal));
+      if (k % 50 == 0) {
+        list.execute(ctx, SetOp::kAdd, k + 5, MemClass::kPimLocal);
+        list.execute(ctx, SetOp::kRemove, k - 10, MemClass::kPimLocal);
+      }
+    }
+    // Spot-check membership.
+    EXPECT_TRUE(list.execute(ctx, SetOp::kContains, 500, MemClass::kPimLocal));
+    EXPECT_FALSE(list.execute(ctx, SetOp::kContains, 40, MemClass::kPimLocal));
+    EXPECT_TRUE(list.execute(ctx, SetOp::kContains, 55, MemClass::kPimLocal));
+  });
+  engine.run();
+}
+
+TEST(FatNodeCombining, SpeedsUpTheEnqueueSide) {
+  QueueConfig cfg;
+  cfg.enqueuers = 24;
+  cfg.dequeuers = 0;
+  cfg.duration_ns = 10'000'000;
+  PimQueueOptions plain;
+  PimQueueOptions fat;
+  fat.enqueue_combining = true;
+  const double off = run_pim_queue(cfg, plain).run.ops_per_sec();
+  const double on = run_pim_queue(cfg, fat).run.ops_per_sec();
+  EXPECT_GT(on, 2.0 * off) << "fat nodes should lift the 1/Lpim ceiling";
+}
+
+TEST(FatNodeCombining, PreservesFifoAccounting) {
+  QueueConfig cfg;
+  cfg.enqueuers = 8;
+  cfg.dequeuers = 8;
+  cfg.duration_ns = 10'000'000;
+  PimQueueOptions fat;
+  fat.enqueue_combining = true;
+  const PimQueueResult r = run_pim_queue(cfg, fat);
+  EXPECT_GT(r.run.total_ops, 0u);
+  EXPECT_EQ(r.empty_dequeues, 0u);
+  // Both sides must still be served (no starvation via the replay queue).
+  EXPECT_GT(r.enq_ops, 0u);
+  EXPECT_GT(r.deq_ops, 0u);
+}
+
+}  // namespace
+}  // namespace pimds::sim

@@ -1,0 +1,157 @@
+// Parameterized stress matrix: every real concurrent set structure in the
+// library, swept over thread counts and key-range densities, checked with
+// the disjoint-range oracle (exact per-thread sequential semantics under
+// full concurrency) and global accounting.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "baselines/fc_structures.hpp"
+#include "baselines/hoh_list.hpp"
+#include "baselines/lazy_list.hpp"
+#include "baselines/lockfree_skiplist.hpp"
+#include "common/rng.hpp"
+#include "core/pim_linked_list.hpp"
+#include "core/pim_skiplist.hpp"
+
+namespace pimds {
+namespace {
+
+struct MatrixParam {
+  std::string structure;
+  int threads;
+  std::uint64_t keys_per_thread;
+};
+
+std::string param_name(const ::testing::TestParamInfo<MatrixParam>& info) {
+  return info.param.structure + "_t" + std::to_string(info.param.threads) +
+         "_k" + std::to_string(info.param.keys_per_thread);
+}
+
+/// Abstract set handle so one test body drives every structure.
+struct AnySet {
+  std::function<bool(std::uint64_t)> add;
+  std::function<bool(std::uint64_t)> remove;
+  std::function<bool(std::uint64_t)> contains;
+  std::function<void()> teardown = [] {};
+};
+
+AnySet make_set(const std::string& name) {
+  if (name == "hoh") {
+    auto s = std::make_shared<baselines::HohList>();
+    return {[s](std::uint64_t k) { return s->add(k); },
+            [s](std::uint64_t k) { return s->remove(k); },
+            [s](std::uint64_t k) { return s->contains(k); }};
+  }
+  if (name == "lazy") {
+    auto s = std::make_shared<baselines::LazyList>();
+    return {[s](std::uint64_t k) { return s->add(k); },
+            [s](std::uint64_t k) { return s->remove(k); },
+            [s](std::uint64_t k) { return s->contains(k); }};
+  }
+  if (name == "lockfree") {
+    auto s = std::make_shared<baselines::LockFreeSkipList>();
+    return {[s](std::uint64_t k) { return s->add(k); },
+            [s](std::uint64_t k) { return s->remove(k); },
+            [s](std::uint64_t k) { return s->contains(k); }};
+  }
+  if (name == "fclist") {
+    auto s = std::make_shared<baselines::FcLinkedList>(true);
+    return {[s](std::uint64_t k) { return s->add(k); },
+            [s](std::uint64_t k) { return s->remove(k); },
+            [s](std::uint64_t k) { return s->contains(k); }};
+  }
+  if (name == "fcskip") {
+    auto s = std::make_shared<baselines::FcSkipList>(1u << 20, 4);
+    return {[s](std::uint64_t k) { return s->add(k); },
+            [s](std::uint64_t k) { return s->remove(k); },
+            [s](std::uint64_t k) { return s->contains(k); }};
+  }
+  if (name == "pimlist") {
+    auto system = std::make_shared<runtime::PimSystem>(
+        runtime::PimSystem::Config{1, 8u << 20, 4096, {}, false});
+    auto s = std::make_shared<core::PimLinkedList>(*system);
+    system->start();
+    return {[s](std::uint64_t k) { return s->add(k); },
+            [s](std::uint64_t k) { return s->remove(k); },
+            [s](std::uint64_t k) { return s->contains(k); },
+            [system, s] { system->stop(); }};
+  }
+  if (name == "pimskip") {
+    auto system = std::make_shared<runtime::PimSystem>(
+        runtime::PimSystem::Config{4, 8u << 20, 4096, {}, false});
+    core::PimSkipList::Options options;
+    options.key_max = 1u << 20;
+    auto s = std::make_shared<core::PimSkipList>(*system, options);
+    system->start();
+    return {[s](std::uint64_t k) { return s->add(k); },
+            [s](std::uint64_t k) { return s->remove(k); },
+            [s](std::uint64_t k) { return s->contains(k); },
+            [system, s] { system->stop(); }};
+  }
+  ADD_FAILURE() << "unknown structure " << name;
+  return {};
+}
+
+class StressMatrix : public ::testing::TestWithParam<MatrixParam> {};
+
+TEST_P(StressMatrix, DisjointRangesMatchSequentialOracles) {
+  const MatrixParam param = GetParam();
+  AnySet set = make_set(param.structure);
+  std::atomic<int> failures{0};
+  std::vector<std::thread> workers;
+  for (int t = 0; t < param.threads; ++t) {
+    workers.emplace_back([&, t] {
+      const std::uint64_t base = 1 + static_cast<std::uint64_t>(t) * 100000;
+      std::set<std::uint64_t> oracle;
+      Xoshiro256 rng(1000 + t);
+      for (int i = 0; i < 2500; ++i) {
+        const std::uint64_t key = base + rng.next_below(param.keys_per_thread);
+        bool got = false;
+        bool want = false;
+        switch (rng.next_below(3)) {
+          case 0:
+            got = set.add(key);
+            want = oracle.insert(key).second;
+            break;
+          case 1:
+            got = set.remove(key);
+            want = oracle.erase(key) > 0;
+            break;
+          default:
+            got = set.contains(key);
+            want = oracle.count(key) > 0;
+        }
+        if (got != want) failures.fetch_add(1);
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  set.teardown();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+std::vector<MatrixParam> matrix() {
+  std::vector<MatrixParam> params;
+  for (const char* structure :
+       {"hoh", "lazy", "lockfree", "fclist", "fcskip", "pimlist",
+        "pimskip"}) {
+    for (int threads : {1, 2, 4}) {
+      // Dense (small range: heavy key reuse) and sparse regimes.
+      params.push_back({structure, threads, 50});
+      params.push_back({structure, threads, 5000});
+    }
+  }
+  return params;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllStructures, StressMatrix,
+                         ::testing::ValuesIn(matrix()), param_name);
+
+}  // namespace
+}  // namespace pimds

@@ -1,0 +1,21 @@
+// The umbrella header must compile standalone and expose the public API.
+#include "pimds.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+TEST(Umbrella, ExposesTheWholePublicApi) {
+  // One symbol per namespace proves the includes are wired.
+  EXPECT_EQ(pimds::LatencyParams::paper_defaults().r1, 3.0);
+  EXPECT_GT(pimds::model::faa_queue(pimds::LatencyParams::paper_defaults()),
+            0.0);
+  pimds::sim::Engine engine;
+  EXPECT_EQ(engine.actor_count(), 0u);
+  pimds::baselines::MsQueue queue;
+  EXPECT_FALSE(queue.dequeue().has_value());
+  pimds::runtime::PimSystem::Config config;
+  EXPECT_EQ(config.num_vaults, 4u);
+}
+
+}  // namespace
