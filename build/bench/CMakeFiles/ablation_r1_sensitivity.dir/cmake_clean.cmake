@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_r1_sensitivity.dir/ablation_r1_sensitivity.cpp.o"
+  "CMakeFiles/ablation_r1_sensitivity.dir/ablation_r1_sensitivity.cpp.o.d"
+  "ablation_r1_sensitivity"
+  "ablation_r1_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_r1_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

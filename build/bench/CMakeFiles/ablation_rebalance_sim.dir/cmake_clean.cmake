@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_rebalance_sim.dir/ablation_rebalance_sim.cpp.o"
+  "CMakeFiles/ablation_rebalance_sim.dir/ablation_rebalance_sim.cpp.o.d"
+  "ablation_rebalance_sim"
+  "ablation_rebalance_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_rebalance_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_linked_lists.dir/fig2_linked_lists.cpp.o"
+  "CMakeFiles/fig2_linked_lists.dir/fig2_linked_lists.cpp.o.d"
+  "fig2_linked_lists"
+  "fig2_linked_lists.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_linked_lists.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_skiplists.dir/fig4_skiplists.cpp.o"
+  "CMakeFiles/fig4_skiplists.dir/fig4_skiplists.cpp.o.d"
+  "fig4_skiplists"
+  "fig4_skiplists.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_skiplists.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

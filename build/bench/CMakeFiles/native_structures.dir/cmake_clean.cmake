@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/native_structures.dir/native_structures.cpp.o"
+  "CMakeFiles/native_structures.dir/native_structures.cpp.o.d"
+  "native_structures"
+  "native_structures.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/native_structures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

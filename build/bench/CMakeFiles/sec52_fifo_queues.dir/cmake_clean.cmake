@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec52_fifo_queues.dir/sec52_fifo_queues.cpp.o"
+  "CMakeFiles/sec52_fifo_queues.dir/sec52_fifo_queues.cpp.o.d"
+  "sec52_fifo_queues"
+  "sec52_fifo_queues.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec52_fifo_queues.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for sec52_fifo_queues.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_linked_lists.dir/table1_linked_lists.cpp.o"
+  "CMakeFiles/table1_linked_lists.dir/table1_linked_lists.cpp.o.d"
+  "table1_linked_lists"
+  "table1_linked_lists.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_linked_lists.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

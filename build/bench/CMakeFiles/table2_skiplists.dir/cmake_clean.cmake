@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_skiplists.dir/table2_skiplists.cpp.o"
+  "CMakeFiles/table2_skiplists.dir/table2_skiplists.cpp.o.d"
+  "table2_skiplists"
+  "table2_skiplists.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_skiplists.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

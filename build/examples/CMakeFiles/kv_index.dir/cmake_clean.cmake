@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kv_index.dir/kv_index.cpp.o"
+  "CMakeFiles/kv_index.dir/kv_index.cpp.o.d"
+  "kv_index"
+  "kv_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kv_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

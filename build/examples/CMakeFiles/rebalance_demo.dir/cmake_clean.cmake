@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rebalance_demo.dir/rebalance_demo.cpp.o"
+  "CMakeFiles/rebalance_demo.dir/rebalance_demo.cpp.o.d"
+  "rebalance_demo"
+  "rebalance_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rebalance_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/task_dispatch.dir/task_dispatch.cpp.o"
+  "CMakeFiles/task_dispatch.dir/task_dispatch.cpp.o.d"
+  "task_dispatch"
+  "task_dispatch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/task_dispatch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

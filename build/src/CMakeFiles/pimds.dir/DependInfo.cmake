@@ -1,0 +1,67 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  "ASM"
+  )
+# The set of files for implicit dependencies of each language:
+set(CMAKE_DEPENDS_CHECK_ASM
+  "/root/repo/src/sim/fiber_switch.S" "/root/repo/build/src/CMakeFiles/pimds.dir/sim/fiber_switch.S.o"
+  )
+set(CMAKE_ASM_COMPILER_ID "GNU")
+
+# The include file search paths:
+set(CMAKE_ASM_TARGET_INCLUDE_PATH
+  "/root/repo/src"
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/faa_queue.cpp" "src/CMakeFiles/pimds.dir/baselines/faa_queue.cpp.o" "gcc" "src/CMakeFiles/pimds.dir/baselines/faa_queue.cpp.o.d"
+  "/root/repo/src/baselines/fc_structures.cpp" "src/CMakeFiles/pimds.dir/baselines/fc_structures.cpp.o" "gcc" "src/CMakeFiles/pimds.dir/baselines/fc_structures.cpp.o.d"
+  "/root/repo/src/baselines/hoh_list.cpp" "src/CMakeFiles/pimds.dir/baselines/hoh_list.cpp.o" "gcc" "src/CMakeFiles/pimds.dir/baselines/hoh_list.cpp.o.d"
+  "/root/repo/src/baselines/lazy_list.cpp" "src/CMakeFiles/pimds.dir/baselines/lazy_list.cpp.o" "gcc" "src/CMakeFiles/pimds.dir/baselines/lazy_list.cpp.o.d"
+  "/root/repo/src/baselines/lockfree_skiplist.cpp" "src/CMakeFiles/pimds.dir/baselines/lockfree_skiplist.cpp.o" "gcc" "src/CMakeFiles/pimds.dir/baselines/lockfree_skiplist.cpp.o.d"
+  "/root/repo/src/baselines/ms_queue.cpp" "src/CMakeFiles/pimds.dir/baselines/ms_queue.cpp.o" "gcc" "src/CMakeFiles/pimds.dir/baselines/ms_queue.cpp.o.d"
+  "/root/repo/src/baselines/seq_structures.cpp" "src/CMakeFiles/pimds.dir/baselines/seq_structures.cpp.o" "gcc" "src/CMakeFiles/pimds.dir/baselines/seq_structures.cpp.o.d"
+  "/root/repo/src/common/ebr.cpp" "src/CMakeFiles/pimds.dir/common/ebr.cpp.o" "gcc" "src/CMakeFiles/pimds.dir/common/ebr.cpp.o.d"
+  "/root/repo/src/common/latency.cpp" "src/CMakeFiles/pimds.dir/common/latency.cpp.o" "gcc" "src/CMakeFiles/pimds.dir/common/latency.cpp.o.d"
+  "/root/repo/src/common/stats.cpp" "src/CMakeFiles/pimds.dir/common/stats.cpp.o" "gcc" "src/CMakeFiles/pimds.dir/common/stats.cpp.o.d"
+  "/root/repo/src/common/thread_utils.cpp" "src/CMakeFiles/pimds.dir/common/thread_utils.cpp.o" "gcc" "src/CMakeFiles/pimds.dir/common/thread_utils.cpp.o.d"
+  "/root/repo/src/common/zipf.cpp" "src/CMakeFiles/pimds.dir/common/zipf.cpp.o" "gcc" "src/CMakeFiles/pimds.dir/common/zipf.cpp.o.d"
+  "/root/repo/src/core/auto_rebalancer.cpp" "src/CMakeFiles/pimds.dir/core/auto_rebalancer.cpp.o" "gcc" "src/CMakeFiles/pimds.dir/core/auto_rebalancer.cpp.o.d"
+  "/root/repo/src/core/local_skiplist.cpp" "src/CMakeFiles/pimds.dir/core/local_skiplist.cpp.o" "gcc" "src/CMakeFiles/pimds.dir/core/local_skiplist.cpp.o.d"
+  "/root/repo/src/core/pim_fifo_queue.cpp" "src/CMakeFiles/pimds.dir/core/pim_fifo_queue.cpp.o" "gcc" "src/CMakeFiles/pimds.dir/core/pim_fifo_queue.cpp.o.d"
+  "/root/repo/src/core/pim_linked_list.cpp" "src/CMakeFiles/pimds.dir/core/pim_linked_list.cpp.o" "gcc" "src/CMakeFiles/pimds.dir/core/pim_linked_list.cpp.o.d"
+  "/root/repo/src/core/pim_skiplist.cpp" "src/CMakeFiles/pimds.dir/core/pim_skiplist.cpp.o" "gcc" "src/CMakeFiles/pimds.dir/core/pim_skiplist.cpp.o.d"
+  "/root/repo/src/model/linked_list_model.cpp" "src/CMakeFiles/pimds.dir/model/linked_list_model.cpp.o" "gcc" "src/CMakeFiles/pimds.dir/model/linked_list_model.cpp.o.d"
+  "/root/repo/src/model/queue_model.cpp" "src/CMakeFiles/pimds.dir/model/queue_model.cpp.o" "gcc" "src/CMakeFiles/pimds.dir/model/queue_model.cpp.o.d"
+  "/root/repo/src/model/skiplist_model.cpp" "src/CMakeFiles/pimds.dir/model/skiplist_model.cpp.o" "gcc" "src/CMakeFiles/pimds.dir/model/skiplist_model.cpp.o.d"
+  "/root/repo/src/runtime/system.cpp" "src/CMakeFiles/pimds.dir/runtime/system.cpp.o" "gcc" "src/CMakeFiles/pimds.dir/runtime/system.cpp.o.d"
+  "/root/repo/src/runtime/vault.cpp" "src/CMakeFiles/pimds.dir/runtime/vault.cpp.o" "gcc" "src/CMakeFiles/pimds.dir/runtime/vault.cpp.o.d"
+  "/root/repo/src/sim/ds/faa_queue.cpp" "src/CMakeFiles/pimds.dir/sim/ds/faa_queue.cpp.o" "gcc" "src/CMakeFiles/pimds.dir/sim/ds/faa_queue.cpp.o.d"
+  "/root/repo/src/sim/ds/fc_list.cpp" "src/CMakeFiles/pimds.dir/sim/ds/fc_list.cpp.o" "gcc" "src/CMakeFiles/pimds.dir/sim/ds/fc_list.cpp.o.d"
+  "/root/repo/src/sim/ds/fc_queue.cpp" "src/CMakeFiles/pimds.dir/sim/ds/fc_queue.cpp.o" "gcc" "src/CMakeFiles/pimds.dir/sim/ds/fc_queue.cpp.o.d"
+  "/root/repo/src/sim/ds/fc_skiplist.cpp" "src/CMakeFiles/pimds.dir/sim/ds/fc_skiplist.cpp.o" "gcc" "src/CMakeFiles/pimds.dir/sim/ds/fc_skiplist.cpp.o.d"
+  "/root/repo/src/sim/ds/fine_grained_list.cpp" "src/CMakeFiles/pimds.dir/sim/ds/fine_grained_list.cpp.o" "gcc" "src/CMakeFiles/pimds.dir/sim/ds/fine_grained_list.cpp.o.d"
+  "/root/repo/src/sim/ds/list_common.cpp" "src/CMakeFiles/pimds.dir/sim/ds/list_common.cpp.o" "gcc" "src/CMakeFiles/pimds.dir/sim/ds/list_common.cpp.o.d"
+  "/root/repo/src/sim/ds/lockfree_skiplist.cpp" "src/CMakeFiles/pimds.dir/sim/ds/lockfree_skiplist.cpp.o" "gcc" "src/CMakeFiles/pimds.dir/sim/ds/lockfree_skiplist.cpp.o.d"
+  "/root/repo/src/sim/ds/ms_queue.cpp" "src/CMakeFiles/pimds.dir/sim/ds/ms_queue.cpp.o" "gcc" "src/CMakeFiles/pimds.dir/sim/ds/ms_queue.cpp.o.d"
+  "/root/repo/src/sim/ds/pim_list.cpp" "src/CMakeFiles/pimds.dir/sim/ds/pim_list.cpp.o" "gcc" "src/CMakeFiles/pimds.dir/sim/ds/pim_list.cpp.o.d"
+  "/root/repo/src/sim/ds/pim_queue.cpp" "src/CMakeFiles/pimds.dir/sim/ds/pim_queue.cpp.o" "gcc" "src/CMakeFiles/pimds.dir/sim/ds/pim_queue.cpp.o.d"
+  "/root/repo/src/sim/ds/pim_skiplist.cpp" "src/CMakeFiles/pimds.dir/sim/ds/pim_skiplist.cpp.o" "gcc" "src/CMakeFiles/pimds.dir/sim/ds/pim_skiplist.cpp.o.d"
+  "/root/repo/src/sim/ds/pim_skiplist_rebalance.cpp" "src/CMakeFiles/pimds.dir/sim/ds/pim_skiplist_rebalance.cpp.o" "gcc" "src/CMakeFiles/pimds.dir/sim/ds/pim_skiplist_rebalance.cpp.o.d"
+  "/root/repo/src/sim/ds/skiplist_common.cpp" "src/CMakeFiles/pimds.dir/sim/ds/skiplist_common.cpp.o" "gcc" "src/CMakeFiles/pimds.dir/sim/ds/skiplist_common.cpp.o.d"
+  "/root/repo/src/sim/engine.cpp" "src/CMakeFiles/pimds.dir/sim/engine.cpp.o" "gcc" "src/CMakeFiles/pimds.dir/sim/engine.cpp.o.d"
+  "/root/repo/src/sim/fiber.cpp" "src/CMakeFiles/pimds.dir/sim/fiber.cpp.o" "gcc" "src/CMakeFiles/pimds.dir/sim/fiber.cpp.o.d"
+  "/root/repo/src/sim/workload.cpp" "src/CMakeFiles/pimds.dir/sim/workload.cpp.o" "gcc" "src/CMakeFiles/pimds.dir/sim/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

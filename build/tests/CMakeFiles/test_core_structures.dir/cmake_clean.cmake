@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_structures.dir/test_core_structures.cpp.o"
+  "CMakeFiles/test_core_structures.dir/test_core_structures.cpp.o.d"
+  "test_core_structures"
+  "test_core_structures.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_structures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fifo_checker.dir/test_fifo_checker.cpp.o"
+  "CMakeFiles/test_fifo_checker.dir/test_fifo_checker.cpp.o.d"
+  "test_fifo_checker"
+  "test_fifo_checker.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fifo_checker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

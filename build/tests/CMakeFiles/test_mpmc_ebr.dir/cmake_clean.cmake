@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mpmc_ebr.dir/test_mpmc_ebr.cpp.o"
+  "CMakeFiles/test_mpmc_ebr.dir/test_mpmc_ebr.cpp.o.d"
+  "test_mpmc_ebr"
+  "test_mpmc_ebr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mpmc_ebr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_corners.dir/test_sim_corners.cpp.o"
+  "CMakeFiles/test_sim_corners.dir/test_sim_corners.cpp.o.d"
+  "test_sim_corners"
+  "test_sim_corners.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_corners.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

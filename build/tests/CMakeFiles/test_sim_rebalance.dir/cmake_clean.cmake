@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_rebalance.dir/test_sim_rebalance.cpp.o"
+  "CMakeFiles/test_sim_rebalance.dir/test_sim_rebalance.cpp.o.d"
+  "test_sim_rebalance"
+  "test_sim_rebalance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_rebalance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

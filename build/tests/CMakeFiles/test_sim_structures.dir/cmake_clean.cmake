@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_structures.dir/test_sim_structures.cpp.o"
+  "CMakeFiles/test_sim_structures.dir/test_sim_structures.cpp.o.d"
+  "test_sim_structures"
+  "test_sim_structures.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_structures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

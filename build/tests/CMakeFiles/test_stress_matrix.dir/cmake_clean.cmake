@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stress_matrix.dir/test_stress_matrix.cpp.o"
+  "CMakeFiles/test_stress_matrix.dir/test_stress_matrix.cpp.o.d"
+  "test_stress_matrix"
+  "test_stress_matrix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stress_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
