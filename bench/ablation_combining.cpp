@@ -13,10 +13,11 @@
 #include "model/linked_list_model.hpp"
 #include "sim/ds/linked_lists.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace pimds;
   using namespace pimds::bench;
 
+  JsonReporter json(argc, argv, "ablation_combining");
   banner("Ablation A1: combining optimization of the PIM linked-list");
   constexpr std::size_t kListSize = 400;
 
@@ -39,6 +40,9 @@ int main() {
     std::snprintf(ms, sizeof(ms), "%.2fx", model_speedup);
     table.print_row({std::to_string(p), mops(plain), mops(comb),
                      ratio(comb, plain), ms});
+    const JsonReporter::Params params{{"threads", std::to_string(p)}};
+    json.record("pim_nocomb_p" + std::to_string(p), params, plain);
+    json.record("pim_comb_p" + std::to_string(p), params, comb);
   }
 
   std::printf(

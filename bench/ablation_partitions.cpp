@@ -6,10 +6,11 @@
 #include "model/skiplist_model.hpp"
 #include "sim/ds/skiplists.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace pimds;
   using namespace pimds::bench;
 
+  JsonReporter json(argc, argv, "ablation_partitions");
   banner("Ablation A2: PIM skip-list partition sweep and crossover");
 
   for (std::size_t p : {8, 16, 28}) {
@@ -26,11 +27,17 @@ int main() {
     std::printf("\np = %zu threads; lock-free baseline = %s Mops/s; model "
                 "predicts crossover at k >= %zu\n",
                 p, mops(lf).c_str(), k_pred);
+    json.record("lockfree_p" + std::to_string(p),
+                {{"threads", std::to_string(p)}}, lf);
     Table table({"k", "PIM Mops/s", "vs lock-free"}, 16);
     table.print_header();
     for (std::size_t k : {1, 2, 4, 8, 16, 32}) {
       const double pim = sim::run_pim_skiplist(cfg, k).ops_per_sec();
       table.print_row({std::to_string(k), mops(pim), ratio(pim, lf)});
+      json.record("pim_p" + std::to_string(p) + "_k" + std::to_string(k),
+                  {{"threads", std::to_string(p)},
+                   {"partitions", std::to_string(k)}},
+                  pim);
     }
   }
 

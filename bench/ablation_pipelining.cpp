@@ -8,11 +8,13 @@
 #include "model/queue_model.hpp"
 #include "sim/ds/queues.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace pimds;
   using namespace pimds::bench;
   using sim::PimQueueOptions;
   using sim::SegmentPlacement;
+
+  JsonReporter json(argc, argv, "ablation_pipelining");
 
   sim::QueueConfig cfg;
   cfg.enqueuers = 12;
@@ -27,11 +29,14 @@ int main() {
     PimQueueOptions on;
     PimQueueOptions off;
     off.pipelining = false;
-    table.print_row({"on", mops(sim::run_pim_queue(cfg, on).run.ops_per_sec()),
+    const double t_on = sim::run_pim_queue(cfg, on).run.ops_per_sec();
+    const double t_off = sim::run_pim_queue(cfg, off).run.ops_per_sec();
+    table.print_row({"on", mops(t_on),
                      mops(2 * model::pim_queue_pipelined(lp))});
-    table.print_row({"off",
-                     mops(sim::run_pim_queue(cfg, off).run.ops_per_sec()),
+    table.print_row({"off", mops(t_off),
                      mops(2 * model::pim_queue_unpipelined(lp))});
+    json.record("pipelining_on", {{"pipelining", "on"}}, t_on);
+    json.record("pipelining_off", {{"pipelining", "off"}}, t_off);
   }
 
   banner("Ablation A3b: segment threshold sweep");
@@ -46,6 +51,9 @@ int main() {
                        mops(r.run.ops_per_sec()),
                        std::to_string(r.segments_created),
                        std::to_string(r.rejections)});
+      json.record("threshold_" + std::to_string(threshold),
+                  {{"segment_threshold", std::to_string(threshold)}},
+                  r.run.ops_per_sec());
     }
     PimQueueOptions single;
     single.num_vaults = 1;
@@ -71,6 +79,7 @@ int main() {
       const auto r = sim::run_pim_queue(c, opts);
       table.print_row({name, mops(r.run.ops_per_sec()),
                        std::to_string(r.co_resident_ops)});
+      json.record(name, {{"placement", name}}, r.run.ops_per_sec());
     };
     // Exact-multiple prefill puts both roles on one core at t=0: the
     // round-robin policy never separates them again.

@@ -16,10 +16,11 @@
 #include "sim/ds/queues.hpp"
 #include "sim/ds/skiplists.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace pimds;
   using namespace pimds::bench;
 
+  JsonReporter json(argc, argv, "ablation_r1_sensitivity");
   banner("Ablation A4a: r1 sweep — who wins at what PIM speed?");
   {
     Table table({"r1", "fine-grained", "PIM no-comb", "PIM comb",
@@ -45,13 +46,19 @@ int main() {
       qcfg.duration_ns = 10'000'000;
       char r1s[16];
       std::snprintf(r1s, sizeof(r1s), "%.1f", r1);
+      const double fg = sim::run_fine_grained_list(lcfg).ops_per_sec();
+      const double pim_comb = sim::run_pim_list(lcfg, true).ops_per_sec();
+      const double pim_q =
+          sim::run_pim_queue(qcfg, sim::PimQueueOptions{}).run.ops_per_sec();
       table.print_row(
-          {r1s, mops(sim::run_fine_grained_list(lcfg).ops_per_sec()),
+          {r1s, mops(fg),
            mops(sim::run_pim_list(lcfg, false).ops_per_sec()),
-           mops(sim::run_pim_list(lcfg, true).ops_per_sec()),
-           mops(sim::run_pim_queue(qcfg, sim::PimQueueOptions{})
-                    .run.ops_per_sec()),
+           mops(pim_comb), mops(pim_q),
            mops(sim::run_faa_queue(qcfg).ops_per_sec())});
+      const JsonReporter::Params jp{{"r1", r1s}};
+      json.record(std::string("fine_grained_r1_") + r1s, jp, fg);
+      json.record(std::string("pim_comb_r1_") + r1s, jp, pim_comb);
+      json.record(std::string("pim_queue_r1_") + r1s, jp, pim_q);
     }
     std::printf(
         "(Lcpu fixed at 600 ns, Lpim = Lcpu/r1. Even at r1 = 6 the naive\n"

@@ -18,10 +18,11 @@
 #include "common/zipf.hpp"
 #include "core/pim_skiplist.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace pimds;
   using namespace pimds::bench;
 
+  JsonReporter json(argc, argv, "ablation_rebalance");
   banner("Ablation A5: PIM skip-list rebalancing under Zipf skew "
          "(real threads)");
   constexpr std::uint64_t kKeyMax = 1 << 16;
@@ -131,6 +132,9 @@ int main() {
   for (auto& t : cpus) t.join();
   system.stop();
 
+  json.record("static_skewed", {{"vaults", std::to_string(kVaults)}}, before);
+  json.record("after_rebalance", {{"vaults", std::to_string(kVaults)}}, after);
+  json.note("rebalance_gain", after / before);
   std::printf("\nthroughput change: %.2fx (host has %d worker threads; on a "
               "many-core host the spread grows with the number of vaults)\n",
               after / before, kCpuThreads);

@@ -10,10 +10,11 @@
 #include "bench/bench_util.hpp"
 #include "sim/ds/skiplists.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace pimds;
   using namespace pimds::bench;
 
+  JsonReporter json(argc, argv, "ablation_rebalance_sim");
   banner("Ablation A5b: skip-list rebalancing under Zipf skew (simulator)");
   Table table({"theta", "k", "before", "after", "gain", "migrated",
                "rej/fwd/def", "consistent"},
@@ -38,6 +39,12 @@ int main() {
                        ratio(r.after.ops_per_sec(), r.before.ops_per_sec()),
                        std::to_string(r.migrated_keys), flow,
                        r.size_consistent ? "yes" : "NO"});
+      const JsonReporter::Params params{{"theta", th},
+                                        {"partitions", std::to_string(k)}};
+      json.record(std::string("before_theta") + th + "_k" + std::to_string(k),
+                  params, r.before.ops_per_sec());
+      json.record(std::string("after_theta") + th + "_k" + std::to_string(k),
+                  params, r.after.ops_per_sec());
     }
   }
 

@@ -1,10 +1,14 @@
-// Shared table-printing helpers for the paper-reproduction benchmarks.
-// Every bench binary prints the rows/series of one table or figure from the
-// paper; EXPERIMENTS.md records the comparison against the published shape.
+// Shared helpers for the paper-reproduction benchmarks: fixed-width table
+// printing plus machine-readable JSON emission. Every bench binary prints
+// the rows/series of one table or figure from the paper (EXPERIMENTS.md
+// records the comparison against the published shape) and, when invoked
+// with `--json <file>`, additionally writes a BENCH_*.json record
+// (name, params, ops/sec) so the perf trajectory is machine-readable.
 #pragma once
 
 #include <cstdio>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace pimds::bench {
@@ -50,5 +54,102 @@ inline std::string ratio(double a, double b) {
 inline void banner(const char* title) {
   std::printf("\n=== %s ===\n", title);
 }
+
+/// Machine-readable benchmark output. Construct from main()'s argv; when
+/// `--json <file>` was passed, every record() call is accumulated and the
+/// file is written on destruction (or an explicit flush()):
+///
+///   {"bench": "<binary>", "records": [
+///     {"name": "...", "params": {"k": "v"}, "ops_per_sec": 1.23e6}, ...]}
+///
+/// With no --json flag the reporter is inert, so call sites need no guards.
+class JsonReporter {
+ public:
+  using Params = std::vector<std::pair<std::string, std::string>>;
+
+  JsonReporter(int argc, char** argv, std::string bench_name)
+      : bench_(std::move(bench_name)) {
+    for (int i = 1; i + 1 < argc; ++i) {
+      if (std::string(argv[i]) == "--json") {
+        path_ = argv[i + 1];
+        break;
+      }
+    }
+  }
+
+  JsonReporter(const JsonReporter&) = delete;
+  JsonReporter& operator=(const JsonReporter&) = delete;
+
+  ~JsonReporter() { flush(); }
+
+  bool enabled() const noexcept { return !path_.empty(); }
+
+  void record(const std::string& name, const Params& params,
+              double ops_per_sec) {
+    if (!enabled()) return;
+    std::string r = "    {\"name\": \"" + escape(name) + "\", \"params\": {";
+    for (std::size_t i = 0; i < params.size(); ++i) {
+      if (i > 0) r += ", ";
+      r += "\"" + escape(params[i].first) + "\": \"" +
+           escape(params[i].second) + "\"";
+    }
+    char ops[40];
+    std::snprintf(ops, sizeof(ops), "%.6g", ops_per_sec);
+    r += "}, \"ops_per_sec\": ";
+    r += ops;
+    r += "}";
+    records_.push_back(std::move(r));
+  }
+
+  /// Extra top-level numeric fact (e.g. a speedup ratio).
+  void note(const std::string& key, double value) {
+    if (!enabled()) return;
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.6g", value);
+    notes_.push_back("  \"" + escape(key) + "\": " + buf);
+  }
+
+  void flush() {
+    if (!enabled() || flushed_) return;
+    flushed_ = true;
+    std::FILE* f = std::fopen(path_.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "bench: cannot open %s for --json output\n",
+                   path_.c_str());
+      return;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"%s\",\n", escape(bench_).c_str());
+    for (const auto& n : notes_) std::fprintf(f, "%s,\n", n.c_str());
+    std::fprintf(f, "  \"records\": [\n");
+    for (std::size_t i = 0; i < records_.size(); ++i) {
+      std::fprintf(f, "%s%s\n", records_[i].c_str(),
+                   i + 1 < records_.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("(json written to %s)\n", path_.c_str());
+  }
+
+ private:
+  static std::string escape(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+      if (c == '"' || c == '\\') out.push_back('\\');
+      if (c == '\n') {
+        out += "\\n";
+        continue;
+      }
+      out.push_back(c);
+    }
+    return out;
+  }
+
+  std::string bench_;
+  std::string path_;
+  std::vector<std::string> records_;
+  std::vector<std::string> notes_;
+  bool flushed_ = false;
+};
 
 }  // namespace pimds::bench

@@ -13,10 +13,11 @@
 #include "bench/bench_util.hpp"
 #include "sim/ds/linked_lists.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace pimds;
   using namespace pimds::bench;
 
+  JsonReporter json(argc, argv, "fig2_linked_lists");
   banner("Figure 2: linked-list throughput vs threads (simulator)");
   constexpr std::size_t kListSize = 400;
   std::printf("list size n = %zu, uniform keys, 30%% add / 30%% remove\n\n",
@@ -41,6 +42,10 @@ int main() {
     table.print_row({std::to_string(p), mops(fg), mops(fc_plain),
                      mops(fc_comb), mops(cfg.params.r1 * fc_comb),
                      mops(pim_plain), mops(pim_comb)});
+    const JsonReporter::Params params{{"threads", std::to_string(p)}};
+    json.record("fine_grained_p" + std::to_string(p), params, fg);
+    json.record("fc_comb_p" + std::to_string(p), params, fc_comb);
+    json.record("pim_comb_p" + std::to_string(p), params, pim_comb);
   }
 
   std::printf(

@@ -7,10 +7,11 @@
 #include "bench/bench_util.hpp"
 #include "sim/ds/skiplists.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace pimds;
   using namespace pimds::bench;
 
+  JsonReporter json(argc, argv, "fig4_skiplists");
   banner("Figure 4: skip-list throughput vs threads (simulator)");
   std::printf("N = 16384 keys initially, uniform ops, 30%% add / 30%% "
               "remove\n\n");
@@ -36,6 +37,12 @@ int main() {
     table.print_row({std::to_string(p), mops(lf), mops(fc1), mops(fc4),
                      mops(fc8), mops(fc16), mops(pim8), mops(pim16),
                      mops(cfg.params.r1 * fc16)});
+    const JsonReporter::Params params{{"threads", std::to_string(p)}};
+    json.record("lockfree_p" + std::to_string(p), params, lf);
+    json.record("fc1_p" + std::to_string(p), params, fc1);
+    json.record("fc16_p" + std::to_string(p), params, fc16);
+    json.record("pim8_p" + std::to_string(p), params, pim8);
+    json.record("pim16_p" + std::to_string(p), params, pim16);
   }
 
   std::printf(

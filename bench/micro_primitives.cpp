@@ -5,6 +5,8 @@
 #include <benchmark/benchmark.h>
 
 #include <optional>
+#include <string>
+#include <vector>
 
 #include "common/ebr.hpp"
 #include "common/mpmc_queue.hpp"
@@ -100,4 +102,26 @@ BENCHMARK(BM_LatencyInjectionPim)->Arg(200)->Arg(1000)->Arg(5000);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Same CLI contract as the other bench binaries: `--json <file>` emits a
+// machine-readable result file. Google-benchmark already knows how to do
+// that, so the flag is translated to --benchmark_out before Initialize.
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  std::string out_flag;
+  std::string fmt_flag = "--benchmark_out_format=json";
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::string(argv[i]) == "--json") {
+      out_flag = std::string("--benchmark_out=") + argv[i + 1];
+      args.erase(args.begin() + i, args.begin() + i + 2);
+      args.push_back(out_flag.data());
+      args.push_back(fmt_flag.data());
+      break;
+    }
+  }
+  int n = static_cast<int>(args.size());
+  benchmark::Initialize(&n, args.data());
+  if (benchmark::ReportUnrecognizedArguments(n, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

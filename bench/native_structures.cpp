@@ -89,7 +89,8 @@ std::function<void(int, Xoshiro256&)> set_op(Set& set, std::uint64_t range) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  JsonReporter json(argc, argv, "native_structures");
   const std::size_t max_threads = hardware_threads();
   std::printf("host: %zu hardware threads (the paper used 28; see the\n"
               "simulator benches for full-scale sweeps)\n",
@@ -108,11 +109,15 @@ int main() {
       prefill(fc_plain, 400, 800);
       baselines::FcLinkedList fc_comb(true);
       prefill(fc_comb, 400, 800);
-      table.print_row({std::to_string(p),
-                       mops(measure(p, set_op(hoh, 800))),
+      const double hoh_t = measure(p, set_op(hoh, 800));
+      const double fc_comb_t = measure(p, set_op(fc_comb, 800));
+      table.print_row({std::to_string(p), mops(hoh_t),
                        mops(measure(p, set_op(lazy, 800))),
                        mops(measure(p, set_op(fc_plain, 800))),
-                       mops(measure(p, set_op(fc_comb, 800)))});
+                       mops(fc_comb_t)});
+      const JsonReporter::Params params{{"threads", std::to_string(p)}};
+      json.record("hoh_list_p" + std::to_string(p), params, hoh_t);
+      json.record("fc_comb_list_p" + std::to_string(p), params, fc_comb_t);
     }
   }
 
@@ -127,10 +132,12 @@ int main() {
       prefill(fc1, 1 << 15, 1 << 16);
       baselines::FcSkipList fc4(1 << 16, 4);
       prefill(fc4, 1 << 15, 1 << 16);
-      table.print_row({std::to_string(p),
-                       mops(measure(p, set_op(lf, 1 << 16))),
+      const double lf_t = measure(p, set_op(lf, 1 << 16));
+      table.print_row({std::to_string(p), mops(lf_t),
                        mops(measure(p, set_op(fc1, 1 << 16))),
                        mops(measure(p, set_op(fc4, 1 << 16)))});
+      json.record("lockfree_skiplist_p" + std::to_string(p),
+                  {{"threads", std::to_string(p)}}, lf_t);
     }
   }
 
@@ -175,6 +182,7 @@ int main() {
       prefill(list, 100, 200);
       const double tput = measure(2, set_op(list, 200));
       system.stop();
+      json.record("pim_linked_list_combining", {{"threads", "2"}}, tput);
       std::printf("PIM linked-list (combining):   %s Mops/s "
                   "(max batch observed: %zu)\n",
                   mops(tput).c_str(), list.max_observed_batch());
@@ -192,6 +200,7 @@ int main() {
         }
       });
       system.stop();
+      json.record("pim_fifo_queue", {{"threads", "2"}}, tput);
       std::printf("PIM FIFO queue:                %s Mops/s "
                   "(segments created: %lu, rejections: %lu)\n",
                   mops(tput).c_str(),

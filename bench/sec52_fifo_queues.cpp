@@ -14,10 +14,11 @@
 #include "model/queue_model.hpp"
 #include "sim/ds/queues.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace pimds;
   using namespace pimds::bench;
 
+  JsonReporter json(argc, argv, "sec52_fifo_queues");
   banner("Section 5.2: FIFO queue throughput vs threads (simulator)");
   const LatencyParams lp = LatencyParams::paper_defaults();
   std::printf("model bounds per side: F&A %.2f  FC %.2f  PIM %.2f Mops/s; "
@@ -41,6 +42,11 @@ int main() {
         sim::run_pim_queue(cfg, sim::PimQueueOptions{}).run.ops_per_sec();
     table.print_row({std::to_string(p), mops(ms), mops(faa), mops(fc),
                      mops(pim), ratio(pim, fc), ratio(pim, faa)});
+    const JsonReporter::Params params{{"threads", std::to_string(p)}};
+    json.record("ms_p" + std::to_string(p), params, ms);
+    json.record("faa_p" + std::to_string(p), params, faa);
+    json.record("fc_p" + std::to_string(p), params, fc);
+    json.record("pim_p" + std::to_string(p), params, pim);
   }
 
   std::printf(

@@ -15,7 +15,7 @@ namespace {
 using namespace pimds;
 using namespace pimds::bench;
 
-void run_one(std::size_t n, std::size_t p) {
+void run_one(JsonReporter& json, std::size_t n, std::size_t p) {
   sim::ListConfig cfg;
   cfg.num_cpus = p;
   cfg.key_range = 2 * n;  // equilibrium size = key_range / 2 = n
@@ -32,6 +32,11 @@ void run_one(std::size_t n, std::size_t p) {
   const auto row = [&](const char* name, double model_tput, double sim_tput) {
     table.print_row({name, mops(model_tput), mops(sim_tput),
                      ratio(sim_tput, model_tput)});
+    json.record(name,
+                {{"list_size", std::to_string(n)},
+                 {"threads", std::to_string(p)},
+                 {"model_mops", mops(model_tput)}},
+                sim_tput);
   };
 
   row("fine-grained locks",
@@ -53,10 +58,11 @@ void run_one(std::size_t n, std::size_t p) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  JsonReporter json(argc, argv, "table1_linked_lists");
   banner("Table 1: linked-list throughput (model vs simulation)");
-  run_one(400, 8);
-  run_one(1000, 16);
+  run_one(json, 400, 8);
+  run_one(json, 1000, 16);
 
   // The two analytic conclusions the paper draws from Table 1:
   const LatencyParams lp = LatencyParams::paper_defaults();

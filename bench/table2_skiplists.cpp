@@ -6,10 +6,11 @@
 #include "model/skiplist_model.hpp"
 #include "sim/ds/skiplists.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace pimds;
   using namespace pimds::bench;
 
+  JsonReporter json(argc, argv, "table2_skiplists");
   banner("Table 2: skip-list throughput (model vs simulation)");
   sim::SkipListConfig cfg;
   cfg.num_cpus = 16;
@@ -29,6 +30,10 @@ int main() {
   const auto row = [&](const char* name, double model_tput, double sim_tput) {
     table.print_row({name, mops(model_tput), mops(sim_tput),
                      ratio(sim_tput, model_tput)});
+    json.record(name,
+                {{"threads", std::to_string(cfg.num_cpus)},
+                 {"model_mops", mops(model_tput)}},
+                sim_tput);
   };
 
   row("lock-free",

@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Tier-1 verification (ROADMAP.md): standard build + full ctest, then the
+# runtime message-path tests again under ThreadSanitizer (the mailbox drain /
+# response pipelining code is exactly the kind of lock-free code TSan exists
+# for). Usage: scripts/tier1.sh [--skip-tsan]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+skip_tsan=0
+[[ "${1:-}" == "--skip-tsan" ]] && skip_tsan=1
+
+echo "== tier-1: standard build + ctest =="
+cmake -B build -S . > /dev/null
+cmake --build build -j
+(cd build && ctest --output-on-failure -j)
+
+if [[ "$skip_tsan" == 0 ]]; then
+  echo "== tier-1: runtime tests under ThreadSanitizer =="
+  cmake --preset tsan > /dev/null
+  cmake --build build-tsan -j --target test_runtime test_mailbox_batch
+  # No suppressions: the runtime message path must be genuinely race-free.
+  TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_runtime
+  TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_mailbox_batch
+fi
+
+echo "tier-1: OK"

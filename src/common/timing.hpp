@@ -3,6 +3,7 @@
 
 #include <chrono>
 #include <cstdint>
+#include <ctime>
 
 namespace pimds {
 
@@ -34,6 +35,29 @@ inline void spin_for_ns(std::uint64_t ns) noexcept {
   if (ns == 0) return;
   const std::uint64_t deadline = now_ns() + ns;
   while (now_ns() < deadline) cpu_relax();
+}
+
+/// Wait until the monotonic clock reaches `deadline_ns`, sleeping through the
+/// bulk of long waits and spinning only the tail.
+///
+/// Burning a core for the whole interval is fine for the short calibrated
+/// delays of `spin_for_ns`, but a *known-deadline* wait tens of microseconds
+/// out (e.g. an in-flight response's delivery time) should yield the CPU:
+/// on oversubscribed hosts the spin steals cycles from exactly the threads
+/// whose progress the waiter needs. Past the threshold the OS timer's wakeup
+/// latency fits inside the slack, so we sleep to `deadline - slack` and spin
+/// the remainder for precision.
+inline void wait_until_ns(std::uint64_t deadline_ns) noexcept {
+  constexpr std::uint64_t kSleepThresholdNs = 50'000;
+  constexpr std::uint64_t kSleepSlackNs = 20'000;
+  for (std::uint64_t now = now_ns(); now + kSleepThresholdNs < deadline_ns;
+       now = now_ns()) {
+    const std::uint64_t ns = deadline_ns - now - kSleepSlackNs;
+    timespec ts{static_cast<time_t>(ns / 1'000'000'000u),
+                static_cast<long>(ns % 1'000'000'000u)};
+    ::nanosleep(&ts, nullptr);
+  }
+  while (now_ns() < deadline_ns) cpu_relax();
 }
 
 /// RAII stopwatch reporting elapsed nanoseconds.

@@ -8,6 +8,7 @@ namespace pimds::core {
 
 using runtime::Message;
 using runtime::PimCoreApi;
+using runtime::RequestCombiner;
 using runtime::ResponseSlot;
 
 PimFifoQueue::PimFifoQueue(runtime::PimSystem& system)
@@ -22,9 +23,10 @@ PimFifoQueue::PimFifoQueue(runtime::PimSystem& system, Options options)
   vaults_[0]->enq_seg = initial;
   vaults_[0]->deq_seg = initial;
   for (std::size_t v = 0; v < system_.num_vaults(); ++v) {
-    system_.set_handler(v, [this](PimCoreApi& api, const Message& m) {
-      handle(api, m);
-    });
+    system_.set_batch_handler(
+        v, [this](PimCoreApi& api, const Message* msgs, std::size_t n) {
+          handle_batch(api, msgs, n);
+        });
   }
 }
 
@@ -42,6 +44,62 @@ std::size_t PimFifoQueue::pick_next_core(std::size_t self) const {
   return (self + 1) % k;
 }
 
+/// One drain pass worth of messages. Enqueues and dequeues are each gathered
+/// across the whole batch (Section 5.1 combining) and served together —
+/// enqueues append as fat nodes, dequeues pop consecutive values at one
+/// local access per fat node's worth; everything else flushes both gathers
+/// and is served in arrival order, which preserves the per-channel FIFO the
+/// segment hand-off protocol relies on. Reordering enqueues/dequeues behind
+/// other senders' operations is linearizable: a CPU thread has at most one
+/// request in flight, so all reordered operations are concurrent.
+void PimFifoQueue::handle_batch(PimCoreApi& api, const Message* msgs,
+                                std::size_t n) {
+  std::vector<PendingEnq> enqs;
+  std::vector<void*> deqs;
+  auto flush = [&] {
+    if (!enqs.empty()) serve_enq_batch(api, enqs);
+    if (!deqs.empty()) serve_deq_batch(api, deqs);
+  };
+  for (std::size_t i = 0; i < n; ++i) {
+    const Message& m = msgs[i];
+    switch (m.kind) {
+      case kEnqBatch: {
+        // Already CPU-combined: always served as a fat node.
+        auto* b = static_cast<RequestCombiner::Batch*>(m.slot);
+        for (std::uint32_t j = 0; j < b->count; ++j) {
+          enqs.push_back(PendingEnq{b->entries[j].value, b->entries[j].slot});
+        }
+        RequestCombiner::Batch::destroy(b);
+        if (!options_.enqueue_combining) flush();
+        break;
+      }
+      case kEnq:
+        if (options_.enqueue_combining) {
+          enqs.push_back(PendingEnq{m.value, m.slot});
+        } else {
+          handle_enq(api, m);
+        }
+        break;
+      case kDeqBatch: {
+        auto* b = static_cast<RequestCombiner::Batch*>(m.slot);
+        for (std::uint32_t j = 0; j < b->count; ++j) {
+          deqs.push_back(b->entries[j].slot);
+        }
+        RequestCombiner::Batch::destroy(b);
+        break;
+      }
+      case kDeq:
+        deqs.push_back(m.slot);
+        break;
+      default:
+        flush();
+        handle(api, m);
+        break;
+    }
+  }
+  flush();
+}
+
 void PimFifoQueue::handle(PimCoreApi& api, const Message& m) {
   switch (m.kind) {
     case kEnq:
@@ -49,6 +107,9 @@ void PimFifoQueue::handle(PimCoreApi& api, const Message& m) {
       break;
     case kDeq:
       handle_deq(api, m);
+      break;
+    case kDeqBatch:
+      handle_deq_batch(api, m);
       break;
     case kNewEnqSeg: {
       VaultState& vs = *vaults_[api.vault_id()];
@@ -87,40 +148,51 @@ void PimFifoQueue::handle(PimCoreApi& api, const Message& m) {
   }
 }
 
-void PimFifoQueue::handle_enq(PimCoreApi& api, const Message& m) {
+void PimFifoQueue::split_if_full(PimCoreApi& api) {
   VaultState& vs = *vaults_[api.vault_id()];
-  auto* slot = static_cast<ResponseSlot<Reply>*>(m.slot);
-  if (vs.enq_seg == nullptr) {
-    slot->publish(Reply{false, false, 0}, api.reply_ready_ns());
+  if (vs.enq_seg == nullptr ||
+      vs.enq_seg->count <= options_.segment_threshold) {
     return;
   }
   Segment& seg = *vs.enq_seg;
-
-  // Gather the batch: just this request, or — with Section 5.1's fat-node
-  // combining — every enqueue already delivered to the mailbox. Non-enqueue
-  // messages picked up while draining are replayed afterwards.
-  std::vector<Message> batch{m};
-  std::vector<Message> replay;
-  if (options_.enqueue_combining) {
-    while (auto more = api.poll()) {
-      if (more->kind == kEnq && vs.enq_seg != nullptr) {
-        batch.push_back(*more);
-      } else {
-        replay.push_back(*more);
-      }
-    }
-    // One local access per cache-line-sized array of values.
-    api.charge_local_access((batch.size() + options_.fat_node_capacity - 1) /
-                            options_.fat_node_capacity);
-    std::uint64_t seen = max_enq_batch_.value.load(std::memory_order_relaxed);
-    while (batch.size() > seen &&
-           !max_enq_batch_.value.compare_exchange_weak(
-               seen, batch.size(), std::memory_order_relaxed)) {
-    }
+  const std::size_t next = pick_next_core(api.vault_id());
+  seg.next_seg_cid = next;
+  Message create;
+  create.kind = kNewEnqSeg;
+  if (next == api.vault_id()) {
+    // Self hand-off (k == 1, or antipodal landed here): create locally
+    // instead of bouncing a message off our own mailbox.
+    handle(api, create);
   } else {
-    api.charge_local_access();  // the node write; head/tail updates are L1
+    api.send(next, create);
+    vs.enq_seg = nullptr;
   }
-  for (const Message& e : batch) {
+}
+
+void PimFifoQueue::serve_enq_batch(PimCoreApi& api,
+                                   std::vector<PendingEnq>& batch) {
+  VaultState& vs = *vaults_[api.vault_id()];
+  if (vs.enq_seg == nullptr) {
+    // Stale routing: the enqueue role moved away; reject the whole batch
+    // (one fat response message).
+    const std::uint64_t ready = api.reply_ready_ns();
+    for (const PendingEnq& e : batch) {
+      static_cast<ResponseSlot<Reply>*>(e.slot)->publish(Reply{false, false, 0},
+                                                         ready);
+    }
+    batch.clear();
+    return;
+  }
+  Segment& seg = *vs.enq_seg;
+  // One local access per cache-line-sized array of values (the fat node).
+  api.charge_local_access((batch.size() + options_.fat_node_capacity - 1) /
+                          options_.fat_node_capacity);
+  std::uint64_t seen = max_enq_batch_.value.load(std::memory_order_relaxed);
+  while (batch.size() > seen &&
+         !max_enq_batch_.value.compare_exchange_weak(
+             seen, batch.size(), std::memory_order_relaxed)) {
+  }
+  for (const PendingEnq& e : batch) {
     Node* node = api.vault().create<Node>(Node{e.value, nullptr});
     if (seg.head != nullptr) {
       seg.head->next = node;
@@ -129,53 +201,60 @@ void PimFifoQueue::handle_enq(PimCoreApi& api, const Message& m) {
       seg.head = node;
       seg.tail = node;
     }
-    static_cast<ResponseSlot<Reply>*>(e.slot)->publish(
-        Reply{true, false, 0}, api.reply_ready_ns());
+  }
+  // One pipelined fat response for the whole batch.
+  const std::uint64_t ready = api.reply_ready_ns();
+  for (const PendingEnq& e : batch) {
+    static_cast<ResponseSlot<Reply>*>(e.slot)->publish(Reply{true, false, 0},
+                                                       ready);
   }
   seg.count += batch.size();
   enq_count_.value.fetch_add(batch.size(), std::memory_order_relaxed);
-  for (const Message& r : replay) handle(api, r);
-  if (seg.count > options_.segment_threshold) {
-    const std::size_t next = pick_next_core(api.vault_id());
-    seg.next_seg_cid = next;
-    if (next == api.vault_id()) {
-      // Self hand-off (k == 1, or antipodal landed here): create locally
-      // instead of bouncing a message off our own mailbox.
-      Message create;
-      create.kind = kNewEnqSeg;
-      handle(api, create);
-    } else {
-      Message create;
-      create.kind = kNewEnqSeg;
-      api.send(next, create);
-      vs.enq_seg = nullptr;
-    }
-  }
+  batch.clear();
+  split_if_full(api);
 }
 
-void PimFifoQueue::handle_deq(PimCoreApi& api, const Message& m) {
+void PimFifoQueue::handle_enq(PimCoreApi& api, const Message& m) {
   VaultState& vs = *vaults_[api.vault_id()];
   auto* slot = static_cast<ResponseSlot<Reply>*>(m.slot);
-  if (vs.deq_seg == nullptr) {
+  if (vs.enq_seg == nullptr) {
     slot->publish(Reply{false, false, 0}, api.reply_ready_ns());
     return;
   }
+  Segment& seg = *vs.enq_seg;
+  api.charge_local_access();  // the node write; head/tail updates are L1
+  Node* node = api.vault().create<Node>(Node{m.value, nullptr});
+  if (seg.head != nullptr) {
+    seg.head->next = node;
+    seg.head = node;
+  } else {
+    seg.head = node;
+    seg.tail = node;
+  }
+  slot->publish(Reply{true, false, 0}, api.reply_ready_ns());
+  seg.count += 1;
+  enq_count_.value.fetch_add(1, std::memory_order_relaxed);
+  split_if_full(api);
+}
+
+PimFifoQueue::Reply PimFifoQueue::serve_one_deq(PimCoreApi& api,
+                                                bool charge_node_read) {
+  VaultState& vs = *vaults_[api.vault_id()];
+  if (vs.deq_seg == nullptr) return Reply{false, false, 0};
   Segment& seg = *vs.deq_seg;
   if (seg.tail != nullptr) {
     Node* node = seg.tail;
-    api.charge_local_access();  // reading the node
+    if (charge_node_read) api.charge_local_access();  // reading the node
     const std::uint64_t value = node->value;
     seg.tail = node->next;
     if (seg.tail == nullptr) seg.head = nullptr;
     api.vault().destroy(node);
     deq_count_.value.fetch_add(1, std::memory_order_relaxed);
-    slot->publish(Reply{true, true, value}, api.reply_ready_ns());
-    return;
+    return Reply{true, true, value};
   }
   if (vs.deq_seg == vs.enq_seg) {
     // Single-segment case: the queue really is empty right now.
-    slot->publish(Reply{true, false, 0}, api.reply_ready_ns());
-    return;
+    return Reply{true, false, 0};
   }
   // Segment exhausted: pass the dequeue role along the chain, delete the
   // spent segment, and tell the CPU to retry (Algorithm 1 lines 33-35).
@@ -190,17 +269,76 @@ void PimFifoQueue::handle_deq(PimCoreApi& api, const Message& m) {
   } else {
     api.send(next, pass);
   }
-  slot->publish(Reply{false, false, 0}, api.reply_ready_ns());
+  return Reply{false, false, 0};
+}
+
+void PimFifoQueue::handle_deq(PimCoreApi& api, const Message& m) {
+  static_cast<ResponseSlot<Reply>*>(m.slot)->publish(serve_one_deq(api),
+                                                     api.reply_ready_ns());
+}
+
+void PimFifoQueue::serve_deq_batch(PimCoreApi& api, std::vector<void*>& slots) {
+  // Dequeued values are consecutive, so like serve_enq_batch this costs one
+  // local access per fat node's worth of values, not one per pop — the
+  // per-message path (handle_deq) cannot amortize and pays one per pop.
+  std::vector<Reply> replies;
+  replies.reserve(slots.size());
+  std::size_t pops = 0;
+  for (void* s : slots) {
+    (void)s;
+    const Reply r = serve_one_deq(api, /*charge_node_read=*/false);
+    pops += r.has_value ? 1 : 0;
+    replies.push_back(r);
+  }
+  if (pops > 0) {
+    api.charge_local_access((pops + options_.fat_node_capacity - 1) /
+                            options_.fat_node_capacity);
+  }
+  std::uint64_t seen = max_deq_batch_.value.load(std::memory_order_relaxed);
+  while (slots.size() > seen &&
+         !max_deq_batch_.value.compare_exchange_weak(
+             seen, slots.size(), std::memory_order_relaxed)) {
+  }
+  // One pipelined fat response carrying every dequeued value.
+  const std::uint64_t ready = api.reply_ready_ns();
+  for (std::size_t j = 0; j < slots.size(); ++j) {
+    static_cast<ResponseSlot<Reply>*>(slots[j])->publish(replies[j], ready);
+  }
+  slots.clear();
+}
+
+void PimFifoQueue::handle_deq_batch(PimCoreApi& api, const Message& m) {
+  auto* b = static_cast<RequestCombiner::Batch*>(m.slot);
+  std::vector<void*> slots;
+  slots.reserve(b->count);
+  for (std::uint32_t j = 0; j < b->count; ++j) {
+    slots.push_back(b->entries[j].slot);
+  }
+  serve_deq_batch(api, slots);
+  RequestCombiner::Batch::destroy(b);
 }
 
 void PimFifoQueue::enqueue(std::uint64_t value) {
   ResponseSlot<Reply> slot;
   for (;;) {
-    Message m;
-    m.kind = kEnq;
-    m.value = value;
-    m.slot = &slot;
-    system_.send(enq_cid_.value.load(std::memory_order_acquire), m);
+    if (options_.cpu_combining) {
+      RequestCombiner::Entry e;
+      e.kind = kEnq;
+      e.value = value;
+      e.slot = &slot;
+      enq_combiner_.submit(e, [this](RequestCombiner::Batch* b) {
+        Message m;
+        m.kind = kEnqBatch;
+        m.slot = b;
+        system_.send(enq_cid_.value.load(std::memory_order_acquire), m);
+      });
+    } else {
+      Message m;
+      m.kind = kEnq;
+      m.value = value;
+      m.slot = &slot;
+      system_.send(enq_cid_.value.load(std::memory_order_acquire), m);
+    }
     if (slot.await().accepted) return;
     rejections_.value.fetch_add(1, std::memory_order_relaxed);
   }
@@ -209,10 +347,22 @@ void PimFifoQueue::enqueue(std::uint64_t value) {
 std::optional<std::uint64_t> PimFifoQueue::dequeue() {
   ResponseSlot<Reply> slot;
   for (;;) {
-    Message m;
-    m.kind = kDeq;
-    m.slot = &slot;
-    system_.send(deq_cid_.value.load(std::memory_order_acquire), m);
+    if (options_.cpu_combining) {
+      RequestCombiner::Entry e;
+      e.kind = kDeq;
+      e.slot = &slot;
+      deq_combiner_.submit(e, [this](RequestCombiner::Batch* b) {
+        Message m;
+        m.kind = kDeqBatch;
+        m.slot = b;
+        system_.send(deq_cid_.value.load(std::memory_order_acquire), m);
+      });
+    } else {
+      Message m;
+      m.kind = kDeq;
+      m.slot = &slot;
+      system_.send(deq_cid_.value.load(std::memory_order_acquire), m);
+    }
     const Reply r = slot.await();
     if (r.accepted) {
       if (r.has_value) return r.value;

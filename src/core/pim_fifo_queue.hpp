@@ -8,16 +8,27 @@
 // another core (newEnqSeg); when the dequeue segment drains, its core hands
 // the dequeue role to the core holding the next segment (newDeqSeg).
 //
+// The message path batches at both crossings (Section 5.1 / 5.2):
+//  - CPU side: co-located enqueue (and dequeue) requests combine so up to
+//    RequestCombiner::kMaxCombine ride one crossbar message;
+//  - PIM side: the core receives a whole drained batch from the runtime,
+//    appends all enqueued values as one fat node's worth of work (one local
+//    access per fat_node_capacity values under injection), and pipelines
+//    the replies with a shared delivery time (one fat response message).
+//
 // CPUs learn role locations from a shared directory (standing in for the
 // paper's notification broadcast); a stale read leads to a rejected request
 // and a retry — the protocol's correctness does not depend on freshness.
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
 #include <optional>
+#include <vector>
 
 #include "common/cacheline.hpp"
+#include "runtime/combiner.hpp"
 #include "runtime/system.hpp"
 
 namespace pimds::core {
@@ -31,12 +42,15 @@ class PimFifoQueue {
     /// twin in sim/ds/queues.hpp for why round-robin can serialize the two
     /// roles onto one core). Set false for strict round-robin.
     bool antipodal_placement = true;
-    /// Section 5.1's further optimization: the enqueue core drains every
-    /// already-delivered enqueue request and appends the whole batch as one
-    /// "fat" node's worth of work, charging one local access per
-    /// fat_node_capacity values under latency injection.
-    bool enqueue_combining = false;
+    /// Section 5.1's further optimization (default on): the enqueue core
+    /// appends every enqueue of a drained batch as one "fat" node's worth
+    /// of work, charging one local access per fat_node_capacity values
+    /// under latency injection.
+    bool enqueue_combining = true;
     std::size_t fat_node_capacity = 8;
+    /// CPU-side request combining: co-located waiting requests ride one
+    /// crossbar message (off = one message per request, the seed path).
+    bool cpu_combining = true;
   };
 
   /// Installs handlers on ALL vaults of `system`; construct before start().
@@ -69,6 +83,14 @@ class PimFifoQueue {
   std::uint64_t max_enqueue_batch() const noexcept {
     return max_enq_batch_.value.load(std::memory_order_relaxed);
   }
+  /// Largest dequeue batch served as consecutive fat-node reads so far.
+  std::uint64_t max_dequeue_batch() const noexcept {
+    return max_deq_batch_.value.load(std::memory_order_relaxed);
+  }
+  /// Largest CPU-side request batch shipped in one message (diagnostics).
+  std::uint64_t max_request_batch() const noexcept {
+    return std::max(enq_combiner_.max_batch(), deq_combiner_.max_batch());
+  }
 
  private:
   struct Node {
@@ -99,21 +121,48 @@ class PimFifoQueue {
     std::uint64_t value = 0;
   };
 
+  /// One decoded enqueue awaiting its append (value + requester slot).
+  struct PendingEnq {
+    std::uint64_t value;
+    void* slot;
+  };
+
   enum Kind : std::uint32_t {
     kEnq = 1,
     kDeq = 2,
     kNewEnqSeg = 3,
     kNewDeqSeg = 4,
+    kEnqBatch = 5,  ///< CPU-combined enqueues (slot = RequestCombiner::Batch*)
+    kDeqBatch = 6,  ///< CPU-combined dequeues (slot = RequestCombiner::Batch*)
   };
 
+  void handle_batch(runtime::PimCoreApi& api, const runtime::Message* msgs,
+                    std::size_t n);
   void handle(runtime::PimCoreApi& api, const runtime::Message& m);
   void handle_enq(runtime::PimCoreApi& api, const runtime::Message& m);
   void handle_deq(runtime::PimCoreApi& api, const runtime::Message& m);
+  void handle_deq_batch(runtime::PimCoreApi& api, const runtime::Message& m);
+  /// Append a combined enqueue batch as one fat node's worth of work and
+  /// publish all replies with one shared delivery time.
+  void serve_enq_batch(runtime::PimCoreApi& api,
+                       std::vector<PendingEnq>& batch);
+  /// Pop a combined dequeue batch, charging one local access per fat node's
+  /// worth of consecutive values (mirrors serve_enq_batch), and publish all
+  /// replies with one shared delivery time. `slots` holds the requesters'
+  /// ResponseSlot<Reply> pointers in arrival order.
+  void serve_deq_batch(runtime::PimCoreApi& api, std::vector<void*>& slots);
+  /// Pop one value / pass the dequeue role along (Algorithm 1 lines 23-35).
+  /// `charge_node_read` is false when a batch caller amortizes the access.
+  Reply serve_one_deq(runtime::PimCoreApi& api, bool charge_node_read = true);
+  /// Hand the enqueue role off when the segment outgrew the threshold.
+  void split_if_full(runtime::PimCoreApi& api);
   std::size_t pick_next_core(std::size_t self) const;
 
   runtime::PimSystem& system_;
   Options options_;
   std::vector<CachePadded<VaultState>> vaults_;
+  runtime::RequestCombiner enq_combiner_;
+  runtime::RequestCombiner deq_combiner_;
 
   // CPU-visible role directory.
   CachePadded<std::atomic<std::size_t>> enq_cid_{0};
@@ -124,6 +173,7 @@ class PimFifoQueue {
   CachePadded<std::atomic<std::uint64_t>> rejections_{0};
   CachePadded<std::atomic<std::uint64_t>> segments_created_{0};
   CachePadded<std::atomic<std::uint64_t>> max_enq_batch_{0};
+  CachePadded<std::atomic<std::uint64_t>> max_deq_batch_{0};
 };
 
 }  // namespace pimds::core

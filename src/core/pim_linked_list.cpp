@@ -10,7 +10,13 @@ namespace pimds::core {
 
 using runtime::Message;
 using runtime::PimCoreApi;
+using runtime::RequestCombiner;
 using runtime::ResponseSlot;
+
+namespace {
+/// Hard cap on requests served per traversal (sizes the results scratch).
+constexpr std::size_t kMaxServe = 64;
+}  // namespace
 
 PimLinkedList::PimLinkedList(runtime::PimSystem& system)
     : PimLinkedList(system, Options{}) {}
@@ -18,20 +24,32 @@ PimLinkedList::PimLinkedList(runtime::PimSystem& system)
 PimLinkedList::PimLinkedList(runtime::PimSystem& system, Options options)
     : system_(system), options_(options) {
   head_ = system_.vault(options_.vault).create<Node>(Node{0, nullptr});
-  system_.set_handler(options_.vault,
-                      [this](PimCoreApi& api, const Message& m) {
-                        handle(api, m);
-                      });
+  system_.set_batch_handler(
+      options_.vault, [this](PimCoreApi& api, const Message* msgs,
+                             std::size_t n) { handle_batch(api, msgs, n); });
 }
 
 bool PimLinkedList::submit(Kind kind, std::uint64_t key) {
   assert(key >= 1 && "key 0 is reserved for the dummy head");
   ResponseSlot<bool> slot;
-  Message m;
-  m.kind = kind;
-  m.key = key;
-  m.slot = &slot;
-  system_.send(options_.vault, m);
+  if (options_.cpu_combining) {
+    RequestCombiner::Entry entry;
+    entry.kind = kind;
+    entry.key = key;
+    entry.slot = &slot;
+    combiner_.submit(entry, [this](RequestCombiner::Batch* batch) {
+      Message m;
+      m.kind = kOpBatch;
+      m.slot = batch;
+      system_.send(options_.vault, m);
+    });
+  } else {
+    Message m;
+    m.kind = kind;
+    m.key = key;
+    m.slot = &slot;
+    system_.send(options_.vault, m);
+  }
   return slot.await();
 }
 
@@ -78,44 +96,72 @@ bool PimLinkedList::apply(PimCoreApi& api, std::uint32_t kind,
   }
 }
 
-void PimLinkedList::handle(PimCoreApi& api, const Message& first) {
+/// Serve `n` decoded requests. With combining on they are sorted and served
+/// in one ascending traversal; all replies ride one pipelined response
+/// (shared ready_ns). Without combining each request restarts at the head.
+void PimLinkedList::serve(PimCoreApi& api, Op* ops, std::size_t n) {
+  if (n == 0) return;
   if (!options_.combining) {
-    Node* cursor = head_;
-    api.charge_local_access();  // reading the head
-    const bool result = apply(api, first.kind, first.key, cursor);
-    static_cast<ResponseSlot<bool>*>(first.slot)->publish(
-        result, api.reply_ready_ns());
+    for (std::size_t i = 0; i < n; ++i) {
+      Node* cursor = head_;
+      api.charge_local_access();  // reading the head
+      const bool result = apply(api, ops[i].kind, ops[i].key, cursor);
+      static_cast<ResponseSlot<bool>*>(ops[i].slot)->publish(
+          result, api.reply_ready_ns());
+    }
     return;
   }
-
-  // Combining: drain whatever else has already been delivered, then serve
-  // the whole batch in one ascending traversal.
-  std::vector<Message> batch;
-  batch.push_back(first);
-  while (batch.size() < options_.max_batch) {
-    std::optional<Message> more = api.poll();
-    if (!more) break;
-    batch.push_back(*more);
-  }
-  std::stable_sort(batch.begin(), batch.end(),
-                   [](const Message& a, const Message& b) {
-                     return a.key < b.key;
-                   });
+  std::stable_sort(ops, ops + n, [](const Op& a, const Op& b) {
+    return a.key < b.key;
+  });
   std::size_t seen = max_batch_seen_.value.load(std::memory_order_relaxed);
-  while (batch.size() > seen &&
-         !max_batch_seen_.value.compare_exchange_weak(
-             seen, batch.size(), std::memory_order_relaxed)) {
+  while (n > seen && !max_batch_seen_.value.compare_exchange_weak(
+                         seen, n, std::memory_order_relaxed)) {
   }
-
   Node* cursor = head_;
   api.charge_local_access();
-  for (const Message& m : batch) {
-    const bool result = apply(api, m.kind, m.key, cursor);
-    // Respond asynchronously: with latency injection on, the reply becomes
-    // visible Lmessage later while the core continues the same traversal.
-    static_cast<ResponseSlot<bool>*>(m.slot)->publish(result,
-                                                      api.reply_ready_ns());
+  bool results[kMaxServe];
+  assert(n <= kMaxServe);
+  for (std::size_t i = 0; i < n; ++i) {
+    results[i] = apply(api, ops[i].kind, ops[i].key, cursor);
   }
+  // One fat response message for the whole batch: every slot becomes
+  // visible at the same delivery time while the core moves on.
+  const std::uint64_t ready = api.reply_ready_ns();
+  for (std::size_t i = 0; i < n; ++i) {
+    static_cast<ResponseSlot<bool>*>(ops[i].slot)->publish(results[i], ready);
+  }
+}
+
+void PimLinkedList::handle_batch(PimCoreApi& api, const Message* msgs,
+                                 std::size_t n) {
+  // Decode plain and CPU-combined messages into one flat request list,
+  // serving in chunks of max_batch (cap on one traversal's combined size).
+  std::vector<Op> ops;
+  ops.reserve(options_.max_batch);
+  const std::size_t cap = std::min(options_.max_batch, kMaxServe);
+  auto flush = [&] {
+    serve(api, ops.data(), ops.size());
+    ops.clear();
+  };
+  auto push_op = [&](std::uint32_t kind, std::uint64_t key, void* slot) {
+    ops.push_back(Op{kind, key, slot});
+    if (ops.size() >= cap) flush();
+  };
+  for (std::size_t i = 0; i < n; ++i) {
+    const Message& m = msgs[i];
+    if (m.kind == kOpBatch) {
+      auto* batch = static_cast<RequestCombiner::Batch*>(m.slot);
+      for (std::uint32_t j = 0; j < batch->count; ++j) {
+        const RequestCombiner::Entry& e = batch->entries[j];
+        push_op(e.kind, e.key, e.slot);
+      }
+      RequestCombiner::Batch::destroy(batch);
+    } else {
+      push_op(m.kind, m.key, m.slot);
+    }
+  }
+  flush();
 }
 
 }  // namespace pimds::core

@@ -2,10 +2,16 @@
 //
 // The entire sorted list lives in one vault; CPU threads send operation
 // requests to that vault's PIM core and wait on a response slot. With the
-// combining optimization the core drains every request already delivered to
-// its mailbox and serves the whole batch in ONE traversal (requests are
-// served in ascending key order), which is what lets the structure beat a
-// fine-grained-locking list despite having no intra-structure parallelism.
+// combining optimization the core serves every request of a drained batch
+// in ONE traversal (requests are served in ascending key order), which is
+// what lets the structure beat a fine-grained-locking list despite having
+// no intra-structure parallelism.
+//
+// Both ends of the message path batch (the batch-per-crossing shape):
+//  - CPU side: co-located threads combine waiting requests so up to
+//    RequestCombiner::kMaxCombine of them ride one crossbar message;
+//  - PIM side: the core receives a whole drained batch from the runtime,
+//    serves it in one traversal, and pipelines all the replies.
 //
 // Thread-safety: add/remove/contains may be called concurrently from any
 // number of CPU threads once the owning PimSystem has started.
@@ -13,6 +19,7 @@
 
 #include <cstdint>
 
+#include "runtime/combiner.hpp"
 #include "runtime/system.hpp"
 
 namespace pimds::core {
@@ -23,6 +30,9 @@ class PimLinkedList {
     std::size_t vault = 0;       ///< vault that stores the list
     bool combining = true;       ///< Section 4.1 combining optimization
     std::size_t max_batch = 64;  ///< cap on requests combined per traversal
+    /// CPU-side request combining: waiting co-located requests ride one
+    /// crossbar message (off = one message per request, the seed path).
+    bool cpu_combining = true;
   };
 
   /// Installs this list's message handler on `options.vault`. Must be
@@ -44,9 +54,14 @@ class PimLinkedList {
     return size_.value.load(std::memory_order_relaxed);
   }
 
-  /// Largest batch the core has combined so far (diagnostics).
+  /// Largest batch the core has combined into one traversal (diagnostics).
   std::size_t max_observed_batch() const noexcept {
     return max_batch_seen_.value.load(std::memory_order_relaxed);
+  }
+
+  /// Largest CPU-side request batch shipped in one message (diagnostics).
+  std::size_t max_request_batch() const noexcept {
+    return static_cast<std::size_t>(combiner_.max_batch());
   }
 
  private:
@@ -55,9 +70,20 @@ class PimLinkedList {
     Node* next;
   };
 
-  enum Kind : std::uint32_t { kAdd = 1, kRemove = 2, kContains = 3 };
+  /// One decoded request (a plain kAdd/kRemove/kContains message, or one
+  /// entry of a CPU-combined kOpBatch).
+  struct Op {
+    std::uint32_t kind;
+    std::uint64_t key;
+    void* slot;
+  };
 
-  void handle(runtime::PimCoreApi& api, const runtime::Message& first);
+  enum Kind : std::uint32_t { kAdd = 1, kRemove = 2, kContains = 3,
+                              kOpBatch = 4 };
+
+  void handle_batch(runtime::PimCoreApi& api, const runtime::Message* msgs,
+                    std::size_t n);
+  void serve(runtime::PimCoreApi& api, Op* ops, std::size_t n);
   bool apply(runtime::PimCoreApi& api, std::uint32_t kind, std::uint64_t key,
              Node*& cursor_prev);
   bool submit(Kind kind, std::uint64_t key);
@@ -65,6 +91,7 @@ class PimLinkedList {
   runtime::PimSystem& system_;
   Options options_;
   Node* head_;  // dummy node with key 0, allocated in the vault
+  runtime::RequestCombiner combiner_;
   CachePadded<std::atomic<std::size_t>> size_{0};
   CachePadded<std::atomic<std::size_t>> max_batch_seen_{0};
 };

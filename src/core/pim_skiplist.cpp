@@ -42,9 +42,14 @@ PimSkipList::PimSkipList(runtime::PimSystem& system, Options options)
     state->list = std::make_unique<LocalSkipList>(
         system_.vault(v), options_.key_min - 1, options_.seed + v);
     vaults_.push_back(std::move(state));
-    system_.set_handler(v, [this](PimCoreApi& api, const Message& m) {
-      handle(api, m);
-    });
+    // Batch handler: ride the runtime's batched mailbox drain (no per-
+    // message head-of-line stall) but serve strictly in arrival order —
+    // the migration protocol (kMigNode/kMigEnd vs. forwarded ops) depends
+    // on per-channel FIFO, so no reordering or cross-message combining.
+    system_.set_batch_handler(
+        v, [this](PimCoreApi& api, const Message* msgs, std::size_t n) {
+          for (std::size_t i = 0; i < n; ++i) handle(api, msgs[i]);
+        });
     system_.set_idle_handler(v, [this](PimCoreApi& api) {
       VaultState& vs = *vaults_[api.vault_id()];
       if (vs.mig.active && vs.mig.outgoing) return step_migration(api);

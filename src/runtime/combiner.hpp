@@ -1,0 +1,136 @@
+// CPU-side request combining (the Section 4.1 combining optimization,
+// mirrored on the native runtime's request path; the simulator twin is
+// sim/flat_combining.hpp).
+//
+// Co-located CPU threads targeting the same PIM core publish their requests
+// into a shared queue; whoever wins the (try-lock) combiner role gathers up
+// to kMaxCombine published requests into one Batch and ships the whole
+// batch across the crossbar as ONE message — the batch-per-crossing shape.
+// The PIM core serves every entry and publishes each requester's response
+// slot with one shared ready_ns: the batch's single fat response message.
+//
+// A requester whose record was picked up by another thread's flush just
+// waits on its own slot; a requester left behind (batch filled up) keeps
+// competing for the combiner role until its record has been shipped, so no
+// request can be stranded.
+//
+// The Batch lives on the CPU heap (the model's shared-memory publication
+// area). Ownership transfers with the message: the PIM-core handler must
+// free it with RequestCombiner::Batch::destroy() after serving it.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "common/cacheline.hpp"
+#include "common/mpmc_queue.hpp"
+#include "common/spinwait.hpp"
+
+namespace pimds::runtime {
+
+class RequestCombiner {
+ public:
+  /// Cap on requests per crossbar message. 16 keys the batch at a few cache
+  /// lines — the "fat node" regime of Section 5.1.
+  static constexpr std::size_t kMaxCombine = 16;
+
+  struct Entry {
+    std::uint32_t kind = 0;
+    std::uint64_t key = 0;
+    std::uint64_t value = 0;
+    void* slot = nullptr;  ///< requester's ResponseSlot<R>
+  };
+
+  struct Batch {
+    std::uint32_t count = 0;
+    Entry entries[kMaxCombine];
+
+    static void destroy(Batch* b) { delete b; }
+  };
+
+  explicit RequestCombiner(std::size_t queue_capacity = 1024)
+      : queue_(queue_capacity) {}
+
+  RequestCombiner(const RequestCombiner&) = delete;
+  RequestCombiner& operator=(const RequestCombiner&) = delete;
+
+  /// Publish `entry` and return once it has been shipped in some batch
+  /// (ours or another thread's). The caller then awaits its response slot.
+  /// `send` receives an owning Batch* and must transmit it to the PIM core.
+  template <typename SendFn>
+  void submit(const Entry& entry, SendFn&& send) {
+    Record rec;
+    rec.entry = entry;
+    queue_.push(&rec);
+    SpinWait spin;
+    while (!rec.shipped.value.load(std::memory_order_acquire)) {
+      if (try_lock()) {
+        flush(send);
+        unlock();
+        spin.reset();
+      } else {
+        spin.wait();
+      }
+    }
+  }
+
+  /// Diagnostics.
+  std::uint64_t batches_sent() const noexcept {
+    return batches_.value.load(std::memory_order_relaxed);
+  }
+  std::uint64_t requests_combined() const noexcept {
+    return combined_.value.load(std::memory_order_relaxed);
+  }
+  std::uint64_t max_batch() const noexcept {
+    return max_batch_.value.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Record {
+    Entry entry;
+    CachePadded<std::atomic<bool>> shipped{false};
+  };
+
+  bool try_lock() noexcept {
+    return !lock_.value.exchange(true, std::memory_order_acquire);
+  }
+  void unlock() noexcept { lock_.value.store(false, std::memory_order_release); }
+
+  template <typename SendFn>
+  void flush(SendFn&& send) {
+    Record* picked[kMaxCombine];
+    Batch* batch = new Batch;
+    while (batch->count < kMaxCombine) {
+      std::optional<Record*> r = queue_.try_pop();
+      if (!r) break;
+      picked[batch->count] = *r;
+      batch->entries[batch->count] = (*r)->entry;
+      ++batch->count;
+    }
+    const std::uint32_t n = batch->count;
+    if (n == 0) {
+      delete batch;
+      return;
+    }
+    send(batch);  // ownership moves to the PIM core
+    // Only after the batch is on the wire may the requesters stop waiting
+    // (their records are stack-allocated in submit()).
+    for (std::uint32_t i = 0; i < n; ++i) {
+      picked[i]->shipped.value.store(true, std::memory_order_release);
+    }
+    batches_.value.fetch_add(1, std::memory_order_relaxed);
+    combined_.value.fetch_add(n, std::memory_order_relaxed);
+    std::uint64_t seen = max_batch_.value.load(std::memory_order_relaxed);
+    while (n > seen && !max_batch_.value.compare_exchange_weak(
+                           seen, n, std::memory_order_relaxed)) {
+    }
+  }
+
+  MpmcQueue<Record*> queue_;
+  CachePadded<std::atomic<bool>> lock_{false};
+  CachePadded<std::atomic<std::uint64_t>> batches_{0};
+  CachePadded<std::atomic<std::uint64_t>> combined_{0};
+  CachePadded<std::atomic<std::uint64_t>> max_batch_{0};
+};
+
+}  // namespace pimds::runtime

@@ -1,17 +1,34 @@
 // PIM-core mailbox: many CPU/PIM senders, one PIM-core receiver.
 //
-// Messages are timestamped at send; when latency injection is enabled the
-// receiver defers processing until send_time + Lmessage has elapsed,
-// emulating the crossbar transfer without blocking the sender (this is what
-// makes the Section 5.2 pipelining optimization expressible: responses are
-// in flight while the core serves the next request).
+// Messages are timestamped at send; when latency injection is enabled a
+// message becomes *deliverable* at send_time + Lmessage, emulating the
+// crossbar transfer without blocking the sender.
 //
-// FIFO per sender-receiver pair holds because the underlying ring assigns
-// tickets in send order and a single sender's sends are program-ordered.
+// The receiver-side API is built around batch drain + deferred delivery
+// (the Section 5.2 pipelining substrate):
+//  - drain() pops every already-deliverable message in one pass and parks
+//    not-yet-deliverable ones in a small pending min-heap instead of
+//    spinning the core. The core never stalls head-of-line on a message
+//    that is still "in flight" — it serves whatever is ready, which is what
+//    lets its service rate approach 1/Lpim instead of 1/(Lmessage + Lpim).
+//  - poll() keeps the legacy per-message semantics (block until the next
+//    message's delivery time) for the ablation/compat path.
+//
+// FIFO per sender-receiver pair holds across all of these: the ring assigns
+// tickets in send order, a single sender's sends are program-ordered, and
+// the pending heap orders by (ready_ns, arrival) where ready_ns is monotone
+// per sender (send_time is monotone, Lmessage is constant).
+//
+// Thread-safety: send() is safe from any number of threads; drain()/poll()/
+// drain_all()/empty() are receiver-only (the owning PIM-core thread).
 #pragma once
 
+#include <algorithm>
+#include <cstdint>
 #include <optional>
+#include <vector>
 
+#include "common/backoff.hpp"
 #include "common/latency.hpp"
 #include "common/mpmc_queue.hpp"
 #include "common/spinwait.hpp"
@@ -24,29 +41,144 @@ class Mailbox {
  public:
   explicit Mailbox(std::size_t capacity = 4096) : ring_(capacity) {}
 
-  /// Enqueue a message (spins if the ring is momentarily full).
+  /// Enqueue a message. Backs off (bounded exponential) while the ring is
+  /// full and counts the stalls, so saturation shows up in stats instead of
+  /// as a mystery CPU burn.
   void send(Message m) {
     m.send_time_ns = now_ns();
-    ring_.push(m);
+    if (ring_.try_push(m)) return;
+    Backoff backoff;
+    do {
+      send_full_spins_.value.fetch_add(1, std::memory_order_relaxed);
+      backoff.pause();
+    } while (!ring_.try_push(m));
   }
 
-  /// Dequeue the next message, honoring its delivery time when injection is
-  /// on. Returns nullopt if the mailbox is empty.
-  std::optional<Message> poll() {
-    std::optional<Message> m = ring_.try_pop();
-    if (m && LatencyInjector::instance().enabled()) {
-      const auto lmsg = static_cast<std::uint64_t>(
-          LatencyInjector::instance().params().message());
-      const std::uint64_t ready = m->send_time_ns + lmsg;
-      while (now_ns() < ready) cpu_relax();
+  /// Pop every deliverable message (up to `max_n`) into `out` in one pass.
+  /// Messages whose delivery time has not arrived are parked in the pending
+  /// heap rather than blocking the caller. Returns the number appended.
+  std::size_t drain(std::vector<Message>& out, std::size_t max_n) {
+    auto& injector = LatencyInjector::instance();
+    std::size_t n = 0;
+    if (!injector.enabled()) {
+      // No injection: everything is deliverable the moment it is popped.
+      while (n < max_n && !pending_.empty()) {
+        out.push_back(pop_pending());
+        ++n;
+      }
+      while (n < max_n) {
+        std::optional<Message> m = ring_.try_pop();
+        if (!m) break;
+        out.push_back(*m);
+        ++n;
+      }
+      return n;
     }
+    // Pull the whole ring into the pending heap first so an earlier-sent
+    // parked message can never be overtaken by a later ring arrival.
+    park_ring(static_cast<std::uint64_t>(injector.params().message()));
+    const std::uint64_t now = now_ns();
+    while (n < max_n && !pending_.empty() &&
+           pending_.front().ready_ns <= now) {
+      out.push_back(pop_pending());
+      ++n;
+    }
+    return n;
+  }
+
+  /// Non-blocking single-message receive: the next deliverable message, or
+  /// nullopt if none is ready yet (used by handler-side combining drains).
+  std::optional<Message> poll_ready() {
+    auto& injector = LatencyInjector::instance();
+    if (!injector.enabled()) {
+      if (!pending_.empty()) return pop_pending();
+      return ring_.try_pop();
+    }
+    park_ring(static_cast<std::uint64_t>(injector.params().message()));
+    if (!pending_.empty() && pending_.front().ready_ns <= now_ns()) {
+      return pop_pending();
+    }
+    return std::nullopt;
+  }
+
+  /// Legacy per-message receive: pop the next message and busy-wait until
+  /// its delivery time. Kept for the seed-path ablation (the head-of-line
+  /// stall this models is exactly what drain() removes).
+  std::optional<Message> poll() {
+    auto& injector = LatencyInjector::instance();
+    if (injector.enabled()) {
+      park_ring(static_cast<std::uint64_t>(injector.params().message()));
+    }
+    if (!pending_.empty()) {
+      const std::uint64_t ready = pending_.front().ready_ns;
+      Message m = pop_pending();
+      while (now_ns() < ready) cpu_relax();
+      return m;
+    }
+    return ring_.try_pop();
+  }
+
+  /// Drain everything regardless of delivery time (shutdown: the backlog
+  /// must be processed, not lost). Returns the number appended.
+  std::size_t drain_all(std::vector<Message>& out) {
+    std::size_t n = 0;
+    while (!pending_.empty()) {
+      out.push_back(pop_pending());
+      ++n;
+    }
+    while (std::optional<Message> m = ring_.try_pop()) {
+      out.push_back(*m);
+      ++n;
+    }
+    return n;
+  }
+
+  /// Delivery time of the earliest parked message, or 0 if none is parked
+  /// (receiver-only; lets an idle core size its wait).
+  std::uint64_t next_pending_ready_ns() const noexcept {
+    return pending_.empty() ? 0 : pending_.front().ready_ns;
+  }
+
+  /// True when nothing is queued or parked (exact only on the receiver
+  /// thread with senders quiesced).
+  bool empty() const noexcept { return pending_.empty() && ring_.empty(); }
+
+  /// Total backoff pauses taken by senders that found the ring full.
+  std::uint64_t send_full_spins() const noexcept {
+    return send_full_spins_.value.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Pending {
+    std::uint64_t ready_ns;
+    std::uint64_t seq;  ///< arrival order, breaks ready_ns ties FIFO
+    Message msg;
+  };
+  struct PendingLater {
+    bool operator()(const Pending& a, const Pending& b) const noexcept {
+      if (a.ready_ns != b.ready_ns) return a.ready_ns > b.ready_ns;
+      return a.seq > b.seq;
+    }
+  };
+
+  void park_ring(std::uint64_t lmsg) {
+    while (std::optional<Message> m = ring_.try_pop()) {
+      pending_.push_back(Pending{m->send_time_ns + lmsg, pending_seq_++, *m});
+      std::push_heap(pending_.begin(), pending_.end(), PendingLater{});
+    }
+  }
+
+  Message pop_pending() {
+    std::pop_heap(pending_.begin(), pending_.end(), PendingLater{});
+    Message m = pending_.back().msg;
+    pending_.pop_back();
     return m;
   }
 
-  bool empty() const noexcept { return ring_.empty(); }
-
- private:
   MpmcQueue<Message> ring_;
+  std::vector<Pending> pending_;  ///< min-heap by (ready_ns, seq); receiver-only
+  std::uint64_t pending_seq_ = 0;
+  CachePadded<std::atomic<std::uint64_t>> send_full_spins_{0};
 };
 
 /// One-shot response slot a CPU thread waits on. Single producer (the PIM
@@ -63,13 +195,17 @@ class ResponseSlot {
     full_.value.store(true, std::memory_order_release);
   }
 
-  /// Consumer: spin until a response is published AND its delivery time has
-  /// passed, then consume it.
+  /// Consumer: wait until a response is published AND its delivery time has
+  /// passed, then consume it. The publish wait escalates to yielding
+  /// (SpinWait) so oversubscribed runs (threads > cores) cannot livelock the
+  /// publisher; the post-publish delivery wait has a known deadline, so it
+  /// escalates further — spin, then yield, then sleep through long in-flight
+  /// windows (wait_until_ns) instead of churning the scheduler.
   R await() {
     SpinWait spin;
     while (!full_.value.load(std::memory_order_acquire)) spin.wait();
     const std::uint64_t ready = ready_ns_.value.load(std::memory_order_relaxed);
-    while (now_ns() < ready) cpu_relax();
+    if (ready != 0) wait_until_ns(ready);
     R out = std::move(value_);
     full_.value.store(false, std::memory_order_release);
     return out;

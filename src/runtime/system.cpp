@@ -1,5 +1,6 @@
 #include "runtime/system.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 #include <utility>
 
@@ -18,7 +19,11 @@ void PimCoreApi::send(std::size_t other_vault, Message m) {
 }
 
 std::optional<Message> PimCoreApi::poll() {
-  return system_.cores_[vault_id_]->mailbox.poll();
+  return system_.cores_[vault_id_]->mailbox.poll_ready();
+}
+
+std::size_t PimCoreApi::drain(std::vector<Message>& out, std::size_t max_n) {
+  return system_.cores_[vault_id_]->mailbox.drain(out, max_n);
 }
 
 void PimCoreApi::charge_local_access(std::uint64_t n) const {
@@ -30,13 +35,20 @@ void PimCoreApi::charge_local_access(std::uint64_t n) const {
 std::uint64_t PimCoreApi::reply_ready_ns() const {
   auto& injector = LatencyInjector::instance();
   if (!injector.enabled()) return 0;
-  return now_ns() + static_cast<std::uint64_t>(injector.params().message());
+  const auto lmsg = static_cast<std::uint64_t>(injector.params().message());
+  if (system_.config_.pipelined_responses) return now_ns() + lmsg;
+  // Unpipelined ablation: the core stalls until the reply would have been
+  // received, then serves the next request (Section 5.2's "no pipelining"
+  // column).
+  spin_for_ns(lmsg);
+  return 0;
 }
 
 PimSystem::PimSystem(Config config) : config_(config) {
   if (config_.num_vaults == 0) {
     throw std::invalid_argument("PimSystem needs at least one vault");
   }
+  if (config_.drain_batch == 0) config_.drain_batch = 1;
   for (std::size_t v = 0; v < config_.num_vaults; ++v) {
     cores_.push_back(std::make_unique<Core>(v, config_));
   }
@@ -49,6 +61,13 @@ void PimSystem::set_handler(std::size_t vault, Handler handler) {
     throw std::logic_error("set_handler must precede start()");
   }
   cores_[vault]->handler = std::move(handler);
+}
+
+void PimSystem::set_batch_handler(std::size_t vault, BatchHandler handler) {
+  if (started_) {
+    throw std::logic_error("set_batch_handler must precede start()");
+  }
+  cores_[vault]->batch_handler = std::move(handler);
 }
 
 void PimSystem::set_idle_handler(std::size_t vault, IdleHandler handler) {
@@ -98,16 +117,40 @@ std::uint64_t PimSystem::messages_processed(std::size_t vault) const noexcept {
   return cores_[vault]->processed.value.load(std::memory_order_relaxed);
 }
 
+std::uint64_t PimSystem::send_full_spins(std::size_t vault) const noexcept {
+  return cores_[vault]->mailbox.send_full_spins();
+}
+
+void PimSystem::dispatch(PimCoreApi& api, Core& core, const Message* msgs,
+                         std::size_t n) {
+  if (core.batch_handler) {
+    core.batch_handler(api, msgs, n);
+  } else if (core.handler) {
+    for (std::size_t i = 0; i < n; ++i) core.handler(api, msgs[i]);
+  }
+  core.processed.value.fetch_add(n, std::memory_order_relaxed);
+}
+
 void PimSystem::core_loop(std::size_t vault_id) {
   Core& core = *cores_[vault_id];
   core.vault->bind_owner();
   PimCoreApi api(*this, vault_id);
   SpinWait idle_spin;
+  std::vector<Message> batch;
+  batch.reserve(config_.drain_batch);
   for (;;) {
-    std::optional<Message> m = core.mailbox.poll();
-    if (m.has_value()) {
-      if (core.handler) core.handler(api, *m);
-      core.processed.value.fetch_add(1, std::memory_order_relaxed);
+    batch.clear();
+    std::size_t n = 0;
+    if (config_.batch_drain) {
+      n = core.mailbox.drain(batch, config_.drain_batch);
+    } else if (std::optional<Message> m = core.mailbox.poll()) {
+      // Seed per-message path (ablation): blocks on the head message's
+      // delivery time, serializing the core at Lmessage + Lpim per op.
+      batch.push_back(*m);
+      n = 1;
+    }
+    if (n > 0) {
+      dispatch(api, core, batch.data(), n);
       idle_spin.reset();
       continue;
     }
@@ -115,17 +158,28 @@ void PimSystem::core_loop(std::size_t vault_id) {
       // Shutdown: drain stragglers (e.g. a segment hand-off sent by a peer
       // core) and let background idle work (e.g. an in-flight outgoing
       // migration) run to completion, interleaving the two since idle work
-      // can generate further messages. An idle handler that never returns
-      // false would hang shutdown — background jobs must be finite.
+      // can generate further messages. Delivery times are ignored here —
+      // the backlog must be processed, not lost. An idle handler that never
+      // returns false would hang shutdown — background jobs must be finite.
       do {
-        while ((m = core.mailbox.poll())) {
-          if (core.handler) core.handler(api, *m);
-          core.processed.value.fetch_add(1, std::memory_order_relaxed);
+        batch.clear();
+        while ((n = core.mailbox.drain_all(batch)) > 0) {
+          dispatch(api, core, batch.data(), n);
+          batch.clear();
         }
       } while (core.idle_handler && core.idle_handler(api));
       return;
     }
     if (core.idle_handler && core.idle_handler(api)) {
+      idle_spin.reset();
+      continue;
+    }
+    // Every queued message is parked with a known delivery time (drain()
+    // empties the ring into the pending heap before reporting 0), so sleep
+    // toward the earliest one instead of churning the scheduler. Capped so
+    // stop() and newly arriving ring messages stay responsive.
+    if (const std::uint64_t next = core.mailbox.next_pending_ready_ns()) {
+      wait_until_ns(std::min(next, now_ns() + 100'000));
       idle_spin.reset();
       continue;
     }

@@ -10,12 +10,21 @@
 //    construction);
 //  - optional latency injection (common/latency.hpp) emulates the Section 3
 //    cost model on real hardware.
+//
+// The service loop is batched and pipelined (Section 5.2): each iteration
+// drains every deliverable message from the mailbox in one pass and hands
+// the whole batch to the vault's handler; responses are published with a
+// computed future ready_ns while the core moves on to the next request, so
+// the core's service rate approaches 1/Lpim instead of 1/(Lmessage + Lpim).
+// Config::batch_drain / Config::pipelined_responses turn either half off
+// for ablations (the seed per-message path is batch_drain = false).
 #pragma once
 
 #include <atomic>
 #include <cstddef>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <thread>
 #include <vector>
 
@@ -43,16 +52,23 @@ class PimCoreApi {
   void send(std::size_t other_vault, Message m);
 
   /// Non-blocking receive from this core's own mailbox: lets a handler
-  /// drain additional already-delivered requests (the combining
-  /// optimization, Section 4.1).
+  /// drain an additional already-delivered request (the combining
+  /// optimization, Section 4.1). Never blocks on an in-flight message.
   std::optional<Message> poll();
+
+  /// Non-blocking batch receive: appends every already-delivered message
+  /// (up to max_n) to `out`; returns the number appended.
+  std::size_t drain(std::vector<Message>& out, std::size_t max_n);
 
   /// Charge `n` local-vault accesses (spins for n * Lpim when injection is
   /// enabled, otherwise free).
   void charge_local_access(std::uint64_t n = 1) const;
 
   /// Delivery deadline for a reply published right now: now + Lmessage when
-  /// injection is enabled, 0 (immediately visible) otherwise.
+  /// injection is enabled, 0 (immediately visible) otherwise. This is the
+  /// Section 5.2 pipelining: the response is "in flight" while the core
+  /// serves the next request. With Config::pipelined_responses = false the
+  /// core instead stalls here until the reply would have been received.
   std::uint64_t reply_ready_ns() const;
 
  private:
@@ -72,10 +88,25 @@ class PimSystem {
     /// Emulate the Section 3 latencies with calibrated spin waits. Off by
     /// default: functional runs measure real hardware.
     bool inject_latency = false;
+    /// Batched service loop: drain every deliverable message per iteration
+    /// (false = seed per-message path: the core blocks on each message's
+    /// delivery time before serving it; ablation knob).
+    bool batch_drain = true;
+    /// Max messages handed to a handler per drain pass.
+    std::size_t drain_batch = 64;
+    /// Section 5.2 response pipelining: publish replies with a future
+    /// ready_ns and keep serving (false = the core waits out Lmessage per
+    /// reply before the next request; ablation knob).
+    bool pipelined_responses = true;
   };
 
   /// A handler runs on the vault's PIM-core thread for every message.
   using Handler = std::function<void(PimCoreApi&, const Message&)>;
+  /// A batch handler receives every message of one drain pass at once
+  /// (preferred over Handler when installed): the structure can serve the
+  /// whole batch in one traversal and pipeline all the replies.
+  using BatchHandler =
+      std::function<void(PimCoreApi&, const Message*, std::size_t)>;
   /// An idle handler runs when the mailbox is empty; return true if it did
   /// work (used by background jobs such as incremental node migration,
   /// Section 4.2.1).
@@ -94,6 +125,7 @@ class PimSystem {
   /// start(); typically each PIM data structure installs handlers for the
   /// vaults it owns.
   void set_handler(std::size_t vault, Handler handler);
+  void set_batch_handler(std::size_t vault, BatchHandler handler);
   void set_idle_handler(std::size_t vault, IdleHandler handler);
 
   void start();
@@ -107,6 +139,9 @@ class PimSystem {
 
   /// Messages processed by a vault's core so far (diagnostics, load stats).
   std::uint64_t messages_processed(std::size_t vault) const noexcept;
+  /// Sender backoff pauses taken against a full mailbox ring (saturation
+  /// indicator; see Mailbox::send_full_spins).
+  std::uint64_t send_full_spins(std::size_t vault) const noexcept;
 
  private:
   friend class PimCoreApi;
@@ -119,12 +154,16 @@ class PimSystem {
     std::unique_ptr<Vault> vault;
     Mailbox mailbox;
     Handler handler;
+    BatchHandler batch_handler;
     IdleHandler idle_handler;
     std::thread thread;
     CachePadded<std::atomic<std::uint64_t>> processed{0};
   };
 
   void core_loop(std::size_t vault_id);
+  /// Hand `n` drained messages to the vault's handler(s).
+  void dispatch(PimCoreApi& api, Core& core, const Message* msgs,
+                std::size_t n);
 
   Config config_;
   std::vector<std::unique_ptr<Core>> cores_;
