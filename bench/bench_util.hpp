@@ -4,12 +4,20 @@
 // records the comparison against the published shape) and, when invoked
 // with `--json <file>`, additionally writes a BENCH_*.json record
 // (name, params, ops/sec) so the perf trajectory is machine-readable.
+// Flags understood by every bench binary (via JsonReporter):
+//   --json <file>    machine-readable results + a "metrics" section
+//                    (obs::Registry snapshot) in <file>
+//   --trace <file>   record runtime/sim events and write a Chrome/Perfetto
+//                    trace_event JSON to <file> on exit
+//   --no-obs         disable metrics AND tracing (overhead measurement)
 #pragma once
 
 #include <cstdio>
 #include <string>
 #include <utility>
 #include <vector>
+
+#include "obs/obs.hpp"
 
 namespace pimds::bench {
 
@@ -69,10 +77,22 @@ class JsonReporter {
 
   JsonReporter(int argc, char** argv, std::string bench_name)
       : bench_(std::move(bench_name)) {
-    for (int i = 1; i + 1 < argc; ++i) {
-      if (std::string(argv[i]) == "--json") {
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg == "--json" && i + 1 < argc) {
         path_ = argv[i + 1];
-        break;
+      } else if (arg == "--trace" && i + 1 < argc) {
+        trace_path_ = argv[i + 1];
+      } else if (arg == "--no-obs") {
+        obs::set_metrics_enabled(false);
+      }
+    }
+    if (!trace_path_.empty()) obs::set_trace_enabled(true);
+    for (int i = 1; i < argc; ++i) {
+      if (std::string(argv[i]) == "--no-obs") {
+        // Takes precedence over --trace: --no-obs measures the disabled
+        // overhead, so nothing may record.
+        obs::set_trace_enabled(false);
       }
     }
   }
@@ -110,8 +130,18 @@ class JsonReporter {
   }
 
   void flush() {
-    if (!enabled() || flushed_) return;
+    if (flushed_) return;
     flushed_ = true;
+    if (!trace_path_.empty()) {
+      if (obs::write_chrome_trace(trace_path_)) {
+        std::printf("(trace written to %s: %zu events)\n", trace_path_.c_str(),
+                    obs::trace_event_count());
+      } else {
+        std::fprintf(stderr, "bench: cannot write --trace output to %s\n",
+                     trace_path_.c_str());
+      }
+    }
+    if (!enabled()) return;
     std::FILE* f = std::fopen(path_.c_str(), "w");
     if (f == nullptr) {
       std::fprintf(stderr, "bench: cannot open %s for --json output\n",
@@ -120,6 +150,8 @@ class JsonReporter {
     }
     std::fprintf(f, "{\n  \"bench\": \"%s\",\n", escape(bench_).c_str());
     for (const auto& n : notes_) std::fprintf(f, "%s,\n", n.c_str());
+    std::fprintf(f, "  \"metrics\": %s,\n",
+                 obs::Registry::instance().to_json(2).c_str());
     std::fprintf(f, "  \"records\": [\n");
     for (std::size_t i = 0; i < records_.size(); ++i) {
       std::fprintf(f, "%s%s\n", records_[i].c_str(),
@@ -147,6 +179,7 @@ class JsonReporter {
 
   std::string bench_;
   std::string path_;
+  std::string trace_path_;
   std::vector<std::string> records_;
   std::vector<std::string> notes_;
   bool flushed_ = false;

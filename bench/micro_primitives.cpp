@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "bench/bench_util.hpp"
 #include "common/ebr.hpp"
 #include "common/mpmc_queue.hpp"
 #include "common/rng.hpp"
@@ -102,26 +103,60 @@ BENCHMARK(BM_LatencyInjectionPim)->Arg(200)->Arg(1000)->Arg(5000);
 
 }  // namespace
 
-// Same CLI contract as the other bench binaries: `--json <file>` emits a
-// machine-readable result file. Google-benchmark already knows how to do
-// that, so the flag is translated to --benchmark_out before Initialize.
-int main(int argc, char** argv) {
-  std::vector<char*> args(argv, argv + argc);
-  std::string out_flag;
-  std::string fmt_flag = "--benchmark_out_format=json";
-  for (int i = 1; i + 1 < argc; ++i) {
-    if (std::string(argv[i]) == "--json") {
-      out_flag = std::string("--benchmark_out=") + argv[i + 1];
-      args.erase(args.begin() + i, args.begin() + i + 2);
-      args.push_back(out_flag.data());
-      args.push_back(fmt_flag.data());
-      break;
+namespace {
+
+// Bridges google-benchmark's reporting into the repo's own JSON schema so
+// BENCH_micro_primitives.json has the same {bench, metrics, records} shape
+// as every other binary (it used to emit google-benchmark's native format,
+// which downstream tooling could not parse uniformly).
+class ForwardingReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit ForwardingReporter(pimds::bench::JsonReporter& json)
+      : json_(json) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.error_occurred) continue;
+      if (run.run_type != Run::RT_Iteration) continue;
+      double ops = 0.0;
+      const auto items = run.counters.find("items_per_second");
+      if (items != run.counters.end()) {
+        ops = items->second;
+      } else if (run.real_accumulated_time > 0.0) {
+        ops = static_cast<double>(run.iterations) / run.real_accumulated_time;
+      }
+      json_.record(run.benchmark_name(), {}, ops);
     }
+    benchmark::ConsoleReporter::ReportRuns(runs);
+  }
+
+ private:
+  pimds::bench::JsonReporter& json_;
+};
+
+}  // namespace
+
+// Same CLI contract as the other bench binaries: `--json <file>` emits a
+// schema-consistent result file (and --trace/--no-obs work too). The repo
+// flags are stripped before benchmark::Initialize sees the argument list.
+int main(int argc, char** argv) {
+  pimds::bench::JsonReporter json(argc, argv, "micro_primitives");
+  std::vector<char*> args;
+  args.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json" || arg == "--trace") {
+      ++i;  // skip the flag's value as well
+      continue;
+    }
+    if (arg == "--no-obs") continue;
+    args.push_back(argv[i]);
   }
   int n = static_cast<int>(args.size());
   benchmark::Initialize(&n, args.data());
   if (benchmark::ReportUnrecognizedArguments(n, args.data())) return 1;
-  benchmark::RunSpecifiedBenchmarks();
+  ForwardingReporter reporter(json);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
   benchmark::Shutdown();
   return 0;
 }

@@ -27,9 +27,15 @@ int main(int argc, char** argv) {
               model::pim_queue_pipelined(lp) * 1e-6,
               model::min_cpus_to_saturate_pim(lp));
 
-  Table table({"threads", "MS(CAS)", "F&A", "FC", "PIM", "PIM/FC", "PIM/F&A"}, 13);
+  Table table({"threads", "MS(CAS)", "F&A", "FC", "PIM", "PIM+comb",
+               "PIM/FC", "PIM/F&A"},
+              13);
   table.print_header();
 
+  // Section 5.1 combining ratio of the LAST (most contended) PIM+comb run:
+  // accepted enqueues per enqueue service batch.
+  std::uint64_t comb_enq_ops = 0;
+  std::uint64_t comb_enq_batches = 0;
   for (std::size_t p : {2, 4, 8, 12, 16, 24, 32, 48}) {
     sim::QueueConfig cfg;
     cfg.enqueuers = p / 2;
@@ -40,13 +46,27 @@ int main(int argc, char** argv) {
     const double fc = sim::run_fc_queue(cfg).ops_per_sec();
     const double pim =
         sim::run_pim_queue(cfg, sim::PimQueueOptions{}).run.ops_per_sec();
+    sim::PimQueueOptions comb_opts;
+    comb_opts.enqueue_combining = true;
+    const sim::PimQueueResult comb = sim::run_pim_queue(cfg, comb_opts);
+    comb_enq_ops = comb.enq_ops;
+    comb_enq_batches = comb.enq_batches;
     table.print_row({std::to_string(p), mops(ms), mops(faa), mops(fc),
-                     mops(pim), ratio(pim, fc), ratio(pim, faa)});
+                     mops(pim), mops(comb.run.ops_per_sec()), ratio(pim, fc),
+                     ratio(pim, faa)});
     const JsonReporter::Params params{{"threads", std::to_string(p)}};
     json.record("ms_p" + std::to_string(p), params, ms);
     json.record("faa_p" + std::to_string(p), params, faa);
     json.record("fc_p" + std::to_string(p), params, fc);
     json.record("pim_p" + std::to_string(p), params, pim);
+    json.record("pim_comb_p" + std::to_string(p), params,
+                comb.run.ops_per_sec());
+  }
+  if (comb_enq_batches > 0) {
+    obs::Registry::instance().set_derived(
+        "sim.pim_queue.combining_ratio",
+        static_cast<double>(comb_enq_ops) /
+            static_cast<double>(comb_enq_batches));
   }
 
   std::printf(
@@ -59,7 +79,7 @@ int main(int argc, char** argv) {
 
   banner("Per-operation latency at p = 24 (virtual ns)");
   {
-    Table table({"queue", "p50", "p90", "p99", "mean"}, 14);
+    Table table({"queue", "p50", "p90", "p99", "p999", "mean"}, 14);
     table.print_header();
     const auto row = [&](const char* name, auto runner) {
       std::vector<double> lat;
@@ -69,12 +89,13 @@ int main(int argc, char** argv) {
       cfg.latency_sink_ns = &lat;
       runner(cfg);
       const Summary s = Summary::of(std::move(lat));
-      char p50[32], p90[32], p99[32], mean[32];
+      char p50[32], p90[32], p99[32], p999[32], mean[32];
       std::snprintf(p50, sizeof(p50), "%.0f", s.p50);
       std::snprintf(p90, sizeof(p90), "%.0f", s.p90);
       std::snprintf(p99, sizeof(p99), "%.0f", s.p99);
+      std::snprintf(p999, sizeof(p999), "%.0f", s.p999);
       std::snprintf(mean, sizeof(mean), "%.0f", s.mean);
-      table.print_row({name, p50, p90, p99, mean});
+      table.print_row({name, p50, p90, p99, p999, mean});
     };
     row("F&A", [](const sim::QueueConfig& c) { return sim::run_faa_queue(c); });
     row("FC", [](const sim::QueueConfig& c) { return sim::run_fc_queue(c); });

@@ -17,10 +17,13 @@ cmake --build build -j
 if [[ "$skip_tsan" == 0 ]]; then
   echo "== tier-1: runtime tests under ThreadSanitizer =="
   cmake --preset tsan > /dev/null
-  cmake --build build-tsan -j --target test_runtime test_mailbox_batch
+  cmake --build build-tsan -j --target test_runtime test_mailbox_batch test_obs
   # No suppressions: the runtime message path must be genuinely race-free.
   TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_runtime
   TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_mailbox_batch
+  # The metrics/trace layer is all relaxed atomics + sharding; it must be
+  # race-free too (counter sharding test hammers it from 8 threads).
+  TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_obs
 fi
 
 echo "tier-1: OK"

@@ -1,0 +1,174 @@
+#!/usr/bin/env python3
+"""Validate and summarize the observability exports.
+
+Two modes, both stdlib-only:
+
+  trace_report.py TRACE.json [--require-events a,b,c]
+      Validate a Chrome trace_event file produced by --trace (well-formed
+      JSON, required top-level keys, every event carries ph/name/ts) and
+      print a per-(process, track) summary: event counts by name, span time
+      by name, and the observed batch-size distribution for drain_batch
+      spans. --require-events fails (exit 2) unless every named event type
+      appears at least once -- CI uses this to pin the acceptance events
+      (newEnqSeg, newDeqSeg, drain_batch).
+
+  trace_report.py --check-bench BENCH.json
+      Validate a bench --json file: well-formed, has a "records" list with
+      {name, ops_per_sec} rows, and -- when a "metrics" section is present --
+      that histograms carry count/p50/p99/p999. Exit 2 on any violation.
+
+Exit codes: 0 ok, 1 usage/IO error, 2 validation failure.
+"""
+
+import argparse
+import json
+import sys
+from collections import defaultdict
+
+
+def fail(msg):
+    print(f"trace_report: FAIL: {msg}", file=sys.stderr)
+    sys.exit(2)
+
+
+def load_json(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            return json.load(f)
+    except OSError as e:
+        print(f"trace_report: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(1)
+    except json.JSONDecodeError as e:
+        fail(f"{path} is not valid JSON: {e}")
+
+
+def check_bench(path):
+    doc = load_json(path)
+    if not isinstance(doc, dict):
+        fail("bench JSON top level must be an object")
+    if "bench" not in doc:
+        fail('bench JSON missing "bench" name field')
+    records = doc.get("records")
+    if not isinstance(records, list) or not records:
+        fail('bench JSON missing a non-empty "records" list')
+    for i, rec in enumerate(records):
+        if not isinstance(rec, dict):
+            fail(f"records[{i}] is not an object")
+        if "name" not in rec:
+            fail(f"records[{i}] has no name")
+        if "ops_per_sec" not in rec:
+            fail(f"records[{i}] ({rec.get('name')}) has no ops_per_sec")
+        if not isinstance(rec["ops_per_sec"], (int, float)):
+            fail(f"records[{i}] ops_per_sec is not numeric")
+    metrics = doc.get("metrics")
+    n_hist = 0
+    if metrics is not None:
+        if not isinstance(metrics, dict):
+            fail('"metrics" must be an object')
+        for section in ("counters", "gauges", "derived", "histograms"):
+            if section in metrics and not isinstance(metrics[section], dict):
+                fail(f'metrics "{section}" must be an object')
+        for name, h in metrics.get("histograms", {}).items():
+            n_hist += 1
+            for key in ("count", "mean", "p50", "p99", "p999", "max"):
+                if key not in h:
+                    fail(f'histogram "{name}" missing "{key}"')
+    print(
+        f"{path}: OK bench={doc['bench']} records={len(records)} "
+        f"metrics={'yes' if metrics is not None else 'no'} "
+        f"histograms={n_hist}"
+    )
+
+
+def check_trace(path, require_events):
+    doc = load_json(path)
+    if not isinstance(doc, dict):
+        fail("trace top level must be an object")
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        fail('trace missing "traceEvents" list')
+
+    proc_names = {}
+    track_names = {}
+    # (pid, tid) -> name -> [count, total_dur_us]
+    tracks = defaultdict(lambda: defaultdict(lambda: [0, 0.0]))
+    drain_sizes = []
+    seen_names = set()
+
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict):
+            fail(f"traceEvents[{i}] is not an object")
+        for key in ("ph", "pid", "tid"):
+            if key not in ev:
+                fail(f"traceEvents[{i}] missing {key!r}")
+        ph = ev["ph"]
+        if ph == "M":
+            args = ev.get("args", {})
+            if ev.get("name") == "process_name":
+                proc_names[ev["pid"]] = args.get("name", "?")
+            elif ev.get("name") == "thread_name":
+                track_names[(ev["pid"], ev["tid"])] = args.get("name", "?")
+            continue
+        if "name" not in ev or "ts" not in ev:
+            fail(f"traceEvents[{i}] ({ph}) missing name/ts")
+        if ph == "X" and "dur" not in ev:
+            fail(f"traceEvents[{i}] is a complete event with no dur")
+        name = ev["name"]
+        seen_names.add(name)
+        slot = tracks[(ev["pid"], ev["tid"])][name]
+        slot[0] += 1
+        if ph == "X":
+            slot[1] += float(ev["dur"])
+        if name == "drain_batch":
+            n = ev.get("args", {}).get("n")
+            if isinstance(n, (int, float)):
+                drain_sizes.append(n)
+
+    n_real = sum(c for per in tracks.values() for c, _ in per.values())
+    print(f"{path}: OK {n_real} events on {len(tracks)} tracks")
+    for (pid, tid) in sorted(tracks):
+        pname = proc_names.get(pid, f"pid{pid}")
+        tname = track_names.get((pid, tid), f"tid{tid}")
+        print(f"  [{pname}/{tname}]")
+        per = tracks[(pid, tid)]
+        for name in sorted(per, key=lambda k: -per[k][0]):
+            count, dur = per[name]
+            extra = f"  span_total={dur:.1f}us" if dur > 0 else ""
+            print(f"    {name:<24} x{count}{extra}")
+    if drain_sizes:
+        drain_sizes.sort()
+        mean = sum(drain_sizes) / len(drain_sizes)
+        p50 = drain_sizes[len(drain_sizes) // 2]
+        print(
+            f"  drain_batch sizes: n={len(drain_sizes)} mean={mean:.2f} "
+            f"p50={p50:g} max={drain_sizes[-1]:g}"
+        )
+
+    missing = [e for e in require_events if e not in seen_names]
+    if missing:
+        fail(f"required event types never appear: {', '.join(missing)}")
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("file", help="trace JSON (or bench JSON with --check-bench)")
+    ap.add_argument(
+        "--check-bench",
+        action="store_true",
+        help="validate a bench --json file instead of a trace",
+    )
+    ap.add_argument(
+        "--require-events",
+        default="",
+        help="comma-separated event names that must appear in the trace",
+    )
+    args = ap.parse_args()
+    if args.check_bench:
+        check_bench(args.file)
+    else:
+        require = [e for e in args.require_events.split(",") if e]
+        check_trace(args.file, require)
+
+
+if __name__ == "__main__":
+    main()

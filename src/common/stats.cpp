@@ -19,6 +19,22 @@ void RunningStats::add(double x) noexcept {
   m2_ += delta * (x - mean_);
 }
 
+void RunningStats::merge(const RunningStats& other) noexcept {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  mean_ += delta * nb / (na + nb);
+  m2_ += other.m2_ + delta * delta * na * nb / (na + nb);
+  n_ += other.n_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
 double RunningStats::variance() const noexcept {
   return n_ < 2 ? 0.0 : m2_ / static_cast<double>(n_ - 1);
 }
@@ -52,15 +68,16 @@ Summary Summary::of(std::vector<double> samples) {
   s.p50 = percentile(samples, 0.50);
   s.p90 = percentile(samples, 0.90);
   s.p99 = percentile(samples, 0.99);
+  s.p999 = percentile(samples, 0.999);
   return s;
 }
 
 std::string Summary::to_string() const {
-  char buf[160];
+  char buf[192];
   std::snprintf(buf, sizeof(buf),
                 "n=%zu mean=%.3g sd=%.2g min=%.3g p50=%.3g p90=%.3g p99=%.3g "
-                "max=%.3g",
-                count, mean, stddev, min, p50, p90, p99, max);
+                "p999=%.3g max=%.3g",
+                count, mean, stddev, min, p50, p90, p99, p999, max);
   return buf;
 }
 

@@ -12,6 +12,10 @@ namespace pimds {
 class RunningStats {
  public:
   void add(double x) noexcept;
+  /// Fold another accumulator in (Chan et al.'s parallel variance update),
+  /// as if every sample of `other` had been add()ed here. Lets per-thread
+  /// accumulators combine into one without keeping the samples.
+  void merge(const RunningStats& other) noexcept;
   std::size_t count() const noexcept { return n_; }
   double mean() const noexcept { return mean_; }
   /// Sample variance (n-1 denominator); 0 for fewer than two samples.
@@ -37,6 +41,7 @@ struct Summary {
   double p50 = 0.0;
   double p90 = 0.0;
   double p99 = 0.0;
+  double p999 = 0.0;
   double max = 0.0;
 
   static Summary of(std::vector<double> samples);

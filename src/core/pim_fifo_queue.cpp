@@ -2,6 +2,7 @@
 
 #include <cassert>
 
+#include "obs/obs.hpp"
 #include "runtime/mailbox.hpp"
 
 namespace pimds::core {
@@ -10,6 +11,24 @@ using runtime::Message;
 using runtime::PimCoreApi;
 using runtime::RequestCombiner;
 using runtime::ResponseSlot;
+
+namespace {
+// Process-wide queue metrics: a process runs one PimFifoQueue at a time in
+// practice; if several coexist, snapshots aggregate them.
+struct QueueMetrics {
+  obs::Registry& reg = obs::Registry::instance();
+  obs::Counter& enq_ops = reg.counter("runtime.queue.enq_ops");
+  obs::Counter& enq_batches = reg.counter("runtime.queue.enq_batches");
+  obs::Counter& rejections = reg.counter("runtime.queue.rejections");
+  obs::Counter& handoffs = reg.counter("runtime.queue.segment_handoffs");
+  obs::Histogram& enq_batch = reg.histogram("runtime.queue.enq_batch");
+  obs::Histogram& deq_batch = reg.histogram("runtime.queue.deq_batch");
+};
+QueueMetrics& qmetrics() {
+  static QueueMetrics m;
+  return m;
+}
+}  // namespace
 
 PimFifoQueue::PimFifoQueue(runtime::PimSystem& system)
     : PimFifoQueue(system, Options{}) {}
@@ -124,6 +143,8 @@ void PimFifoQueue::handle(PimCoreApi& api, const Message& m) {
       vs.enq_seg = seg;
       api.charge_local_access();
       segments_created_.value.fetch_add(1, std::memory_order_relaxed);
+      obs::trace_instant_here("newEnqSeg", "queue",
+                              {"vault", api.vault_id()});
       // "Notify the CPUs of the new enqueue segment."
       enq_cid_.value.store(api.vault_id(), std::memory_order_release);
       break;
@@ -140,6 +161,8 @@ void PimFifoQueue::handle(PimCoreApi& api, const Message& m) {
       if (vs.seg_queue_head == nullptr) vs.seg_queue_tail = nullptr;
       seg->next_in_queue = nullptr;
       vs.deq_seg = seg;
+      obs::trace_instant_here("newDeqSeg", "queue",
+                              {"vault", api.vault_id()});
       deq_cid_.value.store(api.vault_id(), std::memory_order_release);
       break;
     }
@@ -157,6 +180,7 @@ void PimFifoQueue::split_if_full(PimCoreApi& api) {
   Segment& seg = *vs.enq_seg;
   const std::size_t next = pick_next_core(api.vault_id());
   seg.next_seg_cid = next;
+  qmetrics().handoffs.add(1);
   Message create;
   create.kind = kNewEnqSeg;
   if (next == api.vault_id()) {
@@ -210,6 +234,9 @@ void PimFifoQueue::serve_enq_batch(PimCoreApi& api,
   }
   seg.count += batch.size();
   enq_count_.value.fetch_add(batch.size(), std::memory_order_relaxed);
+  qmetrics().enq_ops.add(batch.size());
+  qmetrics().enq_batches.add(1);
+  qmetrics().enq_batch.record(batch.size());
   batch.clear();
   split_if_full(api);
 }
@@ -234,6 +261,9 @@ void PimFifoQueue::handle_enq(PimCoreApi& api, const Message& m) {
   slot->publish(Reply{true, false, 0}, api.reply_ready_ns());
   seg.count += 1;
   enq_count_.value.fetch_add(1, std::memory_order_relaxed);
+  qmetrics().enq_ops.add(1);
+  qmetrics().enq_batches.add(1);
+  qmetrics().enq_batch.record(1);
   split_if_full(api);
 }
 
@@ -299,6 +329,7 @@ void PimFifoQueue::serve_deq_batch(PimCoreApi& api, std::vector<void*>& slots) {
          !max_deq_batch_.value.compare_exchange_weak(
              seen, slots.size(), std::memory_order_relaxed)) {
   }
+  qmetrics().deq_batch.record(slots.size());
   // One pipelined fat response carrying every dequeued value.
   const std::uint64_t ready = api.reply_ready_ns();
   for (std::size_t j = 0; j < slots.size(); ++j) {
@@ -341,6 +372,8 @@ void PimFifoQueue::enqueue(std::uint64_t value) {
     }
     if (slot.await().accepted) return;
     rejections_.value.fetch_add(1, std::memory_order_relaxed);
+    qmetrics().rejections.add(1);
+    obs::trace_instant_here("cpu_retry", "queue");
   }
 }
 
@@ -369,6 +402,8 @@ std::optional<std::uint64_t> PimFifoQueue::dequeue() {
       return std::nullopt;
     }
     rejections_.value.fetch_add(1, std::memory_order_relaxed);
+    qmetrics().rejections.add(1);
+    obs::trace_instant_here("cpu_retry", "queue");
   }
 }
 

@@ -1,0 +1,245 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace pimds::obs {
+
+unsigned thread_index() noexcept {
+  static std::atomic<unsigned> next{0};
+  thread_local const unsigned idx =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return idx;
+}
+
+double HistogramData::percentile(double q) const noexcept {
+  if (count == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // 0-based rank of the requested quantile (nearest-rank on the merged
+  // bucket counts).
+  const auto target = static_cast<std::uint64_t>(
+      q * static_cast<double>(count - 1));
+  std::uint64_t cum = 0;
+  for (unsigned b = 0; b < kBuckets; ++b) {
+    cum += buckets[b];
+    if (cum > target) {
+      const std::uint64_t lo = Histogram::bucket_lower(b);
+      const std::uint64_t up = Histogram::bucket_upper(b);
+      return static_cast<double>(lo) +
+             static_cast<double>(up - lo - 1) / 2.0;
+    }
+  }
+  return static_cast<double>(max);
+}
+
+namespace {
+
+const MetricsSnapshot::Scalar* find_scalar(
+    const std::vector<MetricsSnapshot::Scalar>& v, const std::string& name) {
+  for (const auto& s : v) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    if (c == '\n') {
+      out += "\\n";
+      continue;
+    }
+    out.push_back(c);
+  }
+  return out;
+}
+
+std::string fmt_double(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+}  // namespace
+
+const MetricsSnapshot::Scalar* MetricsSnapshot::find_counter(
+    const std::string& name) const noexcept {
+  return find_scalar(counters, name);
+}
+
+const MetricsSnapshot::Scalar* MetricsSnapshot::find_gauge(
+    const std::string& name) const noexcept {
+  return find_scalar(gauges, name);
+}
+
+const MetricsSnapshot::Hist* MetricsSnapshot::find_histogram(
+    const std::string& name) const noexcept {
+  for (const auto& h : histograms) {
+    if (h.name == name) return &h;
+  }
+  return nullptr;
+}
+
+std::string MetricsSnapshot::to_json(int indent) const {
+  const std::string pad(static_cast<std::size_t>(indent), ' ');
+  const std::string in1 = pad + "  ";
+  const std::string in2 = pad + "    ";
+  std::string out = "{\n";
+
+  const auto scalar_section = [&](const char* key,
+                                  const std::vector<Scalar>& v, bool last) {
+    out += in1 + "\"" + key + "\": {";
+    for (std::size_t i = 0; i < v.size(); ++i) {
+      out += (i == 0 ? "\n" : ",\n");
+      out += in2 + "\"" + json_escape(v[i].name) +
+             "\": " + std::to_string(v[i].value);
+    }
+    out += v.empty() ? "}" : "\n" + in1 + "}";
+    out += last ? "\n" : ",\n";
+  };
+
+  scalar_section("counters", counters, false);
+  scalar_section("gauges", gauges, false);
+
+  out += in1 + "\"derived\": {";
+  for (std::size_t i = 0; i < derived.size(); ++i) {
+    out += (i == 0 ? "\n" : ",\n");
+    out += in2 + "\"" + json_escape(derived[i].name) +
+           "\": " + fmt_double(derived[i].value);
+  }
+  out += derived.empty() ? "}" : "\n" + in1 + "}";
+  out += ",\n";
+
+  out += in1 + "\"histograms\": {";
+  for (std::size_t i = 0; i < histograms.size(); ++i) {
+    const HistogramData& d = histograms[i].data;
+    out += (i == 0 ? "\n" : ",\n");
+    out += in2 + "\"" + json_escape(histograms[i].name) + "\": {" +
+           "\"count\": " + std::to_string(d.count) +
+           ", \"mean\": " + fmt_double(d.mean()) +
+           ", \"p50\": " + fmt_double(d.percentile(0.50)) +
+           ", \"p90\": " + fmt_double(d.percentile(0.90)) +
+           ", \"p99\": " + fmt_double(d.percentile(0.99)) +
+           ", \"p999\": " + fmt_double(d.percentile(0.999)) +
+           ", \"max\": " + std::to_string(d.max) + "}";
+  }
+  out += histograms.empty() ? "}" : "\n" + in1 + "}";
+  out += "\n" + pad + "}";
+  return out;
+}
+
+Registry& Registry::instance() noexcept {
+  static Registry registry;
+  return registry;
+}
+
+Counter& Registry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& Registry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& Registry::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+void Registry::set_derived(const std::string& name, double value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  derived_[name] = value;
+}
+
+void Registry::Handle::release() noexcept {
+  if (id_ != 0) {
+    Registry::instance().unregister(id_);
+    id_ = 0;
+  }
+}
+
+Registry::Handle Registry::register_counter(std::string name,
+                                            const Counter* c) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::uint64_t id = next_external_id_++;
+  external_.push_back(External{id, std::move(name), Kind::kCounter, c});
+  return Handle(id);
+}
+
+Registry::Handle Registry::register_gauge(std::string name, const Gauge* g) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::uint64_t id = next_external_id_++;
+  external_.push_back(External{id, std::move(name), Kind::kGauge, g});
+  return Handle(id);
+}
+
+Registry::Handle Registry::register_histogram(std::string name,
+                                              const Histogram* h) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::uint64_t id = next_external_id_++;
+  external_.push_back(External{id, std::move(name), Kind::kHistogram, h});
+  return Handle(id);
+}
+
+void Registry::unregister(std::uint64_t id) noexcept {
+  std::lock_guard<std::mutex> lock(mu_);
+  external_.erase(
+      std::remove_if(external_.begin(), external_.end(),
+                     [id](const External& e) { return e.id == id; }),
+      external_.end());
+}
+
+MetricsSnapshot Registry::snapshot() const {
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, std::uint64_t> gauges;
+  std::map<std::string, HistogramData> hists;
+  MetricsSnapshot snap;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [name, c] : counters_) counters[name] += c->value();
+    for (const auto& [name, g] : gauges_) {
+      gauges[name] = std::max(gauges[name], g->value());
+    }
+    for (const auto& [name, h] : histograms_) h->collect(hists[name]);
+    for (const External& e : external_) {
+      switch (e.kind) {
+        case Kind::kCounter:
+          counters[e.name] += static_cast<const Counter*>(e.ptr)->value();
+          break;
+        case Kind::kGauge:
+          gauges[e.name] = std::max(
+              gauges[e.name], static_cast<const Gauge*>(e.ptr)->value());
+          break;
+        case Kind::kHistogram:
+          static_cast<const Histogram*>(e.ptr)->collect(hists[e.name]);
+          break;
+      }
+    }
+    for (const auto& [name, v] : derived_) snap.derived.push_back({name, v});
+  }
+  for (const auto& [name, v] : counters) snap.counters.push_back({name, v});
+  for (const auto& [name, v] : gauges) snap.gauges.push_back({name, v});
+  for (auto& [name, d] : hists) snap.histograms.push_back({name, d});
+  return snap;
+}
+
+void Registry::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, g] : gauges_) g->reset();
+  for (auto& [name, h] : histograms_) h->reset();
+  derived_.clear();
+}
+
+}  // namespace pimds::obs

@@ -1,0 +1,340 @@
+// Lock-free metrics registry (observability layer, part 1 of 2 — tracing is
+// src/obs/trace.hpp).
+//
+// Three metric types, all safe to update from any thread with relaxed
+// atomics only (TSan-clean, no locks on the hot path):
+//  - Counter: per-thread sharded monotonic count, merged on read;
+//  - Gauge: a single value supporting set() and record_max() (high-water
+//    marks);
+//  - Histogram: HDR-style log-bucketed latency bins (2 mantissa bits per
+//    power of two => <= 25% relative bucket width), per-thread sharded and
+//    merged on snapshot; percentiles are answered from the merged buckets.
+//
+// Cost model: every update first reads one process-wide relaxed atomic flag
+// (metrics_enabled); when observability is disabled the update is that one
+// load and a branch. Compiling with -DPIMDS_OBS_DISABLED folds the flag to
+// `false` so the entire body is dead code.
+//
+// The Registry is a process-wide name -> metric map. Metrics obtained with
+// counter()/gauge()/histogram() are OWNED by the registry and live for the
+// process (find-or-create, stable addresses — cache the reference, e.g. in
+// a function-local static, instead of re-looking-up on a hot path). Metric
+// objects owned by some other structure (e.g. a Mailbox's per-instance
+// counters) can be registered externally with an RAII handle that
+// unregisters on destruction. snapshot() merges both populations by name:
+// counters sum, gauges max, histograms merge bucket-wise.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/cacheline.hpp"
+
+namespace pimds::obs {
+
+namespace detail {
+inline std::atomic<bool> g_metrics_enabled{true};
+}  // namespace detail
+
+/// Process-wide runtime toggle (default ON: counters are cheap enough for
+/// production; tracing has its own toggle and defaults OFF).
+inline bool metrics_enabled() noexcept {
+#ifdef PIMDS_OBS_DISABLED
+  return false;
+#else
+  return detail::g_metrics_enabled.load(std::memory_order_relaxed);
+#endif
+}
+
+inline void set_metrics_enabled(bool on) noexcept {
+  detail::g_metrics_enabled.store(on, std::memory_order_relaxed);
+}
+
+/// Small dense id for the calling thread (shard selection, trace track id).
+unsigned thread_index() noexcept;
+
+/// Monotonic counter, sharded across cache-padded slots so concurrent
+/// writers from different threads do not ping-pong one line.
+class Counter {
+ public:
+  static constexpr std::size_t kShards = 16;
+
+  void add(std::uint64_t n = 1) noexcept {
+    if (!metrics_enabled()) return;
+    shards_[thread_index() & (kShards - 1)].value.fetch_add(
+        n, std::memory_order_relaxed);
+  }
+
+  std::uint64_t value() const noexcept {
+    std::uint64_t total = 0;
+    for (const auto& s : shards_) {
+      total += s.value.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+  void reset() noexcept {
+    for (auto& s : shards_) s.value.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  CachePadded<std::atomic<std::uint64_t>> shards_[kShards];
+};
+
+/// Single-slot gauge: set() for last-value semantics, record_max() for
+/// high-water marks. record_max is compare-first, so it only writes (CAS)
+/// when the watermark actually rises.
+class Gauge {
+ public:
+  void set(std::uint64_t v) noexcept {
+    if (!metrics_enabled()) return;
+    slot_.value.store(v, std::memory_order_relaxed);
+  }
+
+  void record_max(std::uint64_t v) noexcept {
+    if (!metrics_enabled()) return;
+    std::uint64_t cur = slot_.value.load(std::memory_order_relaxed);
+    while (v > cur && !slot_.value.compare_exchange_weak(
+                          cur, v, std::memory_order_relaxed)) {
+    }
+  }
+
+  std::uint64_t value() const noexcept {
+    return slot_.value.load(std::memory_order_relaxed);
+  }
+
+  void reset() noexcept { slot_.value.store(0, std::memory_order_relaxed); }
+
+ private:
+  CachePadded<std::atomic<std::uint64_t>> slot_{0};
+};
+
+/// Merged view of a histogram (or several same-named histograms): raw
+/// bucket counts plus derived percentiles. Produced by snapshots; also
+/// usable directly in tests.
+struct HistogramData {
+  static constexpr unsigned kBuckets = 256;
+
+  std::array<std::uint64_t, kBuckets> buckets{};
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+  std::uint64_t max = 0;
+
+  double mean() const noexcept {
+    return count == 0 ? 0.0
+                      : static_cast<double>(sum) / static_cast<double>(count);
+  }
+
+  /// Approximate quantile: the midpoint of the log-bucket containing the
+  /// rank. Error is bounded by the bucket width (<= 25% of the value).
+  double percentile(double q) const noexcept;
+};
+
+/// HDR-style log-bucketed histogram of non-negative integer samples
+/// (typically nanoseconds). kSubBits mantissa bits per power of two.
+class Histogram {
+ public:
+  static constexpr unsigned kSubBits = 2;
+  static constexpr unsigned kSub = 1u << kSubBits;
+  static constexpr unsigned kBuckets = HistogramData::kBuckets;
+  static constexpr std::size_t kShards = 8;
+
+  /// Bucket of `v`: values below kSub get exact unit buckets; above, the
+  /// bucket is (exponent, top kSubBits mantissa bits). Contiguous: bucket
+  /// upper bounds equal the next bucket's lower bound.
+  static constexpr unsigned bucket_index(std::uint64_t v) noexcept {
+    if (v < kSub) return static_cast<unsigned>(v);
+    const unsigned e = 63u - static_cast<unsigned>(std::countl_zero(v));
+    const unsigned sub =
+        static_cast<unsigned>(v >> (e - kSubBits)) & (kSub - 1);
+    return (e - kSubBits + 1) * kSub + sub;
+  }
+
+  /// Inclusive lower bound of bucket `idx`.
+  static constexpr std::uint64_t bucket_lower(unsigned idx) noexcept {
+    if (idx < kSub) return idx;
+    const unsigned block = idx / kSub;
+    const unsigned sub = idx % kSub;
+    const unsigned e = block + kSubBits - 1;
+    return (std::uint64_t{1} << e) +
+           (static_cast<std::uint64_t>(sub) << (e - kSubBits));
+  }
+
+  /// Exclusive upper bound of bucket `idx`. The top reachable bucket's
+  /// bound is 2^64, which wraps; saturate to the max value instead.
+  static constexpr std::uint64_t bucket_upper(unsigned idx) noexcept {
+    if (idx < kSub) return idx + 1;
+    const unsigned e = idx / kSub + kSubBits - 1;
+    const std::uint64_t up =
+        bucket_lower(idx) + (std::uint64_t{1} << (e - kSubBits));
+    return up == 0 ? ~std::uint64_t{0} : up;
+  }
+
+  void record(std::uint64_t v) noexcept {
+    if (!metrics_enabled()) return;
+    Shard& s = shards_[thread_index() & (kShards - 1)];
+    s.buckets[bucket_index(v)].fetch_add(1, std::memory_order_relaxed);
+    s.sum.fetch_add(v, std::memory_order_relaxed);
+    std::uint64_t cur = s.max.load(std::memory_order_relaxed);
+    while (v > cur &&
+           !s.max.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+
+  /// Merge this histogram's shards into `out` (counts add, max maxes).
+  void collect(HistogramData& out) const noexcept {
+    for (const Shard& s : shards_) {
+      for (unsigned b = 0; b < kBuckets; ++b) {
+        const std::uint64_t n = s.buckets[b].load(std::memory_order_relaxed);
+        out.buckets[b] += n;
+        out.count += n;
+      }
+      out.sum += s.sum.load(std::memory_order_relaxed);
+      const std::uint64_t m = s.max.load(std::memory_order_relaxed);
+      if (m > out.max) out.max = m;
+    }
+  }
+
+  HistogramData data() const noexcept {
+    HistogramData d;
+    collect(d);
+    return d;
+  }
+
+  std::uint64_t count() const noexcept { return data().count; }
+
+  void reset() noexcept {
+    for (Shard& s : shards_) {
+      for (auto& b : s.buckets) b.store(0, std::memory_order_relaxed);
+      s.sum.store(0, std::memory_order_relaxed);
+      s.max.store(0, std::memory_order_relaxed);
+    }
+  }
+
+ private:
+  struct alignas(kCacheLineSize) Shard {
+    std::array<std::atomic<std::uint64_t>, kBuckets> buckets{};
+    std::atomic<std::uint64_t> sum{0};
+    std::atomic<std::uint64_t> max{0};
+  };
+
+  Shard shards_[kShards];
+};
+
+/// Point-in-time merged view of every registered metric, name-aggregated.
+struct MetricsSnapshot {
+  struct Scalar {
+    std::string name;
+    std::uint64_t value = 0;
+  };
+  struct Derived {
+    std::string name;
+    double value = 0.0;
+  };
+  struct Hist {
+    std::string name;
+    HistogramData data;
+  };
+
+  std::vector<Scalar> counters;
+  std::vector<Scalar> gauges;
+  std::vector<Derived> derived;
+  std::vector<Hist> histograms;
+
+  const Scalar* find_counter(const std::string& name) const noexcept;
+  const Scalar* find_gauge(const std::string& name) const noexcept;
+  const Hist* find_histogram(const std::string& name) const noexcept;
+
+  /// Render as a JSON object. `indent` is the column of the opening brace;
+  /// inner lines are indented two further. The opening brace itself is not
+  /// indented (the caller places it after a key).
+  std::string to_json(int indent = 0) const;
+};
+
+class Registry {
+ public:
+  static Registry& instance() noexcept;
+
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// Find-or-create an owned metric. The returned reference is valid for
+  /// the life of the process. Takes a lock — cache the reference.
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name);
+
+  /// Computed facts with no hot path (e.g. a combining ratio): last set
+  /// wins, appears under "derived" in snapshots.
+  void set_derived(const std::string& name, double value);
+
+  /// RAII registration of a metric owned elsewhere (e.g. a Mailbox member).
+  /// The handle must not outlive the metric; destruction unregisters.
+  class Handle {
+   public:
+    Handle() = default;
+    Handle(Handle&& other) noexcept : id_(other.id_) { other.id_ = 0; }
+    Handle& operator=(Handle&& other) noexcept {
+      if (this != &other) {
+        release();
+        id_ = other.id_;
+        other.id_ = 0;
+      }
+      return *this;
+    }
+    Handle(const Handle&) = delete;
+    Handle& operator=(const Handle&) = delete;
+    ~Handle() { release(); }
+
+   private:
+    friend class Registry;
+    explicit Handle(std::uint64_t id) : id_(id) {}
+    void release() noexcept;
+    std::uint64_t id_ = 0;
+  };
+
+  Handle register_counter(std::string name, const Counter* c);
+  Handle register_gauge(std::string name, const Gauge* g);
+  Handle register_histogram(std::string name, const Histogram* h);
+
+  /// Merged view; duplicate names (e.g. two live PimSystems with the same
+  /// vault ids) aggregate: counters sum, gauges max, histograms merge.
+  MetricsSnapshot snapshot() const;
+  std::string to_json(int indent = 0) const { return snapshot().to_json(indent); }
+
+  /// Zero every owned metric and drop derived values (externally registered
+  /// metrics are left alone — their owners reset them). For tests; call
+  /// with updaters quiesced.
+  void reset();
+
+ private:
+  Registry() = default;
+
+  enum class Kind : std::uint8_t { kCounter, kGauge, kHistogram };
+  struct External {
+    std::uint64_t id;
+    std::string name;
+    Kind kind;
+    const void* ptr;
+  };
+
+  void unregister(std::uint64_t id) noexcept;
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  std::map<std::string, double> derived_;
+  std::vector<External> external_;
+  std::uint64_t next_external_id_ = 1;
+};
+
+}  // namespace pimds::obs

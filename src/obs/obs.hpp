@@ -1,0 +1,8 @@
+// Umbrella header for the observability layer: metrics (counters, gauges,
+// HDR-style histograms, registry + JSON snapshot) and structured event
+// tracing (Chrome/Perfetto trace_event export). See docs/OBSERVABILITY.md
+// for the metric catalogue and event schema.
+#pragma once
+
+#include "obs/metrics.hpp"  // IWYU pragma: export
+#include "obs/trace.hpp"    // IWYU pragma: export

@@ -1,0 +1,244 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "common/timing.hpp"
+#include "obs/metrics.hpp"
+
+namespace pimds::obs {
+
+namespace {
+
+struct Event {
+  const char* name;
+  const char* cat;
+  std::uint64_t ts;   // ns (real for kNativePid, virtual for kSimPid)
+  std::uint64_t dur;  // ns; meaningful for 'X' only
+  std::uint32_t pid;
+  std::uint32_t tid;
+  char ph;  // 'X' or 'i'
+  TraceArg a;
+  TraceArg b;
+};
+
+/// Ring of the most recent `cap` events; written only by the owning OS
+/// thread, read only during quiesced export.
+struct ThreadBuffer {
+  explicit ThreadBuffer(std::size_t cap) : events(cap) {}
+
+  std::vector<Event> events;
+  std::size_t head = 0;   // next write slot
+  std::size_t count = 0;  // min(total pushed, capacity)
+
+  void push(const Event& e) noexcept {
+    events[head] = e;
+    head = (head + 1) % events.size();
+    if (count < events.size()) ++count;
+  }
+};
+
+struct TraceState {
+  std::mutex mu;
+  std::deque<std::unique_ptr<ThreadBuffer>> buffers;  // outlive their threads
+  std::map<std::pair<std::uint32_t, std::uint32_t>, std::string> track_names;
+  std::map<std::uint32_t, std::string> process_names;
+  std::size_t capacity = 16384;
+};
+
+TraceState& state() {
+  static TraceState s;
+  return s;
+}
+
+ThreadBuffer& local_buffer() {
+  thread_local ThreadBuffer* buf = nullptr;
+  if (buf == nullptr) {
+    TraceState& s = state();
+    std::lock_guard<std::mutex> lock(s.mu);
+    s.buffers.push_back(std::make_unique<ThreadBuffer>(
+        s.capacity == 0 ? 1 : s.capacity));
+    buf = s.buffers.back().get();
+  }
+  return *buf;
+}
+
+void append_arg(std::string& out, const TraceArg& arg, bool& first) {
+  if (arg.key == nullptr) return;
+  if (!first) out += ",";
+  first = false;
+  out += "\"";
+  out += arg.key;
+  out += "\":";
+  out += std::to_string(arg.value);
+}
+
+}  // namespace
+
+void set_trace_enabled(bool on) noexcept {
+  detail::g_trace_enabled.store(on, std::memory_order_relaxed);
+}
+
+void set_trace_buffer_capacity(std::size_t events) noexcept {
+  TraceState& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  s.capacity = events;
+}
+
+void trace_complete(std::uint32_t pid, std::uint32_t tid, const char* name,
+                    const char* cat, std::uint64_t ts_ns,
+                    std::uint64_t dur_ns, TraceArg a, TraceArg b) {
+  if (!trace_enabled()) return;
+  local_buffer().push(Event{name, cat, ts_ns, dur_ns, pid, tid, 'X', a, b});
+}
+
+void trace_instant(std::uint32_t pid, std::uint32_t tid, const char* name,
+                   const char* cat, std::uint64_t ts_ns, TraceArg a,
+                   TraceArg b) {
+  if (!trace_enabled()) return;
+  local_buffer().push(Event{name, cat, ts_ns, 0, pid, tid, 'i', a, b});
+}
+
+void trace_complete_here(const char* name, const char* cat,
+                         std::uint64_t start_ns, TraceArg a, TraceArg b) {
+  if (!trace_enabled()) return;
+  const std::uint64_t now = now_ns();
+  const std::uint64_t dur = now > start_ns ? now - start_ns : 0;
+  trace_complete(kNativePid, thread_index(), name, cat, start_ns, dur, a, b);
+}
+
+void trace_instant_here(const char* name, const char* cat, TraceArg a,
+                        TraceArg b) {
+  if (!trace_enabled()) return;
+  trace_instant(kNativePid, thread_index(), name, cat, now_ns(), a, b);
+}
+
+void set_track_name(std::uint32_t pid, std::uint32_t tid, std::string name) {
+  TraceState& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  s.track_names[{pid, tid}] = std::move(name);
+}
+
+void set_process_name(std::uint32_t pid, std::string name) {
+  TraceState& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  s.process_names[pid] = std::move(name);
+}
+
+void name_this_thread(std::string name) {
+  set_track_name(kNativePid, thread_index(), std::move(name));
+}
+
+bool write_chrome_trace(const std::string& path) {
+  TraceState& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+
+  // Gather and sort (stable track order, then time) so the file is
+  // deterministic for a deterministic run.
+  std::vector<const Event*> events;
+  for (const auto& buf : s.buffers) {
+    const std::size_t start =
+        buf->count < buf->events.size() ? 0 : buf->head;
+    for (std::size_t i = 0; i < buf->count; ++i) {
+      events.push_back(&buf->events[(start + i) % buf->events.size()]);
+    }
+  }
+  std::sort(events.begin(), events.end(),
+            [](const Event* x, const Event* y) {
+              if (x->pid != y->pid) return x->pid < y->pid;
+              if (x->tid != y->tid) return x->tid < y->tid;
+              return x->ts < y->ts;
+            });
+
+  // Rebase per pid: real and virtual clocks have unrelated epochs, so each
+  // pid's earliest event becomes its t=0.
+  std::map<std::uint32_t, std::uint64_t> base;
+  for (const Event* e : events) {
+    auto [it, inserted] = base.emplace(e->pid, e->ts);
+    if (!inserted && e->ts < it->second) it->second = e->ts;
+  }
+
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+
+  std::string out;
+  out.reserve(events.size() * 96 + 4096);
+  out += "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
+  bool first = true;
+
+  const auto emit = [&](const std::string& line) {
+    if (!first) out += ",";
+    first = false;
+    out += "\n";
+    out += line;
+  };
+
+  for (const auto& [pid, name] : s.process_names) {
+    emit("{\"ph\":\"M\",\"pid\":" + std::to_string(pid) +
+         ",\"tid\":0,\"name\":\"process_name\",\"args\":{\"name\":\"" + name +
+         "\"}}");
+  }
+  for (const auto& [key, name] : s.track_names) {
+    emit("{\"ph\":\"M\",\"pid\":" + std::to_string(key.first) +
+         ",\"tid\":" + std::to_string(key.second) +
+         ",\"name\":\"thread_name\",\"args\":{\"name\":\"" + name + "\"}}");
+  }
+
+  for (const Event* e : events) {
+    const std::uint64_t rel = e->ts - base[e->pid];
+    std::string line = "{\"ph\":\"";
+    line += e->ph;
+    line += "\",\"pid\":" + std::to_string(e->pid) +
+            ",\"tid\":" + std::to_string(e->tid) + ",\"name\":\"" + e->name +
+            "\",\"cat\":\"" + e->cat + "\"";
+    // Chrome ts/dur are microseconds; emit fractional to keep ns precision.
+    char ts_buf[48];
+    std::snprintf(ts_buf, sizeof(ts_buf), ",\"ts\":%llu.%03u",
+                  static_cast<unsigned long long>(rel / 1000),
+                  static_cast<unsigned>(rel % 1000));
+    line += ts_buf;
+    if (e->ph == 'X') {
+      std::snprintf(ts_buf, sizeof(ts_buf), ",\"dur\":%llu.%03u",
+                    static_cast<unsigned long long>(e->dur / 1000),
+                    static_cast<unsigned>(e->dur % 1000));
+      line += ts_buf;
+    } else {
+      line += ",\"s\":\"t\"";
+    }
+    line += ",\"args\":{";
+    bool first_arg = true;
+    append_arg(line, e->a, first_arg);
+    append_arg(line, e->b, first_arg);
+    line += "}}";
+    emit(line);
+  }
+
+  out += "\n]}\n";
+  const bool ok = std::fwrite(out.data(), 1, out.size(), f) == out.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+void clear_trace() noexcept {
+  TraceState& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  for (auto& buf : s.buffers) {
+    buf->head = 0;
+    buf->count = 0;
+  }
+}
+
+std::size_t trace_event_count() noexcept {
+  TraceState& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  std::size_t n = 0;
+  for (const auto& buf : s.buffers) n += buf->count;
+  return n;
+}
+
+}  // namespace pimds::obs

@@ -1,0 +1,99 @@
+// Structured event tracing (observability layer, part 2 of 2).
+//
+// Typed events are recorded into per-OS-thread ring buffers (bounded: when
+// a buffer fills, the oldest events are overwritten — a trace always holds
+// the most recent window) and exported as Chrome trace_event JSON, loadable
+// in ui.perfetto.dev or chrome://tracing.
+//
+// Events live on (pid, tid) *tracks*. Two processes are modeled:
+//  - kNativePid: real threads, timestamps from the monotonic clock
+//    (common/timing.hpp now_ns);
+//  - kSimPid: simulator actors, timestamps in virtual nanoseconds — each
+//    actor is a track even though the whole simulation runs on one OS
+//    thread.
+//
+// Recording is owner-thread-only per buffer and entirely lock-free; the
+// global buffer list is touched (under a mutex) only on a thread's FIRST
+// event. Export (write_chrome_trace) must run with emitters quiesced —
+// benches call it after joining their workers.
+//
+// When tracing is disabled (the default) an emit call is one relaxed load
+// and a branch, and allocates nothing — buffers are created lazily on a
+// thread's first *enabled* emit.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace pimds::obs {
+
+namespace detail {
+inline std::atomic<bool> g_trace_enabled{false};
+}  // namespace detail
+
+inline bool trace_enabled() noexcept {
+#ifdef PIMDS_OBS_DISABLED
+  return false;
+#else
+  return detail::g_trace_enabled.load(std::memory_order_relaxed);
+#endif
+}
+
+void set_trace_enabled(bool on) noexcept;
+
+/// Events retained per OS-thread buffer (ring). Applies to buffers created
+/// after the call; default 16384.
+void set_trace_buffer_capacity(std::size_t events) noexcept;
+
+/// Track namespaces (Chrome trace "pid").
+inline constexpr std::uint32_t kNativePid = 0;  ///< real threads, real time
+inline constexpr std::uint32_t kSimPid = 1;     ///< sim actors, virtual time
+
+/// Optional key/value payload on an event; keys must be string literals
+/// (the recorder stores the pointer, not a copy).
+struct TraceArg {
+  const char* key = nullptr;
+  std::uint64_t value = 0;
+};
+
+/// A span with explicit start and duration (Chrome phase "X"). `name` and
+/// `cat` must be string literals.
+void trace_complete(std::uint32_t pid, std::uint32_t tid, const char* name,
+                    const char* cat, std::uint64_t ts_ns,
+                    std::uint64_t dur_ns, TraceArg a = {}, TraceArg b = {});
+
+/// A point event (Chrome phase "i", thread scope).
+void trace_instant(std::uint32_t pid, std::uint32_t tid, const char* name,
+                   const char* cat, std::uint64_t ts_ns, TraceArg a = {},
+                   TraceArg b = {});
+
+/// Current-OS-thread helpers: native pid, tid = thread_index(), timestamps
+/// from the monotonic clock. trace_complete_here computes the duration as
+/// now - start_ns.
+void trace_complete_here(const char* name, const char* cat,
+                         std::uint64_t start_ns, TraceArg a = {},
+                         TraceArg b = {});
+void trace_instant_here(const char* name, const char* cat, TraceArg a = {},
+                        TraceArg b = {});
+
+/// Human names for tracks/processes (exported as Chrome "M" metadata).
+void set_track_name(std::uint32_t pid, std::uint32_t tid, std::string name);
+void set_process_name(std::uint32_t pid, std::string name);
+
+/// Name the calling OS thread's native track.
+void name_this_thread(std::string name);
+
+/// Merge every buffer into a Chrome trace_event JSON file. Timestamps are
+/// rebased so the earliest event is t=0. Returns false if the file cannot
+/// be written. Call with emitters quiesced.
+bool write_chrome_trace(const std::string& path);
+
+/// Drop all recorded events (buffers stay allocated for their threads).
+void clear_trace() noexcept;
+
+/// Total events currently held across all buffers.
+std::size_t trace_event_count() noexcept;
+
+}  // namespace pimds::obs

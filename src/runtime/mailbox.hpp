@@ -33,6 +33,7 @@
 #include "common/mpmc_queue.hpp"
 #include "common/spinwait.hpp"
 #include "common/timing.hpp"
+#include "obs/metrics.hpp"
 #include "runtime/message.hpp"
 
 namespace pimds::runtime {
@@ -49,7 +50,7 @@ class Mailbox {
     if (ring_.try_push(m)) return;
     Backoff backoff;
     do {
-      send_full_spins_.value.fetch_add(1, std::memory_order_relaxed);
+      send_full_spins_.add(1);
       backoff.pause();
     } while (!ring_.try_push(m));
   }
@@ -72,6 +73,7 @@ class Mailbox {
         out.push_back(*m);
         ++n;
       }
+      if (n > 0) drain_batch_.record(n);
       return n;
     }
     // Pull the whole ring into the pending heap first so an earlier-sent
@@ -83,6 +85,7 @@ class Mailbox {
       out.push_back(pop_pending());
       ++n;
     }
+    if (n > 0) drain_batch_.record(n);
     return n;
   }
 
@@ -145,7 +148,24 @@ class Mailbox {
 
   /// Total backoff pauses taken by senders that found the ring full.
   std::uint64_t send_full_spins() const noexcept {
-    return send_full_spins_.value.load(std::memory_order_relaxed);
+    return send_full_spins_.value();
+  }
+
+  /// High-water mark of the pending (in-flight) heap size.
+  std::uint64_t pending_high_water() const noexcept {
+    return pending_hwm_.value();
+  }
+
+  /// Per-instance metrics, exposed so an owner (PimSystem) can register
+  /// them with the process-wide obs::Registry under vault-scoped names.
+  const obs::Counter& send_full_spins_counter() const noexcept {
+    return send_full_spins_;
+  }
+  const obs::Gauge& pending_hwm_gauge() const noexcept {
+    return pending_hwm_;
+  }
+  const obs::Histogram& drain_batch_histogram() const noexcept {
+    return drain_batch_;
   }
 
  private:
@@ -166,6 +186,7 @@ class Mailbox {
       pending_.push_back(Pending{m->send_time_ns + lmsg, pending_seq_++, *m});
       std::push_heap(pending_.begin(), pending_.end(), PendingLater{});
     }
+    pending_hwm_.record_max(pending_.size());
   }
 
   Message pop_pending() {
@@ -178,7 +199,9 @@ class Mailbox {
   MpmcQueue<Message> ring_;
   std::vector<Pending> pending_;  ///< min-heap by (ready_ns, seq); receiver-only
   std::uint64_t pending_seq_ = 0;
-  CachePadded<std::atomic<std::uint64_t>> send_full_spins_{0};
+  obs::Counter send_full_spins_;
+  obs::Gauge pending_hwm_;
+  obs::Histogram drain_batch_;
 };
 
 /// One-shot response slot a CPU thread waits on. Single producer (the PIM

@@ -6,8 +6,23 @@
 
 #include "common/timing.hpp"
 #include "common/spinwait.hpp"
+#include "obs/obs.hpp"
 
 namespace pimds::runtime {
+
+PimSystem::Core::Core(std::size_t id, const Config& config)
+    : vault(std::make_unique<Vault>(id, config.vault_bytes)),
+      mailbox(config.mailbox_capacity) {
+  const std::string prefix = "runtime.vault" + std::to_string(id);
+  auto& registry = obs::Registry::instance();
+  messages = &registry.counter(prefix + ".messages");
+  obs_handles.push_back(registry.register_counter(
+      prefix + ".mailbox.send_full_spins", &mailbox.send_full_spins_counter()));
+  obs_handles.push_back(registry.register_gauge(
+      prefix + ".mailbox.pending_hwm", &mailbox.pending_hwm_gauge()));
+  obs_handles.push_back(registry.register_histogram(
+      prefix + ".mailbox.drain_batch", &mailbox.drain_batch_histogram()));
+}
 
 Vault& PimCoreApi::vault() { return *system_.cores_[vault_id_]->vault; }
 
@@ -121,6 +136,10 @@ std::uint64_t PimSystem::send_full_spins(std::size_t vault) const noexcept {
   return cores_[vault]->mailbox.send_full_spins();
 }
 
+std::uint64_t PimSystem::pending_high_water(std::size_t vault) const noexcept {
+  return cores_[vault]->mailbox.pending_high_water();
+}
+
 void PimSystem::dispatch(PimCoreApi& api, Core& core, const Message* msgs,
                          std::size_t n) {
   if (core.batch_handler) {
@@ -129,11 +148,13 @@ void PimSystem::dispatch(PimCoreApi& api, Core& core, const Message* msgs,
     for (std::size_t i = 0; i < n; ++i) core.handler(api, msgs[i]);
   }
   core.processed.value.fetch_add(n, std::memory_order_relaxed);
+  core.messages->add(n);
 }
 
 void PimSystem::core_loop(std::size_t vault_id) {
   Core& core = *cores_[vault_id];
   core.vault->bind_owner();
+  obs::name_this_thread("pim-core" + std::to_string(vault_id));
   PimCoreApi api(*this, vault_id);
   SpinWait idle_spin;
   std::vector<Message> batch;
@@ -150,7 +171,14 @@ void PimSystem::core_loop(std::size_t vault_id) {
       n = 1;
     }
     if (n > 0) {
-      dispatch(api, core, batch.data(), n);
+      if (obs::trace_enabled()) {
+        const std::uint64_t t0 = now_ns();
+        dispatch(api, core, batch.data(), n);
+        obs::trace_complete_here("drain_batch", "runtime", t0,
+                                 {"n", static_cast<std::uint64_t>(n)});
+      } else {
+        dispatch(api, core, batch.data(), n);
+      }
       idle_spin.reset();
       continue;
     }

@@ -30,6 +30,7 @@
 
 #include "common/cacheline.hpp"
 #include "common/latency.hpp"
+#include "obs/obs.hpp"
 #include "runtime/mailbox.hpp"
 #include "runtime/message.hpp"
 #include "runtime/vault.hpp"
@@ -140,16 +141,18 @@ class PimSystem {
   /// Messages processed by a vault's core so far (diagnostics, load stats).
   std::uint64_t messages_processed(std::size_t vault) const noexcept;
   /// Sender backoff pauses taken against a full mailbox ring (saturation
-  /// indicator; see Mailbox::send_full_spins).
+  /// indicator; see Mailbox::send_full_spins). Also visible process-wide as
+  /// the registry counter `runtime.vault<k>.mailbox.send_full_spins`.
   std::uint64_t send_full_spins(std::size_t vault) const noexcept;
+  /// High-water mark of a vault mailbox's in-flight pending heap. Also the
+  /// registry gauge `runtime.vault<k>.mailbox.pending_hwm`.
+  std::uint64_t pending_high_water(std::size_t vault) const noexcept;
 
  private:
   friend class PimCoreApi;
 
   struct Core {
-    explicit Core(std::size_t id, const Config& config)
-        : vault(std::make_unique<Vault>(id, config.vault_bytes)),
-          mailbox(config.mailbox_capacity) {}
+    explicit Core(std::size_t id, const Config& config);
 
     std::unique_ptr<Vault> vault;
     Mailbox mailbox;
@@ -158,6 +161,12 @@ class PimSystem {
     IdleHandler idle_handler;
     std::thread thread;
     CachePadded<std::atomic<std::uint64_t>> processed{0};
+    /// Registry-owned per-vault message counter (`runtime.vault<k>.messages`);
+    /// cached so dispatch() does not re-look-up by name.
+    obs::Counter* messages = nullptr;
+    /// Keeps this mailbox's instance-owned metrics visible in the registry
+    /// for exactly the Core's lifetime.
+    std::vector<obs::Registry::Handle> obs_handles;
   };
 
   void core_loop(std::size_t vault_id);

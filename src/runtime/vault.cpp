@@ -3,7 +3,25 @@
 #include <cassert>
 #include <cstring>
 
+#include "obs/metrics.hpp"
+
 namespace pimds::runtime {
+
+namespace {
+// Process-wide allocator traffic across all vaults (per-vault split is not
+// worth a field per Vault: the interesting signal is total churn and the
+// bytes high-water mark, which record_max folds across vaults).
+struct VaultMetrics {
+  obs::Counter& allocs = obs::Registry::instance().counter("runtime.vault.allocs");
+  obs::Counter& frees = obs::Registry::instance().counter("runtime.vault.frees");
+  obs::Gauge& bytes_hwm =
+      obs::Registry::instance().gauge("runtime.vault.bytes_hwm");
+};
+VaultMetrics& vault_metrics() {
+  static VaultMetrics m;
+  return m;
+}
+}  // namespace
 
 Vault::Vault(std::size_t vault_id, std::size_t capacity_bytes)
     : id_(vault_id),
@@ -32,6 +50,8 @@ void* Vault::allocate(std::size_t bytes, std::size_t alignment) {
     void* p = free_lists_[cls];
     std::memcpy(&free_lists_[cls], p, sizeof(void*));
     used_ += bytes;
+    vault_metrics().allocs.add(1);
+    vault_metrics().bytes_hwm.record_max(used_);
     return p;
   }
   // Bump allocation; free-listed classes round up so recycled blocks fit any
@@ -46,6 +66,8 @@ void* Vault::allocate(std::size_t bytes, std::size_t alignment) {
   if (offset + alloc_bytes > capacity_) throw std::bad_alloc();
   bump_ = offset + alloc_bytes;
   used_ += bytes;
+  vault_metrics().allocs.add(1);
+  vault_metrics().bytes_hwm.record_max(used_);
   return arena_.get() + offset;
 }
 
@@ -54,6 +76,7 @@ void Vault::deallocate(void* p, std::size_t bytes,
   assert_owner();
   if (p == nullptr) return;
   used_ -= bytes;
+  vault_metrics().frees.add(1);
   const std::size_t cls = size_class(bytes);
   if (cls >= kNumClasses || alignment > alignof(std::max_align_t)) {
     return;  // large blocks are abandoned to the arena

@@ -2,6 +2,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/obs.hpp"
 #include "sim/ds/linked_lists.hpp"
 #include "sim/mailbox.hpp"
 #include "sim/sync.hpp"
@@ -28,6 +29,10 @@ RunResult run_pim_list(const ListConfig& cfg, bool combining) {
   Mailbox<ListMsg> inbox;
   const double msg_ns = cfg.params.message();
 
+  auto& registry = obs::Registry::instance();
+  obs::Counter& c_ops = registry.counter("sim.pim_list.ops");
+  obs::Histogram& h_batch = registry.histogram("sim.pim_list.combine_batch");
+
   // The single PIM core managing the vault that holds the whole list.
   engine.spawn("pim-core", [&, combining](Context& ctx) {
     std::size_t stopped = 0;
@@ -46,10 +51,12 @@ RunResult run_pim_list(const ListConfig& cfg, bool combining) {
         // Respond asynchronously: the reply travels for Lmessage while the
         // core moves on (request pipelining, Section 5.2).
         first.reply->set(ctx, r, msg_ns);
+        c_ops.add(1);
         continue;
       }
       // Combining: drain every request already delivered and serve the
       // whole batch in a single traversal (Section 4.1).
+      const Time batch_start = ctx.now();
       batch.clear();
       batch.push_back(first);
       while (auto more = inbox.try_recv(ctx)) {
@@ -65,6 +72,9 @@ RunResult run_pim_list(const ListConfig& cfg, bool combining) {
       for (std::size_t i = 0; i < batch.size(); ++i) {
         batch[i].reply->set(ctx, results[i], msg_ns);
       }
+      c_ops.add(batch.size());
+      h_batch.record(batch.size());
+      ctx.trace_complete("drain_batch", batch_start, {"n", batch.size()});
     }
   });
 

@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/obs.hpp"
 #include "sim/ds/queues.hpp"
 #include "sim/mailbox.hpp"
 #include "sim/sync.hpp"
@@ -66,6 +67,22 @@ PimQueueResult run_pim_queue(const QueueConfig& cfg,
   Directory directory;
   PimQueueResult result;
 
+  // Registry metrics (accumulate across runs in one process; benches that
+  // want per-run numbers call Registry::reset() between runs).
+  auto& registry = obs::Registry::instance();
+  obs::Counter& c_rejections = registry.counter("sim.pim_queue.rejections");
+  obs::Counter& c_enq_batches = registry.counter("sim.pim_queue.enq_batches");
+  obs::Counter& c_handoffs =
+      registry.counter("sim.pim_queue.segment_handoffs");
+  obs::Histogram& h_latency =
+      registry.histogram("sim.pim_queue.op_latency_ns");
+  obs::Histogram& h_enq_batch = registry.histogram("sim.pim_queue.enq_batch");
+  std::vector<obs::Counter*> vault_ops;
+  for (std::size_t v = 0; v < k; ++v) {
+    vault_ops.push_back(
+        &registry.counter("sim.pim_queue.vault" + std::to_string(v) + ".ops"));
+  }
+
   // Pre-fill: materialize the state Algorithm 1 would have reached after
   // `initial_nodes` enqueues — a chain of segments round-robined over the
   // vaults, each below the threshold, with next_seg_cid links in place.
@@ -120,9 +137,11 @@ PimQueueResult run_pim_queue(const QueueConfig& cfg,
         switch (m.kind) {
           case QMsg::Kind::kEnq: {
             if (!vault.enq_seg) {
+              ctx.trace_instant("reject", {"vault", v});
               m.reply->set(ctx, Reply{false, false, 0}, msg_ns);
               break;
             }
+            const Time enq_start = ctx.now();
             std::size_t appended = 1;
             if (opts.enqueue_combining) {
               // Drain every already-delivered enqueue into one fat node;
@@ -144,6 +163,8 @@ PimQueueResult run_pim_queue(const QueueConfig& cfg,
                 vault.enq_seg->nodes.push_back(e.value);
                 e.reply->set(ctx, Reply{true, false, 0}, msg_ns);
               }
+              ctx.trace_complete("drain_batch", enq_start,
+                                 {"n", appended});
             } else {
               // Append the node: one local memory access; the two L1
               // accesses for head/tail bookkeeping are the epsilon the
@@ -154,6 +175,10 @@ PimQueueResult run_pim_queue(const QueueConfig& cfg,
             }
             vault.enq_seg->enq_count += appended;
             result.enq_ops += appended;
+            ++result.enq_batches;
+            c_enq_batches.add(1);
+            h_enq_batch.record(appended);
+            vault_ops[v]->add(appended);
             if (vault.deq_seg) result.co_resident_ops += appended;
             if (!opts.pipelining) ctx.advance(msg_ns);
             if (vault.enq_seg->enq_count > opts.segment_threshold) {
@@ -168,6 +193,7 @@ PimQueueResult run_pim_queue(const QueueConfig& cfg,
                 if (next == directory.deq_cid) next = (next + 1) % k;
               }
               vault.enq_seg->next_seg_cid = next;
+              c_handoffs.add(1);
               vaults[next]->inbox.send(
                   ctx, QMsg{QMsg::Kind::kNewEnqSeg, 0, nullptr});
               vault.enq_seg = nullptr;
@@ -178,6 +204,7 @@ PimQueueResult run_pim_queue(const QueueConfig& cfg,
             auto seg = std::make_shared<Segment>();
             vault.seg_queue.push_back(seg);
             vault.enq_seg = seg;
+            ctx.trace_instant("newEnqSeg", {"vault", v});
             ctx.charge(MemClass::kPimLocal);  // allocation bookkeeping
             directory.enq_cid = v;            // notify the CPUs
             ++result.segments_created;
@@ -193,6 +220,7 @@ PimQueueResult run_pim_queue(const QueueConfig& cfg,
               const std::uint64_t value = vault.deq_seg->nodes.front();
               vault.deq_seg->nodes.pop_front();
               ++result.deq_ops;
+              vault_ops[v]->add(1);
               if (vault.enq_seg) ++result.co_resident_ops;
               m.reply->set(ctx, Reply{true, true, value}, msg_ns);
               if (!opts.pipelining) ctx.advance(msg_ns);
@@ -201,14 +229,17 @@ PimQueueResult run_pim_queue(const QueueConfig& cfg,
               m.reply->set(ctx, Reply{true, false, 0}, msg_ns);
               ++result.empty_dequeues;
               ++result.deq_ops;
+              vault_ops[v]->add(1);
             } else {
               // This segment is exhausted; pass the dequeue role to the
               // core that created the next segment (Algorithm 1 line 33).
               const std::size_t next = vault.deq_seg->next_seg_cid;
               assert(next < k && "exhausted segment has no successor");
+              c_handoffs.add(1);
               vaults[next]->inbox.send(
                   ctx, QMsg{QMsg::Kind::kNewDeqSeg, 0, nullptr});
               vault.deq_seg = nullptr;
+              ctx.trace_instant("reject", {"vault", v});
               m.reply->set(ctx, Reply{false, false, 0}, msg_ns);
             }
             break;
@@ -219,6 +250,7 @@ PimQueueResult run_pim_queue(const QueueConfig& cfg,
             assert(!vault.seg_queue.empty());
             vault.deq_seg = vault.seg_queue.front();
             vault.seg_queue.pop_front();
+            ctx.trace_instant("newDeqSeg", {"vault", v});
             directory.deq_cid = v;
             break;
           }
@@ -247,7 +279,10 @@ PimQueueResult run_pim_queue(const QueueConfig& cfg,
           const Reply r = reply.await(ctx);
           if (r.accepted) break;
           ++result.rejections;  // stale directory: re-read and resend
+          c_rejections.add(1);
+          ctx.trace_instant("cpu_retry", {"target", target});
         }
+        h_latency.record(ctx.now() - issued);
         if (cfg.latency_sink_ns != nullptr) {
           cfg.latency_sink_ns->push_back(
               static_cast<double>(ctx.now() - issued));

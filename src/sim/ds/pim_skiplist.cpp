@@ -2,6 +2,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "sim/ds/skiplist_common.hpp"
 #include "sim/ds/skiplists.hpp"
 #include "sim/mailbox.hpp"
@@ -40,6 +41,15 @@ RunResult run_pim_skiplist(const SkipListConfig& cfg, std::size_t partitions) {
   }
 
   const double msg_ns = cfg.params.message();
+  // Per-partition op counts: the raw material of the Table 2 / PIM-tree
+  // skew analysis (uniform keys should load vaults evenly; skew shows up
+  // directly as counter imbalance).
+  auto& registry = obs::Registry::instance();
+  std::vector<obs::Counter*> part_ops;
+  for (std::size_t v = 0; v < partitions; ++v) {
+    part_ops.push_back(&registry.counter("sim.pim_skiplist.vault" +
+                                         std::to_string(v) + ".ops"));
+  }
   for (std::size_t v = 0; v < partitions; ++v) {
     engine.spawn("pim-core" + std::to_string(v), [&, v](Context& ctx) {
       SimSkipList& list = *lists[v];
@@ -51,6 +61,7 @@ RunResult run_pim_skiplist(const SkipListConfig& cfg, std::size_t partitions) {
           ++stopped;
           continue;
         }
+        part_ops[v]->add(1);
         const bool r = list.execute(ctx, m.op, m.key, MemClass::kPimLocal);
         // Asynchronous response (pipelining): the core serves the next
         // request while the reply is in flight.

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "common/zipf.hpp"
+#include "obs/obs.hpp"
 #include "sim/ds/skiplist_common.hpp"
 #include "sim/ds/skiplists.hpp"
 #include "sim/mailbox.hpp"
@@ -133,6 +134,12 @@ RebalanceResult run_pim_skiplist_rebalance(const RebalanceConfig& cfg) {
   bool migration_busy = false;  // the Section 4.2.1 one-at-a-time guard
   std::int64_t net_adds = 0;    // successful adds minus successful removes
 
+  auto& registry = obs::Registry::instance();
+  obs::Counter& c_migrated = registry.counter("sim.rebalance.migrated_keys");
+  obs::Counter& c_forwarded = registry.counter("sim.rebalance.forwarded");
+  obs::Counter& c_deferred = registry.counter("sim.rebalance.deferred");
+  obs::Counter& c_rejections = registry.counter("sim.rebalance.rejections");
+
   const auto execute_and_reply = [&](Context& ctx, SimVault& vault,
                                      const Msg& m) {
     ++vault.requests;
@@ -151,6 +158,8 @@ RebalanceResult run_pim_skiplist_rebalance(const RebalanceConfig& cfg) {
       if (!key.has_value() || *key >= mig.hi) {
         dir.move_range(mig.lo, mig.peer);  // redirect the CPUs first
         mig.active = false;
+        ctx.trace_instant("mig_complete", {"source", v},
+                          {"target", mig.peer});
         Msg end;
         end.kind = Msg::Kind::kMigEnd;
         vaults[mig.peer]->inbox.send(ctx, end);
@@ -158,6 +167,7 @@ RebalanceResult run_pim_skiplist_rebalance(const RebalanceConfig& cfg) {
       }
       vault.list->extract_first_at_least(ctx, mig.cursor, MemClass::kPimLocal);
       ++result.migrated_keys;
+      c_migrated.add(1);
       Msg node;
       node.kind = Msg::Kind::kMigNode;
       node.key = *key;
@@ -198,16 +208,20 @@ RebalanceResult run_pim_skiplist_rebalance(const RebalanceConfig& cfg) {
                   fwd.kind = Msg::Kind::kFwdOp;
                   vaults[mig.peer]->inbox.send(ctx, fwd);
                   ++result.forwarded;
+                  c_forwarded.add(1);
+                  ctx.trace_instant("mig_forward", {"key", m.key});
                 }
               } else {
                 vault.deferred.push_back(m);
                 ++result.deferred;
+                c_deferred.add(1);
               }
               break;
             }
             if (dir.route(m.key) != v) {
               m.reply->set(ctx, Reply{false, false}, msg_ns);
               ++result.rejections;
+              c_rejections.add(1);
               break;
             }
             execute_and_reply(ctx, vault, m);
@@ -222,6 +236,7 @@ RebalanceResult run_pim_skiplist_rebalance(const RebalanceConfig& cfg) {
               break;
             }
             vault.mig = Migration{true, true, m.key, m.hi, m.peer, m.key};
+            ctx.trace_instant("mig_start", {"lo", m.key}, {"hi", m.hi});
             Msg begin;
             begin.kind = Msg::Kind::kMigBegin;
             begin.key = m.key;
@@ -235,6 +250,7 @@ RebalanceResult run_pim_skiplist_rebalance(const RebalanceConfig& cfg) {
             assert(!vault.mig.active);
             vault.mig = Migration{true, false, m.key, m.hi, m.peer, m.key};
             vault.incoming_cursor = SimSkipList::InsertCursor{};
+            ctx.trace_instant("mig_begin", {"lo", m.key}, {"hi", m.hi});
             break;
           case Msg::Kind::kMigNode:
             vault.list->insert_ascending(ctx, vault.incoming_cursor, m.key,

@@ -104,6 +104,9 @@ struct PimQueueResult {
   std::uint64_t co_resident_ops = 0;
   std::uint64_t enq_ops = 0;  ///< accepted enqueues
   std::uint64_t deq_ops = 0;  ///< accepted dequeues (incl. empty results)
+  /// Enqueue service batches (one fat-node combining drain, or one plain
+  /// enqueue). enq_ops / enq_batches is the Section 5.1 combining ratio.
+  std::uint64_t enq_batches = 0;
 };
 
 PimQueueResult run_pim_queue(const QueueConfig& cfg,

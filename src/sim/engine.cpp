@@ -5,6 +5,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/metrics.hpp"
+
 namespace pimds::sim {
 
 Engine::Engine(LatencyParams params, std::uint64_t seed)
@@ -14,6 +16,9 @@ Engine::~Engine() = default;
 
 ActorId Engine::spawn(std::string name, std::function<void(Context&)> body) {
   const auto id = static_cast<ActorId>(actors_.size());
+  if (obs::trace_enabled()) {
+    obs::set_track_name(obs::kSimPid, id, name);
+  }
   Actor actor;
   actor.name = std::move(name);
   // Derive per-actor RNG streams from the engine seed so adding an actor
@@ -87,6 +92,9 @@ void Engine::run() {
   if (!stuck.empty()) {
     throw std::runtime_error("sim::Engine deadlock; blocked actors: " + stuck);
   }
+  static obs::Counter& switch_counter =
+      obs::Registry::instance().counter("sim.engine.switches");
+  switch_counter.add(switches_);
 }
 
 const std::string& Engine::actor_name(ActorId id) const {
@@ -96,5 +104,16 @@ const std::string& Engine::actor_name(ActorId id) const {
 void Context::sync() { engine_.yield_current(local_time_); }
 
 void Context::block() { engine_.block_current(); }
+
+void Context::trace_instant(const char* name, obs::TraceArg a,
+                            obs::TraceArg b) {
+  obs::trace_instant(obs::kSimPid, id_, name, "sim", local_time_, a, b);
+}
+
+void Context::trace_complete(const char* name, Time start, obs::TraceArg a,
+                             obs::TraceArg b) {
+  const Time dur = local_time_ > start ? local_time_ - start : 0;
+  obs::trace_complete(obs::kSimPid, id_, name, "sim", start, dur, a, b);
+}
 
 }  // namespace pimds::sim

@@ -18,6 +18,7 @@
 
 #include "common/latency.hpp"
 #include "common/rng.hpp"
+#include "obs/trace.hpp"
 #include "sim/fiber.hpp"
 
 namespace pimds::sim {
@@ -67,6 +68,15 @@ class Context {
       fractional_ = 0.0;
     }
   }
+
+  /// Point event on this actor's trace track at the current virtual time
+  /// (pid = obs::kSimPid, tid = actor id). `name` must be a string literal.
+  void trace_instant(const char* name, obs::TraceArg a = {},
+                     obs::TraceArg b = {});
+
+  /// Span on this actor's trace track from virtual time `start` to now().
+  void trace_complete(const char* name, Time start, obs::TraceArg a = {},
+                      obs::TraceArg b = {});
 
  private:
   Engine& engine_;

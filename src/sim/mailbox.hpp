@@ -18,6 +18,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "sim/engine.hpp"
 
 namespace pimds::sim {
@@ -36,6 +37,9 @@ class Mailbox {
     ctx.sync();
     const Time deliver = ctx.now() + static_cast<Time>(delay_ns);
     heap_.push(Entry{deliver, seq_++, std::move(msg)});
+    static obs::Gauge& depth_hwm =
+        obs::Registry::instance().gauge("sim.mailbox.depth_hwm");
+    depth_hwm.record_max(heap_.size());
     if (receiver_ != kNoActor) {
       const ActorId r = receiver_;
       receiver_ = kNoActor;

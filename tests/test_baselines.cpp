@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <deque>
 #include <map>
 #include <set>
@@ -290,16 +291,31 @@ TEST(FlatCombiner, EveryRequestExecutedExactlyOnce) {
   std::uint64_t shared_sum = 0;  // only the combiner touches it
   constexpr int kThreads = 4;
   constexpr int kOps = 20000;
+  // On a small host the threads can serialize so perfectly that every
+  // combining pass serves exactly one request, making max_combined >= 2 a
+  // bet on scheduling. Force one multi-request batch deterministically: the
+  // first combiner stalls inside serve() until two other threads are inside
+  // execute() (each publishes its record on entry), so the combiner's
+  // re-scan pass must pick up a batch of at least two.
+  std::atomic<int> inflight{0};
+  std::atomic<bool> stalled{false};
   std::vector<std::thread> threads;
   for (int t = 0; t < kThreads; ++t) {
     threads.emplace_back([&] {
       for (int i = 1; i <= kOps; ++i) {
+        inflight.fetch_add(1);
         fc.execute(i, [&](auto& batch) {
+          if (!stalled.exchange(true)) {
+            while (inflight.load() < 3) std::this_thread::yield();
+            // Give the concurrent callers time to finish publishing.
+            std::this_thread::sleep_for(std::chrono::milliseconds(2));
+          }
           for (auto* rec : batch) {
             shared_sum += static_cast<std::uint64_t>(rec->req);
             rec->res = rec->req;
           }
         });
+        inflight.fetch_sub(1);
       }
     });
   }

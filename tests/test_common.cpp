@@ -79,6 +79,38 @@ TEST(RunningStats, MatchesHandComputedMoments) {
   EXPECT_DOUBLE_EQ(s.max(), 9.0);
 }
 
+TEST(RunningStats, MergeMatchesSingleAccumulator) {
+  // Split one sample stream across two accumulators; merging must reproduce
+  // the moments of feeding everything into one.
+  RunningStats all, a, b;
+  const std::vector<double> samples = {2.0, 4.0, 4.0, 4.0, 5.0,
+                                       5.0, 7.0, 9.0, -3.0, 11.5};
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    all.add(samples[i]);
+    (i % 2 == 0 ? a : b).add(samples[i]);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-12);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmptySides) {
+  RunningStats a, b, empty;
+  a.add(1.0);
+  a.add(3.0);
+  a.merge(empty);  // no-op
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+  b.merge(a);  // adopt
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.mean(), 2.0);
+  EXPECT_DOUBLE_EQ(b.min(), 1.0);
+  EXPECT_DOUBLE_EQ(b.max(), 3.0);
+}
+
 TEST(Summary, PercentilesOfKnownVector) {
   std::vector<double> v;
   for (int i = 1; i <= 100; ++i) v.push_back(i);
@@ -89,6 +121,18 @@ TEST(Summary, PercentilesOfKnownVector) {
   EXPECT_NEAR(s.p50, 50.5, 0.01);
   EXPECT_NEAR(s.p90, 90.1, 0.2);
   EXPECT_NEAR(s.p99, 99.01, 0.2);
+  EXPECT_NEAR(s.p999, 99.9, 0.2);
+}
+
+TEST(Summary, P999SeparatesTheExtremeTail) {
+  // 10000 samples at 1.0 with twenty 100.0 outliers: p99 stays at the body,
+  // p999 lands in the outlier region.
+  std::vector<double> v(10000, 1.0);
+  for (int i = 0; i < 20; ++i) v[static_cast<std::size_t>(i)] = 100.0;
+  const Summary s = Summary::of(v);
+  EXPECT_DOUBLE_EQ(s.p50, 1.0);
+  EXPECT_DOUBLE_EQ(s.p99, 1.0);
+  EXPECT_GT(s.p999, 50.0);
 }
 
 TEST(Summary, EmptyInputIsAllZero) {

@@ -1,0 +1,461 @@
+// Tests for the observability layer (src/obs): counter sharding under
+// threads, histogram bucket boundaries and percentiles, registry snapshot
+// aggregation, trace JSON well-formedness (parsed back by a minimal JSON
+// parser), and the disabled-mode zero-allocation guarantee.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <new>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/timing.hpp"
+#include "obs/obs.hpp"
+#include "runtime/system.hpp"
+
+namespace pimds::obs {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Minimal recursive-descent JSON validator: enough to check the emitted
+// metrics/trace JSON is well-formed without a third-party parser.
+class JsonCursor {
+ public:
+  explicit JsonCursor(const std::string& text) : s_(text) {}
+
+  bool parse() {
+    skip_ws();
+    if (!value()) return false;
+    skip_ws();
+    return pos_ == s_.size();
+  }
+
+  std::size_t objects_seen() const { return objects_; }
+
+ private:
+  bool value() {
+    if (pos_ >= s_.size()) return false;
+    switch (s_[pos_]) {
+      case '{':
+        return object();
+      case '[':
+        return array();
+      case '"':
+        return string();
+      case 't':
+        return literal("true");
+      case 'f':
+        return literal("false");
+      case 'n':
+        return literal("null");
+      default:
+        return number();
+    }
+  }
+
+  bool object() {
+    ++objects_;
+    ++pos_;  // '{'
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return true;
+    }
+    for (;;) {
+      skip_ws();
+      if (!string()) return false;
+      skip_ws();
+      if (peek() != ':') return false;
+      ++pos_;
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (peek() == '}') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool array() {
+    ++pos_;  // '['
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return true;
+    }
+    for (;;) {
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (peek() == ']') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool string() {
+    if (peek() != '"') return false;
+    ++pos_;
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      if (s_[pos_] == '\\') ++pos_;
+      ++pos_;
+    }
+    if (pos_ >= s_.size()) return false;
+    ++pos_;  // closing quote
+    return true;
+  }
+
+  bool number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+            s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
+            s_[pos_] == '+' || s_[pos_] == '-')) {
+      ++pos_;
+    }
+    return pos_ > start;
+  }
+
+  bool literal(const char* word) {
+    for (const char* p = word; *p != '\0'; ++p, ++pos_) {
+      if (pos_ >= s_.size() || s_[pos_] != *p) return false;
+    }
+    return true;
+  }
+
+  char peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           std::isspace(static_cast<unsigned char>(s_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+  std::size_t objects_ = 0;
+};
+
+bool json_well_formed(const std::string& text, std::size_t* objects = nullptr) {
+  JsonCursor c(text);
+  const bool ok = c.parse();
+  if (objects != nullptr) *objects = c.objects_seen();
+  return ok;
+}
+
+// ---------------------------------------------------------------------------
+// Allocation tracking for the zero-allocation check. Counts every
+// operator-new in the process; the disabled-path assertions diff it.
+std::atomic<std::uint64_t> g_news{0};
+
+}  // namespace
+}  // namespace pimds::obs
+
+// noinline: keeps GCC from inlining the malloc/free bodies into callers and
+// then warning that free() pairs with the replaced operator new.
+[[gnu::noinline]] void* operator new(std::size_t n) {
+  pimds::obs::g_news.fetch_add(1, std::memory_order_relaxed);
+  void* p = std::malloc(n);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+[[gnu::noinline]] void operator delete(void* p) noexcept { std::free(p); }
+[[gnu::noinline]] void operator delete(void* p, std::size_t) noexcept {
+  std::free(p);
+}
+
+namespace pimds::obs {
+namespace {
+
+TEST(Counter, ShardedAddsSumExactlyUnderThreads) {
+  Counter c;
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kPerThread = 100'000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) c.add(1);
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(c.value(), kThreads * kPerThread);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Gauge, RecordMaxKeepsTheHighWaterMark) {
+  Gauge g;
+  g.record_max(5);
+  g.record_max(3);
+  EXPECT_EQ(g.value(), 5u);
+  g.record_max(9);
+  EXPECT_EQ(g.value(), 9u);
+  g.set(2);
+  EXPECT_EQ(g.value(), 2u);
+}
+
+TEST(Gauge, RecordMaxUnderThreadsIsTheGlobalMax) {
+  Gauge g;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&g, t] {
+      for (std::uint64_t i = 0; i < 10'000; ++i) {
+        g.record_max(static_cast<std::uint64_t>(t) * 10'000 + i);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(g.value(), 7u * 10'000 + 9'999);
+}
+
+TEST(Histogram, BucketBoundariesAreContiguousAndOrdered) {
+  // Every reachable bucket's exclusive upper bound must equal the next
+  // bucket's inclusive lower bound, with no gaps or overlaps. Buckets past
+  // bucket_index(2^64 - 1) can never be hit and have no defined bounds.
+  const unsigned top = Histogram::bucket_index(~std::uint64_t{0});
+  ASSERT_LT(top, Histogram::kBuckets);
+  for (unsigned b = 0; b < top; ++b) {
+    EXPECT_EQ(Histogram::bucket_upper(b), Histogram::bucket_lower(b + 1))
+        << "gap/overlap at bucket " << b;
+    EXPECT_LT(Histogram::bucket_lower(b), Histogram::bucket_upper(b));
+  }
+  // The top bucket's upper bound saturates at the max representable value.
+  EXPECT_LT(Histogram::bucket_lower(top), Histogram::bucket_upper(top));
+  EXPECT_EQ(Histogram::bucket_upper(top), ~std::uint64_t{0});
+}
+
+TEST(Histogram, BucketIndexRoundTripsItsOwnBounds) {
+  for (unsigned b = 0; b < 200; ++b) {
+    const std::uint64_t lo = Histogram::bucket_lower(b);
+    EXPECT_EQ(Histogram::bucket_index(lo), b);
+    EXPECT_EQ(Histogram::bucket_index(Histogram::bucket_upper(b) - 1), b);
+  }
+  // Known small values get exact unit buckets.
+  EXPECT_EQ(Histogram::bucket_index(0), 0u);
+  EXPECT_EQ(Histogram::bucket_index(1), 1u);
+  EXPECT_EQ(Histogram::bucket_index(3), 3u);
+  EXPECT_EQ(Histogram::bucket_index(~std::uint64_t{0}),
+            Histogram::bucket_index(~std::uint64_t{0}));
+  EXPECT_LT(Histogram::bucket_index(~std::uint64_t{0}), Histogram::kBuckets);
+}
+
+TEST(Histogram, RelativeBucketWidthIsBounded) {
+  // HDR property with 2 mantissa bits: width / lower <= 1/4 for v >= 4.
+  for (unsigned b = Histogram::kSub; b < 200; ++b) {
+    const double lo = static_cast<double>(Histogram::bucket_lower(b));
+    const double up = static_cast<double>(Histogram::bucket_upper(b));
+    EXPECT_LE((up - lo) / lo, 0.25 + 1e-12) << "bucket " << b;
+  }
+}
+
+TEST(Histogram, PercentilesOfKnownDistribution) {
+  Histogram h;
+  for (std::uint64_t v = 1; v <= 1000; ++v) h.record(v);
+  const HistogramData d = h.data();
+  EXPECT_EQ(d.count, 1000u);
+  EXPECT_EQ(d.max, 1000u);
+  EXPECT_NEAR(d.mean(), 500.5, 1e-9);
+  // Log-bucketed: percentile error is bounded by the 25% bucket width.
+  EXPECT_NEAR(d.percentile(0.50), 500.0, 125.0);
+  EXPECT_NEAR(d.percentile(0.99), 990.0, 250.0);
+  EXPECT_GE(d.percentile(0.999), d.percentile(0.5));
+}
+
+TEST(Histogram, ConcurrentRecordsAllCounted) {
+  Histogram h;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&h] {
+      for (std::uint64_t i = 0; i < 50'000; ++i) h.record(i & 1023);
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(h.count(), 8u * 50'000);
+}
+
+TEST(Registry, FindOrCreateReturnsStableReferences) {
+  auto& r = Registry::instance();
+  Counter& a = r.counter("test_obs.stable");
+  Counter& b = r.counter("test_obs.stable");
+  EXPECT_EQ(&a, &b);
+  a.add(3);
+  EXPECT_EQ(b.value(), 3u);
+}
+
+TEST(Registry, SnapshotAggregatesExternalAndOwnedByName) {
+  auto& r = Registry::instance();
+  r.counter("test_obs.agg").add(2);
+  Counter external;
+  external.add(5);
+  {
+    Registry::Handle h = r.register_counter("test_obs.agg", &external);
+    const MetricsSnapshot snap = r.snapshot();
+    const auto* s = snap.find_counter("test_obs.agg");
+    ASSERT_NE(s, nullptr);
+    EXPECT_EQ(s->value, 7u);  // owned 2 + external 5
+  }
+  // Handle destruction unregisters: only the owned counter remains.
+  const MetricsSnapshot snap = r.snapshot();
+  const auto* s = snap.find_counter("test_obs.agg");
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->value, 2u);
+}
+
+TEST(Registry, SnapshotJsonIsWellFormed) {
+  auto& r = Registry::instance();
+  r.counter("test_obs.json_counter").add(1);
+  r.gauge("test_obs.json_gauge").record_max(42);
+  r.histogram("test_obs.json_hist").record(100);
+  r.set_derived("test_obs.json_ratio", 1.5);
+  const std::string json = r.to_json();
+  std::size_t objects = 0;
+  EXPECT_TRUE(json_well_formed(json, &objects)) << json;
+  EXPECT_GE(objects, 4u);  // top-level + counters + gauges + histograms
+  EXPECT_NE(json.find("test_obs.json_counter"), std::string::npos);
+  EXPECT_NE(json.find("test_obs.json_ratio"), std::string::npos);
+  EXPECT_NE(json.find("\"p999\""), std::string::npos);
+}
+
+TEST(Trace, ChromeTraceJsonParsesBackAndContainsEvents) {
+  clear_trace();
+  set_trace_enabled(true);
+  set_process_name(kNativePid, "native");
+  set_process_name(kSimPid, "sim-virtual-time");
+  name_this_thread("test-main");
+  trace_instant_here("test_instant", "test", {"k", 7});
+  const std::uint64_t t0 = now_ns();
+  trace_complete_here("test_span", "test", t0, {"n", 3}, {"m", 4});
+  // Simulated-track events with explicit virtual timestamps.
+  trace_instant(kSimPid, 2, "newEnqSeg", "sim", 1000, {"vault", 2});
+  trace_complete(kSimPid, 2, "drain_batch", "sim", 2000, 500, {"n", 8});
+  EXPECT_GE(trace_event_count(), 4u);
+
+  const std::string path = ::testing::TempDir() + "test_obs_trace.json";
+  ASSERT_TRUE(write_chrome_trace(path));
+  set_trace_enabled(false);
+
+  std::ifstream in(path);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const std::string text = buf.str();
+  EXPECT_TRUE(json_well_formed(text)) << text.substr(0, 500);
+  EXPECT_NE(text.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(text.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(text.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(text.find("\"ph\":\"M\""), std::string::npos);
+  EXPECT_NE(text.find("newEnqSeg"), std::string::npos);
+  EXPECT_NE(text.find("drain_batch"), std::string::npos);
+  EXPECT_NE(text.find("\"vault\":2"), std::string::npos);
+  clear_trace();
+}
+
+TEST(Trace, RingBufferKeepsOnlyTheMostRecentWindow) {
+  clear_trace();
+  set_trace_enabled(true);
+  const std::size_t before = trace_event_count();
+  for (int i = 0; i < 100; ++i) {
+    trace_instant_here("spam", "test", {"i", static_cast<std::uint64_t>(i)});
+  }
+  set_trace_enabled(false);
+  const std::size_t after = trace_event_count();
+  EXPECT_GE(after - before, 0u);
+  EXPECT_LE(after, 16384u * 4);  // bounded by per-thread capacity
+  clear_trace();
+  EXPECT_EQ(trace_event_count(), 0u);
+}
+
+TEST(DisabledMode, UpdatesAreDroppedAndAllocationFree) {
+  auto& r = Registry::instance();
+  Counter& c = r.counter("test_obs.disabled_counter");
+  Histogram& h = r.histogram("test_obs.disabled_hist");
+  Gauge& g = r.gauge("test_obs.disabled_gauge");
+  c.reset();
+  set_metrics_enabled(false);
+  set_trace_enabled(false);
+  const std::uint64_t news_before = g_news.load(std::memory_order_relaxed);
+  for (int i = 0; i < 10'000; ++i) {
+    c.add(1);
+    h.record(static_cast<std::uint64_t>(i));
+    g.record_max(static_cast<std::uint64_t>(i));
+    trace_instant_here("nope", "test");
+    trace_complete_here("nope", "test", 0);
+  }
+  const std::uint64_t news_after = g_news.load(std::memory_order_relaxed);
+  set_metrics_enabled(true);
+  EXPECT_EQ(news_after, news_before)
+      << "disabled-mode metric/trace calls must not allocate";
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(g.value(), 0u);
+}
+
+TEST(PimSystemObs, MailboxMetricsVisibleThroughRegistryAndAccessors) {
+  runtime::PimSystem::Config cfg;
+  cfg.num_vaults = 2;
+  // Small injected latency: messages spend time in flight, so the pending
+  // heap must park at least one message -> a nonzero high-water mark.
+  cfg.inject_latency = true;
+  cfg.params = LatencyParams{200.0, 3.0, 3.0, 1.0};
+  runtime::PimSystem system(cfg);
+  std::atomic<int> served{0};
+  for (std::size_t v = 0; v < cfg.num_vaults; ++v) {
+    system.set_handler(v, [&served](runtime::PimCoreApi&,
+                                    const runtime::Message&) {
+      served.fetch_add(1, std::memory_order_relaxed);
+    });
+  }
+  system.start();
+  for (int i = 0; i < 200; ++i) {
+    runtime::Message m;
+    m.kind = 1;
+    m.value = static_cast<std::uint64_t>(i);
+    system.send(static_cast<std::size_t>(i) % cfg.num_vaults, m);
+  }
+  while (served.load(std::memory_order_relaxed) < 200) {
+  }
+  system.stop();
+
+  // Instance accessors.
+  EXPECT_EQ(system.messages_processed(0) + system.messages_processed(1), 200u);
+  EXPECT_GE(system.pending_high_water(0) + system.pending_high_water(1), 1u);
+
+  // The same numbers must be visible process-wide through the registry
+  // (the PR-1 ad-hoc struct fields are now registry-backed).
+  const MetricsSnapshot snap = Registry::instance().snapshot();
+  const auto* hwm = snap.find_gauge("runtime.vault0.mailbox.pending_hwm");
+  ASSERT_NE(hwm, nullptr);
+  EXPECT_EQ(hwm->value, system.pending_high_water(0));
+  const auto* spins =
+      snap.find_counter("runtime.vault0.mailbox.send_full_spins");
+  ASSERT_NE(spins, nullptr);
+  EXPECT_EQ(spins->value, system.send_full_spins(0));
+  const auto* msgs = snap.find_counter("runtime.vault0.messages");
+  ASSERT_NE(msgs, nullptr);
+  EXPECT_EQ(msgs->value, system.messages_processed(0));
+  const auto* drains = snap.find_histogram("runtime.vault0.mailbox.drain_batch");
+  ASSERT_NE(drains, nullptr);
+  EXPECT_GE(drains->data.count, 1u);
+}
+
+}  // namespace
+}  // namespace pimds::obs
