@@ -14,6 +14,15 @@ cmake -B build -S . > /dev/null
 cmake --build build -j
 (cd build && ctest --output-on-failure -j)
 
+# Opt-in: a longer schedule-exploration sweep of the segment hand-off and
+# migration protocols (docs/TESTING.md Section 5). CI's schedule-explore job
+# runs the full 1000-seed version.
+if [[ "${PIMDS_SCHEDULE_EXPLORE:-0}" == 1 ]]; then
+  echo "== tier-1: schedule-exploration sweep (PIMDS_SCHEDULE_EXPLORE=1) =="
+  PIMDS_EXPLORE_SEEDS="${PIMDS_EXPLORE_SEEDS:-200}" \
+    ./build/tests/test_schedule_explore
+fi
+
 if [[ "$skip_tsan" == 0 ]]; then
   echo "== tier-1: runtime tests under ThreadSanitizer =="
   cmake --preset tsan > /dev/null

@@ -1,0 +1,96 @@
+#include "check/explore.hpp"
+
+#include <cstdlib>
+#include <ostream>
+
+#include "common/rng.hpp"
+
+namespace pimds::check {
+
+namespace {
+
+std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return fallback;
+  return std::strtoull(value, nullptr, 10);
+}
+
+}  // namespace
+
+ExploreConfig ExploreConfig::with_env_overrides() const {
+  ExploreConfig cfg = *this;
+  cfg.num_seeds = env_u64("PIMDS_EXPLORE_SEEDS", cfg.num_seeds);
+  cfg.first_seed = env_u64("PIMDS_EXPLORE_FIRST_SEED", cfg.first_seed);
+  cfg.perturbations_per_seed =
+      env_u64("PIMDS_EXPLORE_PERTURBS", cfg.perturbations_per_seed);
+  return cfg;
+}
+
+std::uint64_t ExploreConfig::forced_perturb_seed() {
+  return env_u64("PIMDS_EXPLORE_PERTURB_SEED", 0);
+}
+
+std::string replay_command(const std::string& replay_hint, std::uint64_t seed,
+                           std::uint64_t perturb_seed) {
+  std::string cmd = "PIMDS_EXPLORE_FIRST_SEED=" + std::to_string(seed) +
+                    " PIMDS_EXPLORE_SEEDS=1";
+  cmd += " PIMDS_EXPLORE_PERTURB_SEED=" + std::to_string(perturb_seed);
+  cmd += " " + replay_hint;
+  return cmd;
+}
+
+std::string ExploreResult::report(const std::string& replay_hint) const {
+  std::string out = std::to_string(runs) + " runs, " +
+                    std::to_string(failures.size()) + " failures";
+  for (const ExploreFailure& f : failures) {
+    out += "\n  seed=" + std::to_string(f.seed) +
+           " perturb_seed=" + std::to_string(f.perturb_seed) + ": " + f.error;
+    out += "\n    replay: " + replay_command(replay_hint, f.seed,
+                                             f.perturb_seed);
+  }
+  return out;
+}
+
+ExploreResult explore(const ExploreConfig& cfg, const Trial& trial,
+                      const std::string& replay_hint, std::ostream* progress) {
+  ExploreResult result;
+  const std::uint64_t forced = ExploreConfig::forced_perturb_seed();
+  for (std::uint64_t i = 0; i < cfg.num_seeds; ++i) {
+    const std::uint64_t seed = cfg.first_seed + i;
+    // Perturbation seeds derive from the engine seed so a sweep never
+    // reuses one interleaving across seeds; seed 0 is the unperturbed run.
+    std::vector<std::uint64_t> perturb_seeds;
+    if (forced != 0) {
+      perturb_seeds.push_back(forced);
+    } else {
+      perturb_seeds.push_back(0);
+      SplitMix64 mix(seed ^ 0xe8c7'5e2d'95a1'37b9ULL);
+      for (std::uint64_t p = 0; p < cfg.perturbations_per_seed; ++p) {
+        std::uint64_t ps = mix.next();
+        if (ps == 0) ps = 1;  // 0 means "disabled"
+        perturb_seeds.push_back(ps);
+      }
+    }
+    for (const std::uint64_t ps : perturb_seeds) {
+      sim::Engine::Perturbation perturb = cfg.perturb;
+      perturb.seed = ps;
+      std::string error = trial(seed, perturb);
+      ++result.runs;
+      if (!error.empty()) {
+        result.failures.push_back({seed, ps, error});
+        if (progress != nullptr) {
+          *progress << "FAIL seed=" << seed << " perturb_seed=" << ps << ": "
+                    << error << "\n  replay: "
+                    << replay_command(replay_hint, seed, ps) << std::endl;
+        }
+        if (cfg.max_failures != 0 &&
+            result.failures.size() >= cfg.max_failures) {
+          return result;
+        }
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace pimds::check

@@ -1,0 +1,80 @@
+// Deterministic schedule exploration over the virtual-time simulator.
+//
+// The engine is deterministic per seed, and Engine::Perturbation adds
+// bounded, seeded delays at every scheduling point — together one (seed,
+// perturbation-seed) pair names one exact interleaving. The driver sweeps a
+// seed range, runs each seed once unperturbed and `perturbations_per_seed`
+// more times under distinct perturbation seeds, and hands every run to a
+// caller-supplied trial (typically: run a simulated protocol with history
+// recording, check linearizability, return the error string).
+//
+// Every failure is recorded with the exact pair that produced it and a
+// ready-to-paste replay command, so an adversarial interleaving found in a
+// 1000-seed CI sweep reproduces bit-exactly on a laptop.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sim/engine.hpp"
+
+namespace pimds::check {
+
+struct ExploreConfig {
+  std::uint64_t first_seed = 1;
+  std::uint64_t num_seeds = 50;
+  /// Perturbed runs per seed, in addition to the unperturbed run.
+  std::uint64_t perturbations_per_seed = 2;
+  sim::Engine::Perturbation perturb{};  ///< prob/bound template (seed set per run)
+  /// Stop after this many failures (0 = collect all).
+  std::size_t max_failures = 8;
+
+  /// Environment overrides for CI / replay without recompiling:
+  ///   PIMDS_EXPLORE_SEEDS       number of seeds to sweep
+  ///   PIMDS_EXPLORE_FIRST_SEED  first seed (replay: set SEEDS=1 too)
+  ///   PIMDS_EXPLORE_PERTURBS    perturbed runs per seed
+  ///   PIMDS_EXPLORE_PERTURB_SEED  check ONLY this perturbation seed
+  ExploreConfig with_env_overrides() const;
+
+  /// The single perturbation seed forced by PIMDS_EXPLORE_PERTURB_SEED, if
+  /// set (exact replay of one failing run).
+  static std::uint64_t forced_perturb_seed();
+};
+
+struct ExploreFailure {
+  std::uint64_t seed = 0;
+  std::uint64_t perturb_seed = 0;  ///< 0 = the unperturbed run
+  std::string error;
+};
+
+struct ExploreResult {
+  std::uint64_t runs = 0;
+  std::vector<ExploreFailure> failures;
+
+  bool ok() const noexcept { return failures.empty(); }
+  /// One line per failure: seeds, error, and the exact replay command.
+  std::string report(const std::string& replay_hint) const;
+};
+
+/// One exploration run: simulate at `engine_seed` with `perturb` installed
+/// (perturb.seed == 0 on the unperturbed run) and return "" on success or a
+/// violation description.
+using Trial = std::function<std::string(std::uint64_t engine_seed,
+                                        const sim::Engine::Perturbation&)>;
+
+/// Sweep the configured seed space. `replay_hint` names how to re-run one
+/// pair, e.g. "./tests/test_schedule_explore --gtest_filter=Explore.Queue";
+/// the driver prints failures (with replay commands) to `progress` as they
+/// happen, so even a crashed sweep leaves reproduction info behind.
+ExploreResult explore(const ExploreConfig& cfg, const Trial& trial,
+                      const std::string& replay_hint,
+                      std::ostream* progress = nullptr);
+
+/// The exact command line that replays one (seed, perturb_seed) run.
+std::string replay_command(const std::string& replay_hint, std::uint64_t seed,
+                           std::uint64_t perturb_seed);
+
+}  // namespace pimds::check

@@ -1,6 +1,7 @@
 #include "core/pim_skiplist.hpp"
 
 #include <cassert>
+#include <iterator>
 
 #include "runtime/mailbox.hpp"
 
@@ -56,6 +57,21 @@ PimSkipList::PimSkipList(runtime::PimSystem& system, Options options)
       return false;
     });
   }
+  // Seed every core's local ownership view from the initial layout (safe
+  // here: handlers only run after start()).
+  const auto entries = directory_.snapshot();
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    const std::uint64_t hi =
+        i + 1 < entries.size() ? entries[i + 1].sentinel : ~std::uint64_t{0};
+    vaults_[entries[i].vault]->owned.emplace(entries[i].sentinel, hi);
+  }
+}
+
+bool PimSkipList::owns_locally(const VaultState& vs, std::uint64_t key) {
+  auto it = vs.owned.upper_bound(key);
+  if (it == vs.owned.begin()) return false;
+  --it;
+  return key < it->second;
 }
 
 bool PimSkipList::submit(Kind kind, std::uint64_t key) {
@@ -143,10 +159,20 @@ bool PimSkipList::step_migration(PimCoreApi& api) {
     const std::optional<std::uint64_t> key =
         vs.list->first_at_least(mig.cursor);
     if (!key.has_value() || *key >= mig.hi) {
-      // Hand-over complete: first redirect the CPUs (the paper notifies
-      // them before telling the target the migration is over), then tell
-      // the target, whose kMigEnd processing releases the deferred
-      // requests and the global migration slot.
+      // Hand-over complete. Drop [lo, hi) from this core's own ownership
+      // view, then redirect the CPUs (the paper notifies them before
+      // telling the target the migration is over), then tell the target,
+      // whose kMigEnd processing releases the deferred requests and the
+      // global migration slot.
+      auto it = std::prev(vs.owned.upper_bound(mig.lo));
+      assert(it->first <= mig.lo && mig.hi <= it->second);
+      const std::uint64_t old_hi = it->second;
+      if (it->first == mig.lo) {
+        vs.owned.erase(it);
+      } else {
+        it->second = mig.lo;
+      }
+      if (mig.hi < old_hi) vs.owned.emplace(mig.hi, old_hi);
       directory_.move_range(mig.lo, mig.peer);
       mig.active = false;
       Message end;
@@ -195,8 +221,16 @@ void PimSkipList::handle_op(PimCoreApi& api, const Message& m,
     }
     return;
   }
-  if (directory_.route(m.key) != api.vault_id()) {
-    // Stale request for a range that moved away: make the CPU re-route.
+  if (!owns_locally(vs, m.key)) {
+    // Stale request for a range this core does not (or does not YET) own:
+    // make the CPU re-route. Deciding by the local view instead of the
+    // shared directory matters on the not-yet side — the directory can
+    // already point here while the granting kMigBegin/kMigNode/kMigEnd
+    // stream is still queued behind this request (found by the
+    // linearizability oracle under TSan: a delayed core answered
+    // contains() from a list missing the in-flight nodes). The retried
+    // request re-enters this mailbox behind the grant, so it lands in the
+    // deferred queue or executes after the hand-over, never before.
     static_cast<ResponseSlot<OpReply>*>(m.slot)->publish(
         OpReply{false, false}, api.reply_ready_ns());
     return;
@@ -222,7 +256,12 @@ void PimSkipList::handle(PimCoreApi& api, const Message& m) {
     }
     case kMigStart: {
       auto* slot = static_cast<ResponseSlot<OpReply>*>(m.slot);
-      if (vs.mig.active) {
+      // The owns_locally check is defensive: migration_busy_ serializes
+      // migrations and is only released by the previous target's kMigEnd
+      // processing (which grants its owned range first), so a kMigStart
+      // can never outrun the grant it depends on. Reject rather than
+      // silently migrate keys this core does not hold.
+      if (vs.mig.active || !owns_locally(vs, m.key)) {
         slot->publish(OpReply{false, false}, api.reply_ready_ns());
         break;
       }
@@ -254,9 +293,10 @@ void PimSkipList::handle(PimCoreApi& api, const Message& m) {
     }
     case kMigEnd: {
       assert(vs.mig.active && !vs.mig.outgoing);
+      vs.owned.emplace(vs.mig.lo, vs.mig.hi);  // the grant takes effect
       vs.mig.active = false;
-      // Serve requests that raced with the migration; the directory already
-      // points here, so they execute locally now.
+      // Serve requests that raced with the migration; this core now owns
+      // the range, so they execute locally.
       std::deque<Message> deferred;
       deferred.swap(vs.deferred);
       for (const Message& req : deferred) handle_op(api, req, false);

@@ -13,6 +13,7 @@
 #include <atomic>
 #include <cstdint>
 #include <deque>
+#include <map>
 #include <memory>
 #include <vector>
 
@@ -107,6 +108,15 @@ class PimSkipList {
     /// Direct requests for an incoming range, deferred until kMigEnd so
     /// they cannot overtake in-flight kMigNode messages.
     std::deque<runtime::Message> deferred;
+    /// This core's OWN view of the ranges it serves (lo -> hi, exclusive),
+    /// advanced only by events this core has already processed: its own
+    /// hand-over completion removes a range, processing kMigEnd adds one.
+    /// The execute/reject decision must consult this view and never the
+    /// shared directory: the source updates the directory before the target
+    /// has processed the granting kMigBegin/kMigNode/kMigEnd stream, so a
+    /// request already queued ahead of that stream would pass a directory
+    /// check and be answered from a list missing the in-flight nodes.
+    std::map<std::uint64_t, std::uint64_t> owned;
     CachePadded<std::atomic<std::uint64_t>> requests{0};
     CachePadded<std::atomic<std::uint64_t>> keys{0};
   };
@@ -118,6 +128,7 @@ class PimSkipList {
   /// Move up to migrate_chunk nodes; finishes the migration when drained.
   bool step_migration(runtime::PimCoreApi& api);
   bool submit(Kind kind, std::uint64_t key);
+  static bool owns_locally(const VaultState& vs, std::uint64_t key);
   static Kind forward_kind(std::uint32_t op) {
     return static_cast<Kind>(op + 7);  // kAdd->kFwdAdd etc.
   }

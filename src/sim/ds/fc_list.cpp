@@ -9,9 +9,11 @@ namespace pimds::sim {
 
 RunResult run_fc_list(const ListConfig& cfg, bool combining) {
   Engine engine(cfg.params, cfg.seed);
+  engine.set_perturbation(cfg.perturb);
   SimList list;
   Xoshiro256 setup(cfg.seed ^ 0xabcdefULL);
   list.populate(setup, cfg.initial_size, cfg.key_range);
+  record_setup_contents(cfg.recorder, list.keys());
 
   using Combiner = SimFlatCombiner<std::pair<SetOp, std::uint64_t>, bool>;
   // Table 1 counts only traversal costs for the FC list; the publication
@@ -40,12 +42,18 @@ RunResult run_fc_list(const ListConfig& cfg, bool combining) {
 
   std::uint64_t total_ops = 0;
   for (std::size_t i = 0; i < cfg.num_cpus; ++i) {
-    engine.spawn("cpu" + std::to_string(i), [&](Context& ctx) {
+    engine.spawn("cpu" + std::to_string(i), [&, i](Context& ctx) {
+      check::ThreadLog* log =
+          cfg.recorder != nullptr ? &cfg.recorder->log(i) : nullptr;
       std::uint64_t ops = 0;
       while (ctx.now() < cfg.duration_ns) {
         const SetOp op = pick_op(ctx.rng(), cfg.mix);
         const std::uint64_t key = ctx.rng().next_in(1, cfg.key_range);
-        fc.submit(ctx, {op, key}, serve);
+        if (log != nullptr) log->begin(check_op(op), key, ctx.now());
+        const bool r = fc.submit(ctx, {op, key}, serve);
+        if (log != nullptr) {
+          log->end(r ? check::kRetTrue : check::kRetFalse, ctx.now());
+        }
         ++ops;
       }
       total_ops += ops;

@@ -12,6 +12,7 @@ RunResult run_fc_queue(const QueueConfig& cfg, bool single_lock) {
   if (single_lock) {
     // Original flat combining: ONE lock serializes both operation types.
     Engine engine(cfg.params, cfg.seed);
+    engine.set_perturbation(cfg.perturb);
     std::deque<std::uint64_t> items;
     for (std::size_t i = 0; i < cfg.initial_nodes; ++i) items.push_back(i);
     struct Req {
@@ -36,12 +37,28 @@ RunResult run_fc_queue(const QueueConfig& cfg, bool single_lock) {
       }
     };
     std::uint64_t total_ops = 0;
-    const auto spawn = [&](std::string name, bool is_enq) {
-      engine.spawn(std::move(name), [&, is_enq](Context& ctx) {
+    const auto spawn = [&](std::string name, bool is_enq, std::size_t slot) {
+      engine.spawn(std::move(name), [&, is_enq, slot](Context& ctx) {
+        check::ThreadLog* log =
+            cfg.recorder != nullptr ? &cfg.recorder->log(slot) : nullptr;
         std::uint64_t ops = 0;
         while (ctx.now() < cfg.duration_ns) {
           const Time issued = ctx.now();
-          fc.submit(ctx, Req{is_enq, ctx.rng().next()}, serve);
+          const std::uint64_t value =
+              !is_enq ? 0
+              : log != nullptr
+                  ? ((static_cast<std::uint64_t>(slot) + 1) << 48) | ops
+                  : ctx.rng().next();
+          if (log != nullptr) {
+            log->begin(is_enq ? check::kEnq : check::kDeq, value, issued);
+          }
+          const std::optional<std::uint64_t> out =
+              fc.submit(ctx, Req{is_enq, value}, serve);
+          if (log != nullptr) {
+            log->end(is_enq ? check::kRetTrue
+                            : out.value_or(check::kRetEmpty),
+                     ctx.now());
+          }
           if (cfg.latency_sink_ns != nullptr) {
             cfg.latency_sink_ns->push_back(
                 static_cast<double>(ctx.now() - issued));
@@ -52,16 +69,17 @@ RunResult run_fc_queue(const QueueConfig& cfg, bool single_lock) {
       });
     };
     for (std::size_t i = 0; i < cfg.enqueuers; ++i) {
-      spawn("enq" + std::to_string(i), true);
+      spawn("enq" + std::to_string(i), true, i);
     }
     for (std::size_t i = 0; i < cfg.dequeuers; ++i) {
-      spawn("deq" + std::to_string(i), false);
+      spawn("deq" + std::to_string(i), false, cfg.enqueuers + i);
     }
     engine.run();
     return {total_ops, cfg.duration_ns};
   }
 
   Engine engine(cfg.params, cfg.seed);
+  engine.set_perturbation(cfg.perturb);
 
   std::deque<std::uint64_t> items;
   for (std::size_t i = 0; i < cfg.initial_nodes; ++i) items.push_back(i);
@@ -77,12 +95,19 @@ RunResult run_fc_queue(const QueueConfig& cfg, bool single_lock) {
 
   std::uint64_t total_ops = 0;
   for (std::size_t i = 0; i < cfg.enqueuers; ++i) {
-    engine.spawn("enq" + std::to_string(i), [&](Context& ctx) {
+    engine.spawn("enq" + std::to_string(i), [&, i](Context& ctx) {
+      check::ThreadLog* log =
+          cfg.recorder != nullptr ? &cfg.recorder->log(i) : nullptr;
       std::uint64_t ops = 0;
       while (ctx.now() < cfg.duration_ns) {
         const Time issued = ctx.now();
+        const std::uint64_t value =
+            log != nullptr
+                ? ((static_cast<std::uint64_t>(i) + 1) << 48) | ops
+                : ctx.rng().next();
+        if (log != nullptr) log->begin(check::kEnq, value, issued);
         enq_fc.submit(
-            ctx, ctx.rng().next(),
+            ctx, value,
             [&](Context& cctx, std::vector<EnqCombiner::Pending>& batch) {
               for (auto& p : batch) {
                 if (cfg.charge_node_access) cctx.charge(MemClass::kCpuDram);
@@ -90,6 +115,7 @@ RunResult run_fc_queue(const QueueConfig& cfg, bool single_lock) {
                 p.slot->set(cctx, true);
               }
             });
+        if (log != nullptr) log->end(check::kRetTrue, ctx.now());
         if (cfg.latency_sink_ns != nullptr) {
           cfg.latency_sink_ns->push_back(
               static_cast<double>(ctx.now() - issued));
@@ -100,11 +126,16 @@ RunResult run_fc_queue(const QueueConfig& cfg, bool single_lock) {
     });
   }
   for (std::size_t i = 0; i < cfg.dequeuers; ++i) {
-    engine.spawn("deq" + std::to_string(i), [&](Context& ctx) {
+    engine.spawn("deq" + std::to_string(i), [&, i](Context& ctx) {
+      check::ThreadLog* log =
+          cfg.recorder != nullptr
+              ? &cfg.recorder->log(cfg.enqueuers + i)
+              : nullptr;
       std::uint64_t ops = 0;
       while (ctx.now() < cfg.duration_ns) {
         const Time issued = ctx.now();
-        deq_fc.submit(
+        if (log != nullptr) log->begin(check::kDeq, 0, issued);
+        const std::optional<std::uint64_t> out = deq_fc.submit(
             ctx, 0,
             [&](Context& cctx, std::vector<DeqCombiner::Pending>& batch) {
               for (auto& p : batch) {
@@ -117,6 +148,7 @@ RunResult run_fc_queue(const QueueConfig& cfg, bool single_lock) {
                 p.slot->set(cctx, out);
               }
             });
+        if (log != nullptr) log->end(out.value_or(check::kRetEmpty), ctx.now());
         if (cfg.latency_sink_ns != nullptr) {
           cfg.latency_sink_ns->push_back(
               static_cast<double>(ctx.now() - issued));

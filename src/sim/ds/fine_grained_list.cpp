@@ -6,23 +6,30 @@ namespace pimds::sim {
 
 RunResult run_fine_grained_list(const ListConfig& cfg) {
   Engine engine(cfg.params, cfg.seed);
+  engine.set_perturbation(cfg.perturb);
   SimList list;
   Xoshiro256 setup(cfg.seed ^ 0xabcdefULL);
   list.populate(setup, cfg.initial_size, cfg.key_range);
+  record_setup_contents(cfg.recorder, list.keys());
 
   std::uint64_t total_ops = 0;
   for (std::size_t i = 0; i < cfg.num_cpus; ++i) {
     engine.spawn("cpu" + std::to_string(i), [&, i](Context& ctx) {
-      (void)i;
+      check::ThreadLog* log =
+          cfg.recorder != nullptr ? &cfg.recorder->log(i) : nullptr;
       std::uint64_t ops = 0;
       while (ctx.now() < cfg.duration_ns) {
         const SetOp op = pick_op(ctx.rng(), cfg.mix);
         const std::uint64_t key = ctx.rng().next_in(1, cfg.key_range);
+        if (log != nullptr) log->begin(check_op(op), key, ctx.now());
         // Hand-over-hand locking lets traversals pipeline down the list, so
         // the model charges only the traversal itself; enter the scheduler
         // once per operation so actors interleave in virtual time.
         ctx.sync();
-        list.execute(ctx, op, key, MemClass::kCpuDram);
+        const bool r = list.execute(ctx, op, key, MemClass::kCpuDram);
+        if (log != nullptr) {
+          log->end(r ? check::kRetTrue : check::kRetFalse, ctx.now());
+        }
         ++ops;
       }
       total_ops += ops;  // engine is single-threaded: no race

@@ -13,6 +13,7 @@ namespace pimds::sim {
 
 RunResult run_ms_queue(const QueueConfig& cfg) {
   Engine engine(cfg.params, cfg.seed);
+  engine.set_perturbation(cfg.perturb);
 
   std::deque<std::uint64_t> items;
   for (std::size_t i = 0; i < cfg.initial_nodes; ++i) items.push_back(i);
@@ -21,9 +22,16 @@ RunResult run_ms_queue(const QueueConfig& cfg) {
 
   std::uint64_t total_ops = 0;
   for (std::size_t i = 0; i < cfg.enqueuers; ++i) {
-    engine.spawn("enq" + std::to_string(i), [&](Context& ctx) {
+    engine.spawn("enq" + std::to_string(i), [&, i](Context& ctx) {
+      check::ThreadLog* log =
+          cfg.recorder != nullptr ? &cfg.recorder->log(i) : nullptr;
       std::uint64_t ops = 0;
       while (ctx.now() < cfg.duration_ns) {
+        const std::uint64_t value =
+            log != nullptr
+                ? ((static_cast<std::uint64_t>(i) + 1) << 48) | ops
+                : ctx.rng().next();
+        if (log != nullptr) log->begin(check::kEnq, value, ctx.now());
         if (cfg.charge_node_access) ctx.charge(MemClass::kCpuDram);
         for (;;) {
           // Read the tail, then try to CAS the new node in; a failed CAS
@@ -32,23 +40,34 @@ RunResult run_ms_queue(const QueueConfig& cfg) {
           ctx.charge(MemClass::kLlc);  // the tail pointer is cache-hot
           if (tail_line.compare_and_swap(ctx, seen)) break;
         }
-        items.push_back(ctx.rng().next());
+        items.push_back(value);
+        if (log != nullptr) log->end(check::kRetTrue, ctx.now());
         ++ops;
       }
       total_ops += ops;
     });
   }
   for (std::size_t i = 0; i < cfg.dequeuers; ++i) {
-    engine.spawn("deq" + std::to_string(i), [&](Context& ctx) {
+    engine.spawn("deq" + std::to_string(i), [&, i](Context& ctx) {
+      check::ThreadLog* log =
+          cfg.recorder != nullptr
+              ? &cfg.recorder->log(cfg.enqueuers + i)
+              : nullptr;
       std::uint64_t ops = 0;
       while (ctx.now() < cfg.duration_ns) {
+        if (log != nullptr) log->begin(check::kDeq, 0, ctx.now());
         for (;;) {
           const SimCasLine::ReadToken seen = head_line.read(ctx);
           ctx.charge(MemClass::kLlc);
           if (cfg.charge_node_access) ctx.charge(MemClass::kCpuDram);
           if (head_line.compare_and_swap(ctx, seen)) break;
         }
-        if (!items.empty()) items.pop_front();
+        std::uint64_t out = check::kRetEmpty;
+        if (!items.empty()) {
+          out = items.front();
+          items.pop_front();
+        }
+        if (log != nullptr) log->end(out, ctx.now());
         ++ops;
       }
       total_ops += ops;

@@ -22,9 +22,11 @@ struct ListMsg {
 
 RunResult run_pim_list(const ListConfig& cfg, bool combining) {
   Engine engine(cfg.params, cfg.seed);
+  engine.set_perturbation(cfg.perturb);
   SimList list;
   Xoshiro256 setup(cfg.seed ^ 0xabcdefULL);
   list.populate(setup, cfg.initial_size, cfg.key_range);
+  record_setup_contents(cfg.recorder, list.keys());
 
   Mailbox<ListMsg> inbox;
   const double msg_ns = cfg.params.message();
@@ -80,14 +82,20 @@ RunResult run_pim_list(const ListConfig& cfg, bool combining) {
 
   std::uint64_t total_ops = 0;
   for (std::size_t i = 0; i < cfg.num_cpus; ++i) {
-    engine.spawn("cpu" + std::to_string(i), [&](Context& ctx) {
+    engine.spawn("cpu" + std::to_string(i), [&, i](Context& ctx) {
+      check::ThreadLog* log =
+          cfg.recorder != nullptr ? &cfg.recorder->log(i) : nullptr;
       std::uint64_t ops = 0;
       SimSlot<bool> reply;
       while (ctx.now() < cfg.duration_ns) {
         const SetOp op = pick_op(ctx.rng(), cfg.mix);
         const std::uint64_t key = ctx.rng().next_in(1, cfg.key_range);
+        if (log != nullptr) log->begin(check_op(op), key, ctx.now());
         inbox.send(ctx, ListMsg{op, key, &reply, false});
-        reply.await(ctx);
+        const bool r = reply.await(ctx);
+        if (log != nullptr) {
+          log->end(r ? check::kRetTrue : check::kRetFalse, ctx.now());
+        }
         ++ops;
       }
       inbox.send(ctx, ListMsg{SetOp::kContains, 0, nullptr, true});

@@ -1,6 +1,7 @@
 // Simulated PIM-managed FIFO queue: a faithful rendition of Algorithm 1,
 // including segment hand-off between PIM cores, CPU retry on rejection, and
 // response pipelining (Figure 6).
+#include <algorithm>
 #include <cassert>
 #include <deque>
 #include <memory>
@@ -56,6 +57,7 @@ struct Vault {
 PimQueueResult run_pim_queue(const QueueConfig& cfg,
                              const PimQueueOptions& opts) {
   Engine engine(cfg.params, cfg.seed);
+  engine.set_perturbation(cfg.perturb);
   const std::size_t k = opts.num_vaults;
   assert(k >= 1);
   const double msg_ns = cfg.params.message();
@@ -123,6 +125,7 @@ PimQueueResult run_pim_queue(const QueueConfig& cfg,
     engine.spawn("pim-core" + std::to_string(v), [&, v](Context& ctx) {
       Vault& vault = *vaults[v];
       std::size_t stopped = 0;
+      std::uint64_t deq_serves = 0;  // QueueFault::kDoubleServe cadence
       // Non-enqueue messages picked up while draining an enqueue batch
       // (Section 5.1 fat-node combining) are replayed in arrival order.
       std::deque<QMsg> replay;
@@ -218,7 +221,13 @@ PimQueueResult run_pim_queue(const QueueConfig& cfg,
             if (!vault.deq_seg->nodes.empty()) {
               ctx.charge(MemClass::kPimLocal);  // read the node
               const std::uint64_t value = vault.deq_seg->nodes.front();
-              vault.deq_seg->nodes.pop_front();
+              if (opts.fault == QueueFault::kDoubleServe &&
+                  ++deq_serves % 64 == 0) {
+                // Injected bug: answer from the head without popping, so the
+                // next dequeue re-serves the same node.
+              } else {
+                vault.deq_seg->nodes.pop_front();
+              }
               ++result.deq_ops;
               vault_ops[v]->add(1);
               if (vault.enq_seg) ++result.co_resident_ops;
@@ -250,6 +259,12 @@ PimQueueResult run_pim_queue(const QueueConfig& cfg,
             assert(!vault.seg_queue.empty());
             vault.deq_seg = vault.seg_queue.front();
             vault.seg_queue.pop_front();
+            if (opts.fault == QueueFault::kHandoffReorder) {
+              // Injected bug: the hand-off "forgot" the segment's order and
+              // the new core serves its buffered nodes newest-first.
+              std::reverse(vault.deq_seg->nodes.begin(),
+                           vault.deq_seg->nodes.end());
+            }
             ctx.trace_instant("newDeqSeg", {"vault", v});
             directory.deq_cid = v;
             break;
@@ -263,24 +278,44 @@ PimQueueResult run_pim_queue(const QueueConfig& cfg,
   }
 
   std::uint64_t total_ops = 0;
-  const auto spawn_cpu = [&](std::string name, bool is_enq) {
-    engine.spawn(std::move(name), [&, is_enq](Context& ctx) {
+  const auto spawn_cpu = [&](std::string name, bool is_enq,
+                             std::size_t slot) {
+    engine.spawn(std::move(name), [&, is_enq, slot](Context& ctx) {
       std::uint64_t ops = 0;
+      check::ThreadLog* log =
+          cfg.recorder != nullptr ? &cfg.recorder->log(slot) : nullptr;
       SimSlot<Reply> reply;
       while (ctx.now() < cfg.duration_ns) {
         const Time issued = ctx.now();
+        // One value per OPERATION, not per send: a rejected CPU retries the
+        // same request. Recorded runs tag values with the producer slot so
+        // every enqueued value is unique (the checker matches dequeues to
+        // enqueues by value).
+        const std::uint64_t value =
+            !is_enq ? 0
+            : log != nullptr
+                ? ((static_cast<std::uint64_t>(slot) + 1) << 48) | ops
+                : ctx.rng().next();
+        if (log != nullptr) {
+          log->begin(is_enq ? check::kEnq : check::kDeq, value, issued);
+        }
+        Reply r;
         for (;;) {
           const std::size_t target =
               is_enq ? directory.enq_cid : directory.deq_cid;
           const QMsg::Kind kind =
               is_enq ? QMsg::Kind::kEnq : QMsg::Kind::kDeq;
-          vaults[target]->inbox.send(ctx,
-                                     QMsg{kind, ctx.rng().next(), &reply});
-          const Reply r = reply.await(ctx);
+          vaults[target]->inbox.send(ctx, QMsg{kind, value, &reply});
+          r = reply.await(ctx);
           if (r.accepted) break;
           ++result.rejections;  // stale directory: re-read and resend
           c_rejections.add(1);
           ctx.trace_instant("cpu_retry", {"target", target});
+        }
+        if (log != nullptr) {
+          log->end(is_enq ? check::kRetTrue
+                          : (r.has_value ? r.value : check::kRetEmpty),
+                   ctx.now());
         }
         h_latency.record(ctx.now() - issued);
         if (cfg.latency_sink_ns != nullptr) {
@@ -296,10 +331,10 @@ PimQueueResult run_pim_queue(const QueueConfig& cfg,
     });
   };
   for (std::size_t i = 0; i < cfg.enqueuers; ++i) {
-    spawn_cpu("enq" + std::to_string(i), true);
+    spawn_cpu("enq" + std::to_string(i), true, i);
   }
   for (std::size_t i = 0; i < cfg.dequeuers; ++i) {
-    spawn_cpu("deq" + std::to_string(i), false);
+    spawn_cpu("deq" + std::to_string(i), false, cfg.enqueuers + i);
   }
 
   engine.run();

@@ -23,6 +23,7 @@ struct SkipMsg {
 
 RunResult run_pim_skiplist(const SkipListConfig& cfg, std::size_t partitions) {
   Engine engine(cfg.params, cfg.seed);
+  engine.set_perturbation(cfg.perturb);
 
   // One vault (skip-list partition + mailbox + PIM core) per key range.
   std::vector<std::unique_ptr<SimSkipList>> lists;
@@ -37,7 +38,10 @@ RunResult run_pim_skiplist(const SkipListConfig& cfg, std::size_t partitions) {
   while (total_size < cfg.initial_size) {
     const std::uint64_t key = setup.next_in(1, cfg.key_range);
     SimSkipList& part = *lists[partition_of(key, cfg.key_range, partitions)];
-    if (part.insert_for_setup(setup, key)) ++total_size;
+    if (part.insert_for_setup(setup, key)) {
+      record_setup_add(cfg.recorder, key);
+      ++total_size;
+    }
   }
 
   const double msg_ns = cfg.params.message();
@@ -72,19 +76,25 @@ RunResult run_pim_skiplist(const SkipListConfig& cfg, std::size_t partitions) {
 
   std::uint64_t total_ops = 0;
   for (std::size_t i = 0; i < cfg.num_cpus; ++i) {
-    engine.spawn("cpu" + std::to_string(i), [&](Context& ctx) {
+    engine.spawn("cpu" + std::to_string(i), [&, i](Context& ctx) {
+      check::ThreadLog* log =
+          cfg.recorder != nullptr ? &cfg.recorder->log(i) : nullptr;
       std::uint64_t ops = 0;
       SimSlot<bool> reply;
       while (ctx.now() < cfg.duration_ns) {
         const SetOp op = pick_op(ctx.rng(), cfg.mix);
         const std::uint64_t key = ctx.rng().next_in(1, cfg.key_range);
+        if (log != nullptr) log->begin(check_op(op), key, ctx.now());
         // Route by the CPU-cached sentinel directory (Section 4.2): the
         // sentinels are few and hot, so the lookup hits the CPU cache; we
         // charge one LLC access for it.
         ctx.charge(MemClass::kLlc);
         const std::size_t p = partition_of(key, cfg.key_range, partitions);
         inboxes[p]->send(ctx, SkipMsg{op, key, &reply, false});
-        reply.await(ctx);
+        const bool r = reply.await(ctx);
+        if (log != nullptr) {
+          log->end(r ? check::kRetTrue : check::kRetFalse, ctx.now());
+        }
         ++ops;
       }
       for (std::size_t v = 0; v < partitions; ++v) {

@@ -13,6 +13,8 @@
 #include <algorithm>
 #include <cassert>
 #include <deque>
+#include <iterator>
+#include <map>
 #include <memory>
 #include <string>
 #include <utility>
@@ -97,6 +99,12 @@ struct SimVault {
   Mailbox<Msg> inbox;
   Migration mig;
   std::deque<Msg> deferred;
+  /// This core's OWN view of the ranges it serves (lo -> hi, exclusive),
+  /// advanced only by events this core has already processed (mirrors
+  /// core/pim_skiplist.cpp): execute/reject must consult this, never the
+  /// shared directory, which the source updates before the target has
+  /// processed the granting kMigBegin/kMigNode/kMigEnd stream.
+  std::map<std::uint64_t, std::uint64_t> owned;
   /// Target-side fingers: kMigNode keys arrive ascending, so inserts are
   /// amortized O(1) (the dual of the source's amortized extraction).
   SimSkipList::InsertCursor incoming_cursor;
@@ -107,6 +115,7 @@ struct SimVault {
 
 RebalanceResult run_pim_skiplist_rebalance(const RebalanceConfig& cfg) {
   Engine engine(cfg.params, cfg.seed);
+  engine.set_perturbation(cfg.perturb);
   const std::size_t k = cfg.partitions;
   const double msg_ns = cfg.params.message();
   RebalanceResult result;
@@ -120,12 +129,25 @@ RebalanceResult run_pim_skiplist_rebalance(const RebalanceConfig& cfg) {
     vault->list = std::make_unique<SimSkipList>(0);
     vaults.push_back(std::move(vault));
   }
+  for (std::size_t v = 0; v < k; ++v) {
+    const std::uint64_t lo = dir.entries[v].first;
+    const std::uint64_t hi =
+        v + 1 < k ? dir.entries[v + 1].first : ~std::uint64_t{0};
+    vaults[v]->owned.emplace(lo, hi);
+  }
+  const auto owns_locally = [](const SimVault& vault, std::uint64_t key) {
+    auto it = vault.owned.upper_bound(key);
+    if (it == vault.owned.begin()) return false;
+    --it;
+    return key < it->second;
+  };
   {
     Xoshiro256 setup(cfg.seed ^ 0xfeedULL);
     std::size_t total = 0;
     while (total < cfg.initial_size) {
       const std::uint64_t key = setup.next_in(1, cfg.key_range);
       if (vaults[dir.route(key)]->list->insert_for_setup(setup, key)) {
+        record_setup_add(cfg.recorder, key);
         ++total;
       }
     }
@@ -156,6 +178,16 @@ RebalanceResult run_pim_skiplist_rebalance(const RebalanceConfig& cfg) {
     for (std::size_t moved = 0; moved < cfg.migrate_chunk; ++moved) {
       const auto key = vault.list->first_at_least(mig.cursor);
       if (!key.has_value() || *key >= mig.hi) {
+        // Drop [lo, hi) from this core's own view, then redirect the CPUs.
+        auto it = std::prev(vault.owned.upper_bound(mig.lo));
+        assert(it->first <= mig.lo && mig.hi <= it->second);
+        const std::uint64_t old_hi = it->second;
+        if (it->first == mig.lo) {
+          vault.owned.erase(it);
+        } else {
+          it->second = mig.lo;
+        }
+        if (mig.hi < old_hi) vault.owned.emplace(mig.hi, old_hi);
         dir.move_range(mig.lo, mig.peer);  // redirect the CPUs first
         mig.active = false;
         ctx.trace_instant("mig_complete", {"source", v},
@@ -201,7 +233,11 @@ RebalanceResult run_pim_skiplist_rebalance(const RebalanceConfig& cfg) {
             const Migration& mig = vault.mig;
             if (mig.active && m.key >= mig.lo && m.key < mig.hi) {
               if (mig.outgoing) {
-                if (m.key >= mig.cursor) {
+                // RebalanceFault::kStaleServe: the buggy source never
+                // consults the cursor and answers every key from its own
+                // (partially drained) list.
+                if (m.key >= mig.cursor ||
+                    cfg.fault == RebalanceFault::kStaleServe) {
                   execute_and_reply(ctx, vault, m);
                 } else {
                   Msg fwd = m;
@@ -211,6 +247,10 @@ RebalanceResult run_pim_skiplist_rebalance(const RebalanceConfig& cfg) {
                   c_forwarded.add(1);
                   ctx.trace_instant("mig_forward", {"key", m.key});
                 }
+              } else if (cfg.fault == RebalanceFault::kNoDefer) {
+                // Injected bug, part 2: answer directly-routed requests from
+                // the still-incomplete local copy instead of parking them.
+                execute_and_reply(ctx, vault, m);
               } else {
                 vault.deferred.push_back(m);
                 ++result.deferred;
@@ -218,7 +258,12 @@ RebalanceResult run_pim_skiplist_rebalance(const RebalanceConfig& cfg) {
               }
               break;
             }
-            if (dir.route(m.key) != v) {
+            if (!owns_locally(vault, m.key)) {
+              // Reject by the LOCAL view, not dir.route(): the directory
+              // can already point here while the granting kMigBegin/
+              // kMigNode/kMigEnd stream is still queued behind this
+              // request (the race the linearizability oracle caught in
+              // the runtime twin under TSan).
               m.reply->set(ctx, Reply{false, false}, msg_ns);
               ++result.rejections;
               c_rejections.add(1);
@@ -237,6 +282,17 @@ RebalanceResult run_pim_skiplist_rebalance(const RebalanceConfig& cfg) {
             }
             vault.mig = Migration{true, true, m.key, m.hi, m.peer, m.key};
             ctx.trace_instant("mig_start", {"lo", m.key}, {"hi", m.hi});
+            if (cfg.fault == RebalanceFault::kNoDefer) {
+              // Injected bug, part 1: publish the new owner at migration
+              // START (the notify-first reading of Section 4.2.1) instead of
+              // at completion. CPUs now route directly to the target while
+              // the node stream is still in flight — exactly the window the
+              // defer-until-kMigEnd rule closes. With the correct directory
+              // update (at completion, just before kMigEnd) the FIFO mailbox
+              // guarantees no direct request can overtake the final node,
+              // which would leave part 2 below unreachable.
+              dir.move_range(m.key, m.peer);
+            }
             Msg begin;
             begin.kind = Msg::Kind::kMigBegin;
             begin.key = m.key;
@@ -258,6 +314,7 @@ RebalanceResult run_pim_skiplist_rebalance(const RebalanceConfig& cfg) {
             break;
           case Msg::Kind::kMigEnd: {
             assert(vault.mig.active && !vault.mig.outgoing);
+            vault.owned.emplace(vault.mig.lo, vault.mig.hi);  // grant
             vault.mig.active = false;
             std::deque<Msg> pending;
             pending.swap(vault.deferred);
@@ -280,12 +337,16 @@ RebalanceResult run_pim_skiplist_rebalance(const RebalanceConfig& cfg) {
   std::uint64_t before_ops = 0;
   std::uint64_t after_ops = 0;
   for (std::size_t i = 0; i < cfg.num_cpus; ++i) {
-    engine.spawn("cpu" + std::to_string(i), [&](Context& ctx) {
+    engine.spawn("cpu" + std::to_string(i), [&, i](Context& ctx) {
+      check::ThreadLog* log =
+          cfg.recorder != nullptr ? &cfg.recorder->log(i) : nullptr;
       ZipfGenerator zipf(cfg.key_range, cfg.zipf_theta);
       SimSlot<Reply> reply;
       while (ctx.now() < cfg.duration_ns) {
         const std::uint64_t key = zipf.next(ctx.rng()) + 1;
         const SetOp op = pick_op(ctx.rng(), cfg.mix);
+        if (log != nullptr) log->begin(check_op(op), key, ctx.now());
+        Reply r;
         for (;;) {
           Msg m;
           m.kind = Msg::Kind::kOp;
@@ -293,7 +354,11 @@ RebalanceResult run_pim_skiplist_rebalance(const RebalanceConfig& cfg) {
           m.key = key;
           m.reply = &reply;
           vaults[dir.route(key)]->inbox.send(ctx, m);
-          if (reply.await(ctx).accepted) break;
+          r = reply.await(ctx);
+          if (r.accepted) break;
+        }
+        if (log != nullptr) {
+          log->end(r.result ? check::kRetTrue : check::kRetFalse, ctx.now());
         }
         if (ctx.now() < third) {
           ++before_ops;

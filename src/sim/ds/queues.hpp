@@ -41,6 +41,15 @@ struct QueueConfig {
   /// pipelining buys throughput; the latency distribution shows what each
   /// design pays per operation to get it.
   std::vector<double>* latency_sink_ns = nullptr;
+  /// Schedule perturbation for adversarial exploration (check/explore.hpp).
+  Engine::Perturbation perturb{};
+  /// Optional linearizability-history recording (check/). Needs
+  /// `enqueuers + dequeuers` logs: enqueuer i records into log(i), dequeuer
+  /// j into log(enqueuers + j). The pre-filled nodes carry values
+  /// 0 .. initial_nodes-1 and enter the checker as the initial queue state;
+  /// recorded enqueues use values tagged with the producer id so every
+  /// value in the history is unique (QueueSpec matches dequeues by value).
+  check::HistoryRecorder* recorder = nullptr;
 };
 
 /// Where a PIM core creates the next enqueue segment (Algorithm 1 line 14
@@ -66,6 +75,22 @@ enum class SegmentPlacement : std::uint8_t {
   kOppositeDequeueCore,
 };
 
+/// Deliberately broken PIM-queue variants for checker mutation testing:
+/// each fault models a real protocol mistake and MUST be caught by the
+/// linearizability checker (tests/test_checker_mutation.cpp).
+enum class QueueFault : std::uint8_t {
+  kNone,
+  /// Segment hand-off bug: when the dequeue role moves to the next segment
+  /// (Algorithm 1's newDeqSeg), the new core serves its freshest buffered
+  /// nodes first — as if the hand-off message fenced nothing and the
+  /// successor's local order leaked. Breaks FIFO across the hand-off.
+  kHandoffReorder,
+  /// Response bug: the dequeue core occasionally re-serves the value it just
+  /// dequeued without popping again — a stale-sentinel read after the
+  /// segment advanced. One value reaches two dequeuers.
+  kDoubleServe,
+};
+
 struct PimQueueOptions {
   std::size_t num_vaults = 4;
   /// Segment length threshold (Algorithm 1 line 13). A huge threshold keeps
@@ -82,6 +107,7 @@ struct PimQueueOptions {
   /// values instead of one per value.
   bool enqueue_combining = false;
   std::size_t fat_node_capacity = 8;  ///< values per cache-line array node
+  QueueFault fault = QueueFault::kNone;  ///< mutation testing only
 };
 
 RunResult run_faa_queue(const QueueConfig& cfg);

@@ -50,6 +50,26 @@ RunResult run_pim_skiplist(const SkipListConfig& cfg, std::size_t partitions);
 /// serving: not-yet-migrated keys locally, already-migrated keys by
 /// forwarding; target defers racing direct requests until the hand-over
 /// completes; CPUs re-route after rejection).
+/// Deliberately broken migration variants (Section 4.2.1) for checker
+/// mutation testing; each MUST be flagged by the linearizability checker.
+enum class RebalanceFault : std::uint8_t {
+  kNone,
+  /// The source vault keeps serving ALL keys locally during migration —
+  /// including already-migrated ones it should forward. Updates to a
+  /// migrated key land on the stale copy and are lost when the target's
+  /// copy becomes authoritative.
+  kStaleServe,
+  /// Notify-first hand-off without the defer rule: the directory is updated
+  /// at migration START (so CPUs route directly to the target while nodes
+  /// are still streaming over), and the target answers those requests from
+  /// its incomplete local list instead of parking them until kMigEnd.
+  /// Reads miss keys that exist. (The early notify alone would be safe —
+  /// that is the paper's design point — it is skipping the defer that
+  /// breaks; with the correct completion-time update the FIFO mailbox means
+  /// no direct request can ever overtake the final migrated node.)
+  kNoDefer,
+};
+
 struct RebalanceConfig {
   LatencyParams params = LatencyParams::paper_defaults();
   std::uint64_t seed = 1;
@@ -64,6 +84,12 @@ struct RebalanceConfig {
   /// off the hot partition at t = duration/3 (migration chunk below).
   bool rebalance = true;
   std::size_t migrate_chunk = 32;
+  RebalanceFault fault = RebalanceFault::kNone;  ///< mutation testing only
+  /// Schedule perturbation for adversarial exploration (check/explore.hpp).
+  Engine::Perturbation perturb{};
+  /// Optional history recording (check/): CPU i -> log(i), setup inserts ->
+  /// log(num_cpus); pass a recorder with num_cpus + 1 logs.
+  check::HistoryRecorder* recorder = nullptr;
 };
 
 struct RebalanceResult {

@@ -34,6 +34,10 @@ ActorId Engine::spawn(std::string name, std::function<void(Context&)> body) {
 }
 
 void Engine::schedule(ActorId id, Time t) {
+  if (perturb_.enabled() &&
+      perturb_rng_.next_double() < perturb_.delay_prob) {
+    t += perturb_rng_.next_below(perturb_.max_delay_ns + 1);
+  }
   Actor& actor = actors_[id];
   actor.state = State::kRunnable;
   actor.scheduled_seq = next_seq_++;

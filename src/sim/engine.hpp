@@ -90,12 +90,42 @@ class Context {
 
 class Engine {
  public:
+  /// Deterministic schedule perturbation for adversarial exploration
+  /// (check/explore.hpp). When enabled, every scheduling point — spawn,
+  /// yield, wake — draws from a dedicated RNG and, with probability
+  /// `delay_prob`, defers the actor by a uniform delay in
+  /// [0, max_delay_ns]. The draw sequence depends only on the (engine seed,
+  /// perturbation seed) pair and the schedule-call order, which is itself
+  /// deterministic, so every perturbed run replays bit-exactly from the two
+  /// seeds. Delays are bounded and additive: no message is lost or
+  /// reordered against a per-sender FIFO guarantee, only the interleaving
+  /// of independent actors shifts — exactly the freedom the architecture's
+  /// asynchrony already permits, explored adversarially instead of once.
+  struct Perturbation {
+    std::uint64_t seed = 0;     ///< 0 disables perturbation
+    double delay_prob = 0.25;   ///< chance a schedule point is delayed
+    Time max_delay_ns = 2000;   ///< uniform delay bound per hit
+
+    bool enabled() const noexcept { return seed != 0; }
+  };
+
   explicit Engine(LatencyParams params = LatencyParams::paper_defaults(),
                   std::uint64_t seed = 1);
   ~Engine();
 
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
+
+  /// Install a schedule perturbation. Call before spawn()/run(); the seed
+  /// pair (constructor seed, perturbation seed) fully determines the run.
+  void set_perturbation(const Perturbation& p) {
+    perturb_ = p;
+    perturb_rng_ = Xoshiro256(p.seed);
+  }
+  const Perturbation& perturbation() const noexcept { return perturb_; }
+
+  /// Engine seed (replay reporting).
+  std::uint64_t seed() const noexcept { return seed_; }
 
   /// Create an actor; it becomes runnable at virtual time 0.
   ActorId spawn(std::string name, std::function<void(Context&)> body);
@@ -148,6 +178,8 @@ class Engine {
 
   LatencyParams params_;
   std::uint64_t seed_;
+  Perturbation perturb_{};
+  Xoshiro256 perturb_rng_{0};
   std::vector<Actor> actors_;
   std::priority_queue<Event, std::vector<Event>, std::greater<Event>> queue_;
   std::uint64_t next_seq_ = 1;

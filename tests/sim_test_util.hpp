@@ -1,0 +1,60 @@
+// Shared helpers for simulator-based tests: engine-seed override and
+// failure-replay reporting.
+//
+// Every sim test derives its engine seed through SimSeed. On any assertion
+// failure inside the test, gtest prints the attached trace note, which names
+// the seed and the exact command that replays the run bit-for-bit:
+//
+//   PIMDS_SIM_SEED=<seed> ./tests/<binary> --gtest_filter=<Suite>.<Test>
+//
+// The env override feeds the reported seed back in, so a failure seen once
+// (in CI, on another machine) reproduces exactly — the simulator is
+// deterministic per seed.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+
+namespace pimds::test {
+
+/// Engine seed for a sim test: `fallback` unless PIMDS_SIM_SEED is set.
+inline std::uint64_t sim_seed(std::uint64_t fallback) {
+  const char* env = std::getenv("PIMDS_SIM_SEED");
+  if (env == nullptr || *env == '\0') return fallback;
+  return std::strtoull(env, nullptr, 10);
+}
+
+/// The replay note attached to failures (public so tests can print it).
+inline std::string seed_note(std::uint64_t seed) {
+  std::string name = "<test>";
+  const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+  if (info != nullptr) {
+    name = std::string(info->test_suite_name()) + "." + info->name();
+  }
+  return "engine seed = " + std::to_string(seed) +
+         "; replay exactly with: PIMDS_SIM_SEED=" + std::to_string(seed) +
+         " ./tests/<this test binary> --gtest_filter=" + name;
+}
+
+/// Resolves the seed (env override wins) and attaches the replay note to
+/// every assertion failure in the enclosing scope. Use at the top of a test:
+///
+///   const test::SimSeed seed(cfg.seed);
+///   cfg.seed = seed;
+class SimSeed {
+ public:
+  explicit SimSeed(std::uint64_t fallback = 1)
+      : seed_(sim_seed(fallback)), trace_(__FILE__, __LINE__, seed_note(seed_)) {}
+
+  operator std::uint64_t() const noexcept { return seed_; }  // NOLINT
+  std::uint64_t value() const noexcept { return seed_; }
+
+ private:
+  std::uint64_t seed_;
+  ::testing::ScopedTrace trace_;
+};
+
+}  // namespace pimds::test

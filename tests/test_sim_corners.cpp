@@ -12,6 +12,7 @@
 #include "sim/mailbox.hpp"
 #include "sim/sync.hpp"
 #include "sim/workload.hpp"
+#include "sim_test_util.hpp"
 
 namespace pimds::sim {
 namespace {
@@ -101,8 +102,10 @@ TEST(Equilibrium, BalancedMixKeepsSetNearHalfTheKeyRange) {
   // The experiments size sets at key_range/2 because balanced add/remove on
   // uniform keys converges there; verify the fixed point is actually
   // attracting from both sides.
+  const test::SimSeed seed;
   for (std::size_t initial : {100u, 400u, 700u}) {
     ListConfig cfg;
+    cfg.seed = seed;
     cfg.num_cpus = 4;
     cfg.key_range = 800;
     cfg.initial_size = initial;

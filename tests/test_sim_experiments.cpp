@@ -10,6 +10,7 @@
 #include "sim/ds/linked_lists.hpp"
 #include "sim/ds/queues.hpp"
 #include "sim/ds/skiplists.hpp"
+#include "sim_test_util.hpp"
 
 namespace pimds::sim {
 namespace {
@@ -32,21 +33,27 @@ void expect_within(double measured, double expected, double lo, double hi,
 }
 
 TEST(SimVsModel, Table1FineGrainedList) {
-  const ListConfig cfg = small_list_config();
+  ListConfig cfg = small_list_config();
+  const test::SimSeed seed(cfg.seed);
+  cfg.seed = seed;
   const double sim = run_fine_grained_list(cfg).ops_per_sec();
   const double mdl = model::fine_grained_lock_list(cfg.params, 400, 8);
   expect_within(sim, mdl, 0.85, 1.15, "fine-grained list");
 }
 
 TEST(SimVsModel, Table1FcListNoCombining) {
-  const ListConfig cfg = small_list_config();
+  ListConfig cfg = small_list_config();
+  const test::SimSeed seed(cfg.seed);
+  cfg.seed = seed;
   const double sim = run_fc_list(cfg, false).ops_per_sec();
   const double mdl = model::fc_list_no_combining(cfg.params, 400);
   expect_within(sim, mdl, 0.85, 1.15, "FC list, no combining");
 }
 
 TEST(SimVsModel, Table1FcListCombining) {
-  const ListConfig cfg = small_list_config();
+  ListConfig cfg = small_list_config();
+  const test::SimSeed seed(cfg.seed);
+  cfg.seed = seed;
   const double sim = run_fc_list(cfg, true).ops_per_sec();
   const double mdl = model::fc_list_combining(cfg.params, 400, 8);
   // Real combining degrees fluctuate below the ideal batch=p, so the lower
@@ -55,14 +62,18 @@ TEST(SimVsModel, Table1FcListCombining) {
 }
 
 TEST(SimVsModel, Table1PimListNoCombining) {
-  const ListConfig cfg = small_list_config();
+  ListConfig cfg = small_list_config();
+  const test::SimSeed seed(cfg.seed);
+  cfg.seed = seed;
   const double sim = run_pim_list(cfg, false).ops_per_sec();
   const double mdl = model::pim_list_no_combining(cfg.params, 400);
   expect_within(sim, mdl, 0.85, 1.15, "PIM list, no combining");
 }
 
 TEST(SimVsModel, Table1PimListCombining) {
-  const ListConfig cfg = small_list_config();
+  ListConfig cfg = small_list_config();
+  const test::SimSeed seed(cfg.seed);
+  cfg.seed = seed;
   const double sim = run_pim_list(cfg, true).ops_per_sec();
   const double mdl = model::pim_list_combining(cfg.params, 400, 8);
   expect_within(sim, mdl, 0.85, 1.15, "PIM list, combining");
@@ -72,6 +83,8 @@ TEST(SimClaims, C1NaivePimListCrossoverSitsAtR1Threads) {
   // Table 1 predicts a TIE at p = r1 = 3: fine-grained wins strictly above,
   // loses strictly below.
   ListConfig cfg = small_list_config();
+  const test::SimSeed seed(cfg.seed);
+  cfg.seed = seed;
   cfg.num_cpus = 2;
   EXPECT_LT(run_fine_grained_list(cfg).ops_per_sec(),
             run_pim_list(cfg, false).ops_per_sec());
@@ -85,14 +98,18 @@ TEST(SimClaims, C1NaivePimListCrossoverSitsAtR1Threads) {
 }
 
 TEST(SimClaims, C2CombiningPimListBeatsFineGrained) {
-  const ListConfig cfg = small_list_config();
+  ListConfig cfg = small_list_config();
+  const test::SimSeed seed(cfg.seed);
+  cfg.seed = seed;
   const double pim = run_pim_list(cfg, true).ops_per_sec();
   const double fine_grained = run_fine_grained_list(cfg).ops_per_sec();
   EXPECT_GE(pim / fine_grained, 1.4) << "paper claims >= 1.5x at r1 = 3";
 }
 
 TEST(SimClaims, C3PimListIsAboutR1TimesFcList) {
-  const ListConfig cfg = small_list_config();
+  ListConfig cfg = small_list_config();
+  const test::SimSeed seed(cfg.seed);
+  cfg.seed = seed;
   const double ratio_plain = run_pim_list(cfg, false).ops_per_sec() /
                              run_fc_list(cfg, false).ops_per_sec();
   EXPECT_NEAR(ratio_plain, cfg.params.r1, 0.5);
@@ -108,7 +125,9 @@ SkipListConfig skip_config(std::size_t cpus) {
 }
 
 TEST(SimVsModel, Table2PimSkipListTracksPartitionedFormula) {
-  const SkipListConfig cfg = skip_config(8);
+  SkipListConfig cfg = skip_config(8);
+  const test::SimSeed seed(cfg.seed);
+  cfg.seed = seed;
   const double beta = model::estimate_beta(cfg.initial_size);
   const double sim = run_pim_skiplist(cfg, 4).ops_per_sec();
   const double mdl = model::pim_skiplist_partitioned(cfg.params, beta, 4);
@@ -116,7 +135,9 @@ TEST(SimVsModel, Table2PimSkipListTracksPartitionedFormula) {
 }
 
 TEST(SimVsModel, Table2LockFreeTracksFormula) {
-  const SkipListConfig cfg = skip_config(8);
+  SkipListConfig cfg = skip_config(8);
+  const test::SimSeed seed(cfg.seed);
+  cfg.seed = seed;
   const double beta = model::estimate_beta(cfg.initial_size);
   const double sim = run_lockfree_skiplist(cfg).ops_per_sec();
   const double mdl = model::lock_free_skiplist(cfg.params, beta, 8);
@@ -124,7 +145,9 @@ TEST(SimVsModel, Table2LockFreeTracksFormula) {
 }
 
 TEST(SimClaims, C4NaivePimSkipListLosesToLockFree) {
-  const SkipListConfig cfg = skip_config(8);
+  SkipListConfig cfg = skip_config(8);
+  const test::SimSeed seed(cfg.seed);
+  cfg.seed = seed;
   const double naive = run_pim_skiplist(cfg, 1).ops_per_sec();
   const double lock_free = run_lockfree_skiplist(cfg).ops_per_sec();
   EXPECT_GT(lock_free, naive);
@@ -132,14 +155,18 @@ TEST(SimClaims, C4NaivePimSkipListLosesToLockFree) {
 
 TEST(SimClaims, C5PartitionedPimSkipListBeatsLockFreeWhenKExceedsPOverR1) {
   // p = 12, r1 = 3: k = 8 > 4 should win, k = 2 should lose.
-  const SkipListConfig cfg = skip_config(12);
+  SkipListConfig cfg = skip_config(12);
+  const test::SimSeed seed(cfg.seed);
+  cfg.seed = seed;
   const double lock_free = run_lockfree_skiplist(cfg).ops_per_sec();
   EXPECT_GT(run_pim_skiplist(cfg, 8).ops_per_sec(), lock_free);
   EXPECT_LT(run_pim_skiplist(cfg, 2).ops_per_sec(), lock_free);
 }
 
 TEST(SimClaims, C6PimSkipListIsAboutR1TimesFcSkipListAtEqualK) {
-  const SkipListConfig cfg = skip_config(16);
+  SkipListConfig cfg = skip_config(16);
+  const test::SimSeed seed(cfg.seed);
+  cfg.seed = seed;
   const double ratio = run_pim_skiplist(cfg, 4).ops_per_sec() /
                        run_fc_skiplist(cfg, 4).ops_per_sec();
   // beta r1/(beta + r1) ~ 2.6-3.0 for observed beta, plus saturation noise.
@@ -148,7 +175,9 @@ TEST(SimClaims, C6PimSkipListIsAboutR1TimesFcSkipListAtEqualK) {
 }
 
 TEST(SimClaims, PartitioningImprovesFcSkipList) {
-  const SkipListConfig cfg = skip_config(16);
+  SkipListConfig cfg = skip_config(16);
+  const test::SimSeed seed(cfg.seed);
+  cfg.seed = seed;
   const double k1 = run_fc_skiplist(cfg, 1).ops_per_sec();
   const double k4 = run_fc_skiplist(cfg, 4).ops_per_sec();
   const double k8 = run_fc_skiplist(cfg, 8).ops_per_sec();
@@ -165,14 +194,18 @@ QueueConfig queue_config() {
 }
 
 TEST(SimVsModel, Sec52FaaQueueHitsTheAtomicBound) {
-  const QueueConfig cfg = queue_config();
+  QueueConfig cfg = queue_config();
+  const test::SimSeed seed(cfg.seed);
+  cfg.seed = seed;
   const double sim = run_faa_queue(cfg).ops_per_sec();
   const double mdl = 2 * model::faa_queue(cfg.params);  // two sides
   expect_within(sim, mdl, 0.95, 1.05, "F&A queue");
 }
 
 TEST(SimVsModel, Sec52FcQueueNearTheLlcBound) {
-  const QueueConfig cfg = queue_config();
+  QueueConfig cfg = queue_config();
+  const test::SimSeed seed(cfg.seed);
+  cfg.seed = seed;
   const double sim = run_fc_queue(cfg).ops_per_sec();
   const double mdl = 2 * model::fc_queue(cfg.params);
   // The (2p-1) Lllc cost is an asymptotic-in-p bound; at p=12 per side the
@@ -181,7 +214,9 @@ TEST(SimVsModel, Sec52FcQueueNearTheLlcBound) {
 }
 
 TEST(SimVsModel, Sec52PimQueueApproachesOneOverLpimPerSide) {
-  const QueueConfig cfg = queue_config();
+  QueueConfig cfg = queue_config();
+  const test::SimSeed seed(cfg.seed);
+  cfg.seed = seed;
   const PimQueueResult r = run_pim_queue(cfg, PimQueueOptions{});
   const double mdl = 2 * model::pim_queue_pipelined(cfg.params);
   expect_within(r.run.ops_per_sec(), mdl, 0.9, 1.05, "PIM queue");
@@ -192,6 +227,8 @@ TEST(SimVsModel, Sec52PimQueueApproachesOneOverLpimPerSide) {
 
 TEST(SimVsModel, Sec52PipeliningDelivers) {
   QueueConfig cfg = queue_config();
+  const test::SimSeed seed(cfg.seed);
+  cfg.seed = seed;
   PimQueueOptions opts;
   opts.pipelining = false;
   const double unpiped = run_pim_queue(cfg, opts).run.ops_per_sec();
@@ -201,6 +238,8 @@ TEST(SimVsModel, Sec52PipeliningDelivers) {
 
 TEST(SimVsModel, Sec52SingleSegmentHalvesThroughput) {
   QueueConfig cfg = queue_config();
+  const test::SimSeed seed(cfg.seed);
+  cfg.seed = seed;
   PimQueueOptions opts;
   opts.num_vaults = 1;
   opts.segment_threshold = ~std::uint64_t{0};
@@ -211,7 +250,9 @@ TEST(SimVsModel, Sec52SingleSegmentHalvesThroughput) {
 }
 
 TEST(SimClaims, C7PimQueueBeatsFcByTwoAndFaaByThree) {
-  const QueueConfig cfg = queue_config();
+  QueueConfig cfg = queue_config();
+  const test::SimSeed seed(cfg.seed);
+  cfg.seed = seed;
   const double pim = run_pim_queue(cfg, PimQueueOptions{}).run.ops_per_sec();
   const double fc = run_fc_queue(cfg).ops_per_sec();
   const double faa = run_faa_queue(cfg).ops_per_sec();
@@ -223,6 +264,8 @@ TEST(SimClaims, RoundRobinPlacementCanSerializeTheTwoRoles) {
   // The ablation behind SegmentPlacement::kOppositeDequeueCore: strict
   // round-robin lets the enqueue and dequeue roles co-reside.
   QueueConfig cfg = queue_config();
+  const test::SimSeed seed(cfg.seed);
+  cfg.seed = seed;
   cfg.initial_nodes = 64 * 1024;  // exact multiple: roles collide at t=0
   PimQueueOptions rr;
   rr.placement = SegmentPlacement::kRoundRobin;
@@ -232,14 +275,17 @@ TEST(SimClaims, RoundRobinPlacementCanSerializeTheTwoRoles) {
 }
 
 TEST(SimDeterminism, SameSeedSameResult) {
-  const QueueConfig cfg = queue_config();
+  QueueConfig cfg = queue_config();
+  const test::SimSeed seed(cfg.seed);
+  cfg.seed = seed;
   const auto a = run_pim_queue(cfg, PimQueueOptions{});
   const auto b = run_pim_queue(cfg, PimQueueOptions{});
   EXPECT_EQ(a.run.total_ops, b.run.total_ops);
   EXPECT_EQ(a.rejections, b.rejections);
   EXPECT_EQ(a.segments_created, b.segments_created);
 
-  const ListConfig lcfg = small_list_config();
+  ListConfig lcfg = small_list_config();
+  lcfg.seed = seed;
   EXPECT_EQ(run_fc_list(lcfg, true).total_ops,
             run_fc_list(lcfg, true).total_ops);
 }

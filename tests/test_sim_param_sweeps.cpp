@@ -11,6 +11,7 @@
 #include "sim/ds/linked_lists.hpp"
 #include "sim/ds/queues.hpp"
 #include "sim/ds/skiplists.hpp"
+#include "sim_test_util.hpp"
 
 namespace pimds::sim {
 namespace {
@@ -30,7 +31,9 @@ ListConfig list_config(std::size_t p) {
 
 TEST_P(ListSweep, FineGrainedTracksModel) {
   const std::size_t p = GetParam();
-  const ListConfig cfg = list_config(p);
+  ListConfig cfg = list_config(p);
+  const test::SimSeed seed(cfg.seed);
+  cfg.seed = seed;
   const double sim = run_fine_grained_list(cfg).ops_per_sec();
   const double mdl = model::fine_grained_lock_list(cfg.params, 300, p);
   EXPECT_GT(sim, 0.80 * mdl) << "p=" << p;
@@ -39,7 +42,9 @@ TEST_P(ListSweep, FineGrainedTracksModel) {
 
 TEST_P(ListSweep, PimCombiningTracksModel) {
   const std::size_t p = GetParam();
-  const ListConfig cfg = list_config(p);
+  ListConfig cfg = list_config(p);
+  const test::SimSeed seed(cfg.seed);
+  cfg.seed = seed;
   const double sim = run_pim_list(cfg, true).ops_per_sec();
   const double mdl = model::pim_list_combining(cfg.params, 300, p);
   EXPECT_GT(sim, 0.80 * mdl) << "p=" << p;
@@ -48,7 +53,9 @@ TEST_P(ListSweep, PimCombiningTracksModel) {
 
 TEST_P(ListSweep, PimBeatsFcByAboutR1) {
   const std::size_t p = GetParam();
-  const ListConfig cfg = list_config(p);
+  ListConfig cfg = list_config(p);
+  const test::SimSeed seed(cfg.seed);
+  cfg.seed = seed;
   const double pim = run_pim_list(cfg, true).ops_per_sec();
   const double fc = run_fc_list(cfg, true).ops_per_sec();
   // Claim C3 at every thread count (combining batches add noise: wide band).
@@ -69,6 +76,8 @@ class SkipListKSweep : public ::testing::TestWithParam<std::size_t> {};
 TEST_P(SkipListKSweep, PartitionedPimTracksModelUntilSaturation) {
   const std::size_t k = GetParam();
   SkipListConfig cfg;
+  const test::SimSeed seed(cfg.seed);
+  cfg.seed = seed;
   cfg.num_cpus = 32;  // enough clients to keep k cores busy for all k here
   cfg.key_range = 1 << 14;
   cfg.initial_size = 1 << 13;
@@ -84,6 +93,8 @@ TEST_P(SkipListKSweep, MorePartitionsNeverHurt) {
   const std::size_t k = GetParam();
   if (k == 1) GTEST_SKIP() << "needs a smaller comparison point";
   SkipListConfig cfg;
+  const test::SimSeed seed(cfg.seed);
+  cfg.seed = seed;
   cfg.num_cpus = 32;
   cfg.key_range = 1 << 14;
   cfg.initial_size = 1 << 13;
@@ -106,6 +117,8 @@ class QueueRatioSweep : public ::testing::TestWithParam<double> {};
 TEST_P(QueueRatioSweep, PimQueueTracksModelAcrossR1) {
   const double r1 = GetParam();
   QueueConfig cfg;
+  const test::SimSeed seed(cfg.seed);
+  cfg.seed = seed;
   cfg.params.r1 = r1;
   cfg.params.pim_ns = 600.0 / r1;  // hold Lcpu at 600 ns
   cfg.enqueuers = cfg.dequeuers = 16;
@@ -120,6 +133,8 @@ TEST_P(QueueRatioSweep, PimQueueTracksModelAcrossR1) {
 TEST_P(QueueRatioSweep, CrossoverAgainstFaaMatchesPredicate) {
   const double r1 = GetParam();
   QueueConfig cfg;
+  const test::SimSeed seed(cfg.seed);
+  cfg.seed = seed;
   cfg.params.r1 = r1;
   cfg.params.pim_ns = 600.0 / r1;
   cfg.enqueuers = cfg.dequeuers = 16;
@@ -148,15 +163,19 @@ class DeterminismSweep : public ::testing::TestWithParam<int> {};
 
 TEST_P(DeterminismSweep, EachAlgorithmIsBitStable) {
   const int which = GetParam();
+  const test::SimSeed seed;
   const auto run = [&]() -> std::uint64_t {
     ListConfig lc = list_config(6);
+    lc.seed = seed;
     lc.duration_ns = 5'000'000;
     SkipListConfig sc;
+    sc.seed = seed;
     sc.num_cpus = 6;
     sc.key_range = 1 << 12;
     sc.initial_size = 1 << 11;
     sc.duration_ns = 5'000'000;
     QueueConfig qc;
+    qc.seed = seed;
     qc.enqueuers = qc.dequeuers = 4;
     qc.duration_ns = 5'000'000;
     switch (which) {

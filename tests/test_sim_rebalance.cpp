@@ -5,6 +5,7 @@
 #include "sim/ds/queues.hpp"
 #include "sim/ds/skiplist_common.hpp"
 #include "sim/ds/skiplists.hpp"
+#include "sim_test_util.hpp"
 
 namespace pimds::sim {
 namespace {
@@ -21,6 +22,8 @@ RebalanceConfig quick_config() {
 
 TEST(SimRebalance, MigrationImprovesSkewedThroughput) {
   RebalanceConfig cfg = quick_config();
+  const test::SimSeed seed(cfg.seed);
+  cfg.seed = seed;
   const RebalanceResult with = run_pim_skiplist_rebalance(cfg);
   cfg.rebalance = false;
   const RebalanceResult without = run_pim_skiplist_rebalance(cfg);
@@ -36,6 +39,8 @@ TEST(SimRebalance, MigrationImprovesSkewedThroughput) {
 
 TEST(SimRebalance, NoKeysLostAcrossMigrations) {
   RebalanceConfig cfg = quick_config();
+  const test::SimSeed seed(cfg.seed);
+  cfg.seed = seed;
   cfg.mix = {0.4, 0.4};  // heavy churn while ranges move
   const RebalanceResult r = run_pim_skiplist_rebalance(cfg);
   EXPECT_TRUE(r.size_consistent)
@@ -44,6 +49,8 @@ TEST(SimRebalance, NoKeysLostAcrossMigrations) {
 
 TEST(SimRebalance, ProtocolPathsAreExercised) {
   RebalanceConfig cfg = quick_config();
+  const test::SimSeed seed(cfg.seed);
+  cfg.seed = seed;
   cfg.migrate_chunk = 2;  // slow migration: maximize racing requests
   const RebalanceResult r = run_pim_skiplist_rebalance(cfg);
   EXPECT_TRUE(r.size_consistent);
@@ -53,7 +60,9 @@ TEST(SimRebalance, ProtocolPathsAreExercised) {
 }
 
 TEST(SimRebalance, Deterministic) {
-  const RebalanceConfig cfg = quick_config();
+  RebalanceConfig cfg = quick_config();
+  const test::SimSeed seed(cfg.seed);
+  cfg.seed = seed;
   const RebalanceResult a = run_pim_skiplist_rebalance(cfg);
   const RebalanceResult b = run_pim_skiplist_rebalance(cfg);
   EXPECT_EQ(a.before.total_ops, b.before.total_ops);
@@ -108,6 +117,8 @@ TEST(InsertCursor, SurvivesInterleavedMutations) {
 
 TEST(FatNodeCombining, SpeedsUpTheEnqueueSide) {
   QueueConfig cfg;
+  const test::SimSeed seed(cfg.seed);
+  cfg.seed = seed;
   cfg.enqueuers = 24;
   cfg.dequeuers = 0;
   cfg.duration_ns = 10'000'000;
@@ -121,6 +132,8 @@ TEST(FatNodeCombining, SpeedsUpTheEnqueueSide) {
 
 TEST(FatNodeCombining, PreservesFifoAccounting) {
   QueueConfig cfg;
+  const test::SimSeed seed(cfg.seed);
+  cfg.seed = seed;
   cfg.enqueuers = 8;
   cfg.dequeuers = 8;
   cfg.duration_ns = 10'000'000;

@@ -18,6 +18,7 @@
 #include "common/rng.hpp"
 #include "core/pim_linked_list.hpp"
 #include "core/pim_skiplist.hpp"
+#include "sim_test_util.hpp"
 
 namespace pimds {
 namespace {
@@ -102,6 +103,9 @@ class StressMatrix : public ::testing::TestWithParam<MatrixParam> {};
 
 TEST_P(StressMatrix, DisjointRangesMatchSequentialOracles) {
   const MatrixParam param = GetParam();
+  // Real threads: interleavings are not replayable, but the workload stream
+  // is — the seed note lets a failing matrix cell rerun the same key mix.
+  const test::SimSeed seed(1000);
   AnySet set = make_set(param.structure);
   std::atomic<int> failures{0};
   std::vector<std::thread> workers;
@@ -109,7 +113,7 @@ TEST_P(StressMatrix, DisjointRangesMatchSequentialOracles) {
     workers.emplace_back([&, t] {
       const std::uint64_t base = 1 + static_cast<std::uint64_t>(t) * 100000;
       std::set<std::uint64_t> oracle;
-      Xoshiro256 rng(1000 + t);
+      Xoshiro256 rng(seed.value() + static_cast<std::uint64_t>(t));
       for (int i = 0; i < 2500; ++i) {
         const std::uint64_t key = base + rng.next_below(param.keys_per_thread);
         bool got = false;
