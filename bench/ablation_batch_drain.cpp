@@ -125,6 +125,19 @@ int main(int argc, char** argv) {
                {"threads", std::to_string(threads)}},
               batched_tput);
   json.note("speedup", batched_tput / seed_tput);
+  // Model conformance: the seed path serializes each core at
+  // Lmessage + Lpim per op while the batched+pipelined path approaches
+  // Lpim per op, so the analytic ceiling on the batched throughput is
+  // seed * (Lmessage + Lpim) / Lpim. Real threads land well below the
+  // ceiling (scheduler wakeups are not in the model); the divergence is
+  // expected to be large and negative, and the perf gate only holds the
+  // measured speedup ratio, not this bound.
+  {
+    const LatencyParams lp = LatencyParams::paper_defaults();
+    const double ideal = (lp.message() + lp.pim()) / lp.pim();
+    json.conformance("batched_vs_seed.ideal_bound", seed_tput * ideal,
+                     batched_tput);
+  }
   std::printf("(acceptance: batched+pipelined >= 1.5x seed; measured %.2fx)\n",
               batched_tput / seed_tput);
 

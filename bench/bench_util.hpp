@@ -17,6 +17,7 @@
 #include <utility>
 #include <vector>
 
+#include "model/conformance.hpp"
 #include "obs/obs.hpp"
 
 namespace pimds::bench {
@@ -87,7 +88,14 @@ class JsonReporter {
         obs::set_metrics_enabled(false);
       }
     }
-    if (!trace_path_.empty()) obs::set_trace_enabled(true);
+    if (!trace_path_.empty()) {
+      obs::set_trace_enabled(true);
+      // Per-op causal spans (op / req_dispatch / vault_service) are far
+      // denser than the protocol events alone; the default 16K-event ring
+      // would evict the early runs' newEnqSeg/drain_batch spans. Benches
+      // are short-lived, so a fatter ring is the right trade.
+      obs::set_trace_buffer_capacity(1u << 18);
+    }
     for (int i = 1; i < argc; ++i) {
       if (std::string(argv[i]) == "--no-obs") {
         // Takes precedence over --trace: --no-obs measures the disabled
@@ -121,6 +129,16 @@ class JsonReporter {
     records_.push_back(std::move(r));
   }
 
+  /// Model-conformance row: analytic prediction vs. the measured number for
+  /// one named config. Accumulated rows land in the JSON's "conformance"
+  /// section (emitted even when empty, so consumers can rely on the key).
+  void conformance(const std::string& name, double predicted_ops_per_sec,
+                   double measured_ops_per_sec) {
+    if (!enabled()) return;
+    conformance_.push_back(
+        {name, predicted_ops_per_sec, measured_ops_per_sec});
+  }
+
   /// Extra top-level numeric fact (e.g. a speedup ratio).
   void note(const std::string& key, double value) {
     if (!enabled()) return;
@@ -150,6 +168,10 @@ class JsonReporter {
     }
     std::fprintf(f, "{\n  \"bench\": \"%s\",\n", escape(bench_).c_str());
     for (const auto& n : notes_) std::fprintf(f, "%s,\n", n.c_str());
+    std::fprintf(f, "  \"conformance\": %s,\n",
+                 model::conformance_json(conformance_, 2).c_str());
+    std::fprintf(f, "  \"attribution\": %s,\n",
+                 obs::attribution_json(obs::attribution_report(), 2).c_str());
     std::fprintf(f, "  \"metrics\": %s,\n",
                  obs::Registry::instance().to_json(2).c_str());
     std::fprintf(f, "  \"records\": [\n");
@@ -182,6 +204,7 @@ class JsonReporter {
   std::string trace_path_;
   std::vector<std::string> records_;
   std::vector<std::string> notes_;
+  std::vector<model::ConformanceRow> conformance_;
   bool flushed_ = false;
 };
 

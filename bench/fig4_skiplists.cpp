@@ -5,6 +5,7 @@
 #include <cstdio>
 
 #include "bench/bench_util.hpp"
+#include "model/skiplist_model.hpp"
 #include "sim/ds/skiplists.hpp"
 
 int main(int argc, char** argv) {
@@ -21,6 +22,8 @@ int main(int argc, char** argv) {
               13);
   table.print_header();
 
+  double last_lf = 0.0, last_fc1 = 0.0, last_fc16 = 0.0;
+  double last_pim8 = 0.0, last_pim16 = 0.0;
   for (std::size_t p : {1, 2, 4, 8, 12, 16, 20, 24, 28}) {
     sim::SkipListConfig cfg;
     cfg.num_cpus = p;
@@ -43,6 +46,27 @@ int main(int argc, char** argv) {
     json.record("fc16_p" + std::to_string(p), params, fc16);
     json.record("pim8_p" + std::to_string(p), params, pim8);
     json.record("pim16_p" + std::to_string(p), params, pim16);
+    last_lf = lf;
+    last_fc1 = fc1;
+    last_fc16 = fc16;
+    last_pim8 = pim8;
+    last_pim16 = pim16;
+  }
+
+  // Model conformance at the top of the sweep (p = 28), against the
+  // Section 5.3 bounds with beta estimated from the initial size.
+  {
+    const LatencyParams lp = sim::SkipListConfig{}.params;
+    const double beta = model::estimate_beta(1 << 14);
+    json.conformance("lockfree_skiplist.p28",
+                     model::lock_free_skiplist(lp, beta, 28), last_lf);
+    json.conformance("fc_skiplist.k1", model::fc_skiplist(lp, beta), last_fc1);
+    json.conformance("fc_skiplist.k16",
+                     model::fc_skiplist_partitioned(lp, beta, 16), last_fc16);
+    json.conformance("pim_skiplist.k8",
+                     model::pim_skiplist_partitioned(lp, beta, 8), last_pim8);
+    json.conformance("pim_skiplist.k16",
+                     model::pim_skiplist_partitioned(lp, beta, 16), last_pim16);
   }
 
   std::printf(

@@ -36,6 +36,7 @@ int main(int argc, char** argv) {
   // accepted enqueues per enqueue service batch.
   std::uint64_t comb_enq_ops = 0;
   std::uint64_t comb_enq_batches = 0;
+  double last_faa = 0.0, last_fc = 0.0, last_pim = 0.0;
   for (std::size_t p : {2, 4, 8, 12, 16, 24, 32, 48}) {
     sim::QueueConfig cfg;
     cfg.enqueuers = p / 2;
@@ -51,6 +52,9 @@ int main(int argc, char** argv) {
     const sim::PimQueueResult comb = sim::run_pim_queue(cfg, comb_opts);
     comb_enq_ops = comb.enq_ops;
     comb_enq_batches = comb.enq_batches;
+    last_faa = faa;
+    last_fc = fc;
+    last_pim = pim;
     table.print_row({std::to_string(p), mops(ms), mops(faa), mops(fc),
                      mops(pim), mops(comb.run.ops_per_sec()), ratio(pim, fc),
                      ratio(pim, faa)});
@@ -62,6 +66,13 @@ int main(int argc, char** argv) {
     json.record("pim_comb_p" + std::to_string(p), params,
                 comb.run.ops_per_sec());
   }
+  // Model conformance at the most-saturated point (p = 48): the per-side
+  // bounds apply to enqueues and dequeues in parallel, so the combined
+  // prediction is 2x each per-side bound.
+  json.conformance("faa_queue.p48", 2.0 * model::faa_queue(lp), last_faa);
+  json.conformance("fc_queue.p48", 2.0 * model::fc_queue(lp), last_fc);
+  json.conformance("pim_queue.pipelined.p48",
+                   2.0 * model::pim_queue_pipelined(lp), last_pim);
   if (comb_enq_batches > 0) {
     obs::Registry::instance().set_derived(
         "sim.pim_queue.combining_ratio",

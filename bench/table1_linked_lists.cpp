@@ -37,6 +37,9 @@ void run_one(JsonReporter& json, std::size_t n, std::size_t p) {
                  {"threads", std::to_string(p)},
                  {"model_mops", mops(model_tput)}},
                 sim_tput);
+    json.conformance(std::string(name) + ".n" + std::to_string(n) + ".p" +
+                         std::to_string(p),
+                     model_tput, sim_tput);
   };
 
   row("fine-grained locks",

@@ -34,6 +34,7 @@ int main(int argc, char** argv) {
                 {{"threads", std::to_string(cfg.num_cpus)},
                  {"model_mops", mops(model_tput)}},
                 sim_tput);
+    json.conformance(name, model_tput, sim_tput);
   };
 
   row("lock-free",

@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Run the curated benchmark set and write schema-stable BENCH_*.json files.
+
+Stdlib-only orchestrator behind the committed perf baselines:
+
+    scripts/bench_all.py --build-dir build --out-dir .
+
+runs each bench in BENCHES with --json, names the output BENCH_<bench>.json
+(<bench> is the name the binary reports in its JSON, e.g. the
+ablation_batch_drain binary reports "batch_drain"), and validates every
+file with trace_report.py --check-bench before returning. The sim-backed
+benches (sec52, fig4, table1, table2) are deterministic in virtual time, so
+their JSON is bit-stable across hosts up to float formatting; only
+batch_drain measures real threads. scripts/perf_gate.py compares a fresh
+--out-dir against the committed baselines.
+
+Exit codes: 0 ok, 1 a bench failed to run or produced invalid JSON.
+"""
+
+import argparse
+import pathlib
+import subprocess
+import sys
+
+# (binary, json name it reports, extra args). batch_drain gets a reduced op
+# count: its absolute throughput is host-dependent and the gate only holds
+# its internal speedup ratio, so there is no reason to burn minutes on it.
+BENCHES = [
+    ("sec52_fifo_queues", "sec52_fifo_queues", []),
+    ("fig4_skiplists", "fig4_skiplists", []),
+    ("table1_linked_lists", "table1_linked_lists", []),
+    ("table2_skiplists", "table2_skiplists", []),
+    ("ablation_batch_drain", "batch_drain", ["--threads", "8", "--ops", "300"]),
+]
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--build-dir", default="build", help="CMake build tree")
+    ap.add_argument("--out-dir", default=".", help="where BENCH_*.json go")
+    ap.add_argument(
+        "--filter",
+        default="",
+        help="only run benches whose binary name contains this substring",
+    )
+    args = ap.parse_args()
+
+    build = pathlib.Path(args.build_dir)
+    out = pathlib.Path(args.out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    checker = pathlib.Path(__file__).with_name("trace_report.py")
+
+    failures = 0
+    for binary, json_name, extra in BENCHES:
+        if args.filter and args.filter not in binary:
+            continue
+        exe = build / "bench" / binary
+        dest = out / f"BENCH_{json_name}.json"
+        cmd = [str(exe), *extra, "--json", str(dest)]
+        print(f"bench_all: running {' '.join(cmd)}", flush=True)
+        try:
+            subprocess.run(
+                cmd, check=True, stdout=subprocess.DEVNULL, timeout=1800
+            )
+        except (subprocess.SubprocessError, OSError) as e:
+            print(f"bench_all: {binary} FAILED: {e}", file=sys.stderr)
+            failures += 1
+            continue
+        check = subprocess.run(
+            [sys.executable, str(checker), "--check-bench", str(dest)]
+        )
+        if check.returncode != 0:
+            print(f"bench_all: {dest} failed validation", file=sys.stderr)
+            failures += 1
+    if failures:
+        print(f"bench_all: {failures} bench(es) failed", file=sys.stderr)
+        return 1
+    print(f"bench_all: OK, outputs in {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,178 @@
+#!/usr/bin/env python3
+"""Noise-aware perf regression gate over BENCH_*.json baselines.
+
+    scripts/perf_gate.py --baseline-dir . --fresh-dir /tmp/run1 \
+        [--fresh-dir /tmp/run2 ...]
+
+Compares freshly produced bench JSON against the committed baselines. To
+stay non-flaky in CI the gate is built on three ideas:
+
+  * Paired comparison, best-of-N: each --fresh-dir is one full run;
+    per record the gate takes the BEST fresh value across runs, so a
+    single noisy run cannot fail the gate alone.
+  * Per-bench policy keyed on how the number was produced. The simulator
+    benches run in virtual time -- their throughput is deterministic up to
+    float formatting, so a tight relative tolerance is safe. The
+    real-thread bench (batch_drain) is gated only on its *internal*
+    speedup ratio (batched vs seed measured in the same process), which
+    divides out host speed; its absolute ops/sec are never compared.
+  * Attribution coverage: for benches with a phase-attribution section the
+    per-phase sums must add up to the independently measured end-to-end
+    total within the configured band -- a silent accounting regression
+    fails even when throughput looks fine.
+
+Exit codes: 0 pass, 1 usage/IO error, 2 regression or invalid input.
+"""
+
+import argparse
+import json
+import pathlib
+import sys
+
+# bench name -> policy. rel_tol gates per-record ops_per_sec of the fresh
+# best-of-N against the baseline (two-sided: a silent 2x speedup on a
+# virtual-time bench means the simulation changed, which also needs a
+# baseline refresh). coverage bands gate attribution coverage_pct.
+GATES = {
+    "sec52_fifo_queues": {"rel_tol": 0.10, "coverage": ("sim", 90.0, 110.0)},
+    "fig4_skiplists": {"rel_tol": 0.10, "coverage": ("sim", 90.0, 110.0)},
+    "table1_linked_lists": {"rel_tol": 0.10},
+    "table2_skiplists": {"rel_tol": 0.10, "coverage": ("sim", 90.0, 110.0)},
+    # Real threads: hold only the within-run speedup of the batched path
+    # over the seed path (>= min_speedup) -- host-speed independent.
+    "batch_drain": {"min_speedup": 1.2},
+}
+
+failures = []
+
+
+def problem(msg):
+    print(f"perf_gate: FAIL: {msg}", file=sys.stderr)
+    failures.append(msg)
+
+
+def load(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            return json.load(f)
+    except OSError as e:
+        print(f"perf_gate: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(1)
+    except json.JSONDecodeError as e:
+        print(f"perf_gate: {path} invalid JSON: {e}", file=sys.stderr)
+        sys.exit(2)
+
+
+def records_by_name(doc):
+    # Key on (name, params): some benches reuse a record name across
+    # configs (e.g. table1 runs the same algorithms at two sizes).
+    out = {}
+    for r in doc.get("records", []):
+        params = tuple(sorted(r.get("params", {}).items()))
+        out[(r["name"], params)] = r["ops_per_sec"]
+    return out
+
+
+def gate_bench(name, policy, baseline, fresh_docs):
+    base_recs = records_by_name(baseline)
+    fresh_best = {}
+    for doc in fresh_docs:
+        for rec, val in records_by_name(doc).items():
+            if rec not in fresh_best or val > fresh_best[rec]:
+                fresh_best[rec] = val
+
+    n_checked = 0
+    if "rel_tol" in policy:
+        tol = policy["rel_tol"]
+        for key, base in sorted(base_recs.items()):
+            label = key[0] + (f" {dict(key[1])}" if key[1] else "")
+            if key not in fresh_best:
+                problem(f"{name}: record {label!r} missing from fresh runs")
+                continue
+            val = fresh_best[key]
+            if base <= 0:
+                continue
+            rel = (val - base) / base
+            n_checked += 1
+            if abs(rel) > tol:
+                problem(
+                    f"{name}: {label} moved {100 * rel:+.1f}% "
+                    f"(baseline {base:.6g}, best fresh {val:.6g}, "
+                    f"tol ±{100 * tol:.0f}%)"
+                )
+
+    if "min_speedup" in policy:
+        best = max(
+            (d.get("speedup", 0.0) for d in fresh_docs), default=0.0
+        )
+        n_checked += 1
+        if best < policy["min_speedup"]:
+            problem(
+                f"{name}: speedup {best:.2f}x below the "
+                f"{policy['min_speedup']:.2f}x floor"
+            )
+
+    if "coverage" in policy:
+        domain, lo, hi = policy["coverage"]
+        for doc in fresh_docs:
+            att = doc.get("attribution", {}).get(domain)
+            if att is None:
+                problem(f"{name}: no {domain!r} attribution in fresh run")
+                continue
+            cov = att.get("coverage_pct", 0.0)
+            n_checked += 1
+            if not lo <= cov <= hi:
+                problem(
+                    f"{name}: {domain} attribution coverage {cov:.1f}% "
+                    f"outside [{lo:.0f}, {hi:.0f}]%"
+                )
+
+    print(f"perf_gate: {name}: {n_checked} checks, best-of-{len(fresh_docs)}")
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--baseline-dir", default=".", help="committed BENCH_*.json")
+    ap.add_argument(
+        "--fresh-dir",
+        action="append",
+        required=True,
+        help="directory with freshly produced BENCH_*.json (repeatable; "
+        "best-of-N across all given directories)",
+    )
+    args = ap.parse_args()
+
+    base_dir = pathlib.Path(args.baseline_dir)
+    gated = 0
+    for name, policy in GATES.items():
+        base_path = base_dir / f"BENCH_{name}.json"
+        if not base_path.exists():
+            problem(f"no committed baseline {base_path}")
+            continue
+        fresh_docs = []
+        for d in args.fresh_dir:
+            p = pathlib.Path(d) / f"BENCH_{name}.json"
+            if p.exists():
+                fresh_docs.append(load(p))
+        if not fresh_docs:
+            # A bench can be absent from a reduced fresh run (e.g. a
+            # second best-of-N pass that only reruns the noisy bench) --
+            # but absent from EVERY fresh dir means it never ran.
+            problem(f"{name}: no fresh BENCH_{name}.json in any --fresh-dir")
+            continue
+        gate_bench(name, policy, load(base_path), fresh_docs)
+        gated += 1
+
+    if failures:
+        print(
+            f"perf_gate: FAIL ({len(failures)} problem(s) across "
+            f"{gated} bench(es))",
+            file=sys.stderr,
+        )
+        return 2
+    print(f"perf_gate: PASS ({gated} bench(es))")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

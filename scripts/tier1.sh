@@ -23,6 +23,18 @@ if [[ "${PIMDS_SCHEDULE_EXPLORE:-0}" == 1 ]]; then
     ./build/tests/test_schedule_explore
 fi
 
+echo "== tier-1: -DPIMDS_OBS=OFF configuration =="
+# Compiling test_obs in this configuration checks the layout static
+# asserts (Message must stay at its 40-byte seed size with the trace
+# context compiled out); the filtered run plus a bench smoke checks the
+# disabled mode end to end. The full test_obs suite is NOT expected to
+# pass here — most of it tests the very layer this build removes.
+cmake -B build-noobs -S . -DPIMDS_OBS=OFF > /dev/null
+cmake --build build-noobs -j --target test_obs ablation_batch_drain
+./build-noobs/tests/test_obs --gtest_filter='Message.*:DisabledMode.*'
+./build-noobs/bench/ablation_batch_drain --threads 4 --ops 40 > /dev/null
+echo "obs-off: OK"
+
 if [[ "$skip_tsan" == 0 ]]; then
   echo "== tier-1: runtime tests under ThreadSanitizer =="
   cmake --preset tsan > /dev/null

@@ -3,19 +3,28 @@
 
 Two modes, both stdlib-only:
 
-  trace_report.py TRACE.json [--require-events a,b,c]
+  trace_report.py TRACE.json [--require-events a,b,c] [--attribution]
       Validate a Chrome trace_event file produced by --trace (well-formed
       JSON, required top-level keys, every event carries ph/name/ts) and
       print a per-(process, track) summary: event counts by name, span time
       by name, and the observed batch-size distribution for drain_batch
-      spans. --require-events fails (exit 2) unless every named event type
+      spans. Complete ("X") spans on each track must nest properly -- a
+      span that PARTIALLY overlaps another on the same track means the
+      emitter's begin/end bookkeeping is broken, and the report exits 2.
+      --require-events fails (exit 2) unless every named event type
       appears at least once -- CI uses this to pin the acceptance events
-      (newEnqSeg, newDeqSeg, drain_batch).
+      (newEnqSeg, newDeqSeg, drain_batch). --attribution additionally
+      prints the per-phase latency attribution recoverable from the spans
+      alone (total span time by name per process, plus the op-span /
+      req_dispatch causal-correlation coverage).
 
   trace_report.py --check-bench BENCH.json
       Validate a bench --json file: well-formed, has a "records" list with
-      {name, ops_per_sec} rows, and -- when a "metrics" section is present --
-      that histograms carry count/p50/p99/p999. Exit 2 on any violation.
+      {name, ops_per_sec} rows, the schema-stable "conformance" section
+      ({"rows": [{name, predicted_ops_per_sec, measured_ops_per_sec,
+      divergence_pct}]}) and "attribution" object, and -- when a "metrics"
+      section is present -- that histograms carry count/p50/p99/p999.
+      Exit 2 on any violation.
 
 Exit codes: 0 ok, 1 usage/IO error, 2 validation failure.
 """
@@ -60,6 +69,28 @@ def check_bench(path):
             fail(f"records[{i}] ({rec.get('name')}) has no ops_per_sec")
         if not isinstance(rec["ops_per_sec"], (int, float)):
             fail(f"records[{i}] ops_per_sec is not numeric")
+    conformance = doc.get("conformance")
+    if not isinstance(conformance, dict) or "rows" not in conformance:
+        fail('bench JSON missing the "conformance" section with "rows"')
+    if not isinstance(conformance["rows"], list):
+        fail('"conformance.rows" must be a list')
+    for i, row in enumerate(conformance["rows"]):
+        if not isinstance(row, dict):
+            fail(f"conformance.rows[{i}] is not an object")
+        for key in (
+            "name",
+            "predicted_ops_per_sec",
+            "measured_ops_per_sec",
+            "divergence_pct",
+        ):
+            if key not in row:
+                fail(f"conformance.rows[{i}] missing {key!r}")
+    if not isinstance(doc.get("attribution"), dict):
+        fail('bench JSON missing the "attribution" object')
+    for domain, a in doc["attribution"].items():
+        for key in ("ops", "coverage_pct", "phases"):
+            if key not in a:
+                fail(f'attribution "{domain}" missing {key!r}')
     metrics = doc.get("metrics")
     n_hist = 0
     if metrics is not None:
@@ -75,12 +106,72 @@ def check_bench(path):
                     fail(f'histogram "{name}" missing "{key}"')
     print(
         f"{path}: OK bench={doc['bench']} records={len(records)} "
+        f"conformance_rows={len(conformance['rows'])} "
+        f"attribution_domains={len(doc['attribution'])} "
         f"metrics={'yes' if metrics is not None else 'no'} "
         f"histograms={n_hist}"
     )
 
 
-def check_trace(path, require_events):
+def check_nesting(spans_by_track):
+    """Complete spans on one track must be properly nested.
+
+    Sorted by (ts, -dur), a well-formed track behaves like balanced
+    brackets: each span either starts after every open ancestor has ended
+    (pop them) or lies fully inside the innermost open one. A span that
+    straddles an ancestor's end is a begin/end bookkeeping bug in the
+    emitter. The epsilon absorbs microsecond rounding in the export.
+    """
+    eps = 0.011
+    for (pid, tid), spans in sorted(spans_by_track.items()):
+        spans.sort(key=lambda s: (s[0], -s[1]))
+        stack = []  # (end_ts, name) of open ancestors
+        for ts, dur, name in spans:
+            end = ts + dur
+            while stack and ts >= stack[-1][0] - eps:
+                stack.pop()
+            if stack and end > stack[-1][0] + eps:
+                fail(
+                    f"unbalanced span nesting on track ({pid},{tid}): "
+                    f'"{name}" [{ts:.3f}, {end:.3f}]us straddles the end of '
+                    f'enclosing "{stack[-1][1]}" ({stack[-1][0]:.3f}us)'
+                )
+            stack.append((end, name))
+
+
+def print_attribution(events):
+    """Per-phase attribution recoverable from the spans alone."""
+    span_total = defaultdict(lambda: [0, 0.0])  # name -> [count, dur_us]
+    op_reqs = set()
+    dispatch_reqs = set()
+    for ev in events:
+        if not isinstance(ev, dict):
+            continue
+        name = ev.get("name")
+        args = ev.get("args", {})
+        if ev.get("ph") == "X":
+            slot = span_total[name]
+            slot[0] += 1
+            slot[1] += float(ev.get("dur", 0))
+        if name == "op" and "req" in args:
+            op_reqs.add(args["req"])
+        if name == "req_dispatch" and "req" in args:
+            dispatch_reqs.add(args["req"])
+    print("attribution (from spans):")
+    for name in sorted(span_total, key=lambda k: -span_total[k][1]):
+        count, dur = span_total[name]
+        mean = dur / count if count else 0.0
+        print(f"  {name:<24} x{count:<8} total={dur:.1f}us mean={mean:.2f}us")
+    if op_reqs:
+        matched = len(op_reqs & dispatch_reqs)
+        print(
+            f"  causal correlation: {len(op_reqs)} op spans, "
+            f"{len(dispatch_reqs)} req_dispatch instants, "
+            f"{matched} matched ({100.0 * matched / len(op_reqs):.1f}%)"
+        )
+
+
+def check_trace(path, require_events, attribution=False):
     doc = load_json(path)
     if not isinstance(doc, dict):
         fail("trace top level must be an object")
@@ -92,6 +183,7 @@ def check_trace(path, require_events):
     track_names = {}
     # (pid, tid) -> name -> [count, total_dur_us]
     tracks = defaultdict(lambda: defaultdict(lambda: [0, 0.0]))
+    spans_by_track = defaultdict(list)  # (pid, tid) -> [(ts, dur, name)]
     drain_sizes = []
     seen_names = set()
 
@@ -119,6 +211,9 @@ def check_trace(path, require_events):
         slot[0] += 1
         if ph == "X":
             slot[1] += float(ev["dur"])
+            spans_by_track[(ev["pid"], ev["tid"])].append(
+                (float(ev["ts"]), float(ev["dur"]), name)
+            )
         if name == "drain_batch":
             n = ev.get("args", {}).get("n")
             if isinstance(n, (int, float)):
@@ -144,6 +239,10 @@ def check_trace(path, require_events):
             f"p50={p50:g} max={drain_sizes[-1]:g}"
         )
 
+    check_nesting(spans_by_track)
+    if attribution:
+        print_attribution(events)
+
     missing = [e for e in require_events if e not in seen_names]
     if missing:
         fail(f"required event types never appear: {', '.join(missing)}")
@@ -162,12 +261,17 @@ def main():
         default="",
         help="comma-separated event names that must appear in the trace",
     )
+    ap.add_argument(
+        "--attribution",
+        action="store_true",
+        help="print per-phase span totals and causal-correlation coverage",
+    )
     args = ap.parse_args()
     if args.check_bench:
         check_bench(args.file)
     else:
         require = [e for e in args.require_events.split(",") if e]
-        check_trace(args.file, require)
+        check_trace(args.file, require, attribution=args.attribution)
 
 
 if __name__ == "__main__":

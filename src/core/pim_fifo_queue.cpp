@@ -351,6 +351,9 @@ void PimFifoQueue::handle_deq_batch(PimCoreApi& api, const Message& m) {
 
 void PimFifoQueue::enqueue(std::uint64_t value) {
   ResponseSlot<Reply> slot;
+  const bool obs_on = obs::metrics_enabled();
+  const std::uint64_t rid = obs::trace_enabled() ? obs::next_request_id() : 0;
+  const std::uint64_t op_start = (obs_on || rid != 0) ? now_ns() : 0;
   for (;;) {
     if (options_.cpu_combining) {
       RequestCombiner::Entry e;
@@ -364,21 +367,40 @@ void PimFifoQueue::enqueue(std::uint64_t value) {
         system_.send(enq_cid_.value.load(std::memory_order_acquire), m);
       });
     } else {
+      const std::uint64_t attempt_start = obs_on ? now_ns() : 0;
       Message m;
       m.kind = kEnq;
       m.value = value;
       m.slot = &slot;
+#ifndef PIMDS_OBS_DISABLED
+      m.req_id = rid;
+#endif
       system_.send(enq_cid_.value.load(std::memory_order_acquire), m);
+      if (obs_on) {
+        obs::record_runtime_phase(obs::Phase::kIssue,
+                                  now_ns() - attempt_start);
+      }
     }
-    if (slot.await().accepted) return;
+    if (slot.await().accepted) break;
     rejections_.value.fetch_add(1, std::memory_order_relaxed);
     qmetrics().rejections.add(1);
     obs::trace_instant_here("cpu_retry", "queue");
+  }
+  if (obs_on) {
+    obs::record_runtime_phase(obs::Phase::kTotal, now_ns() - op_start);
+  }
+  if (rid != 0) {
+    obs::trace_complete_here("op", "queue", op_start, {"req", rid},
+                             {"enq", 1});
   }
 }
 
 std::optional<std::uint64_t> PimFifoQueue::dequeue() {
   ResponseSlot<Reply> slot;
+  const bool obs_on = obs::metrics_enabled();
+  const std::uint64_t rid = obs::trace_enabled() ? obs::next_request_id() : 0;
+  const std::uint64_t op_start = (obs_on || rid != 0) ? now_ns() : 0;
+  std::optional<std::uint64_t> out;
   for (;;) {
     if (options_.cpu_combining) {
       RequestCombiner::Entry e;
@@ -391,20 +413,36 @@ std::optional<std::uint64_t> PimFifoQueue::dequeue() {
         system_.send(deq_cid_.value.load(std::memory_order_acquire), m);
       });
     } else {
+      const std::uint64_t attempt_start = obs_on ? now_ns() : 0;
       Message m;
       m.kind = kDeq;
       m.slot = &slot;
+#ifndef PIMDS_OBS_DISABLED
+      m.req_id = rid;
+#endif
       system_.send(deq_cid_.value.load(std::memory_order_acquire), m);
+      if (obs_on) {
+        obs::record_runtime_phase(obs::Phase::kIssue,
+                                  now_ns() - attempt_start);
+      }
     }
     const Reply r = slot.await();
     if (r.accepted) {
-      if (r.has_value) return r.value;
-      return std::nullopt;
+      if (r.has_value) out = r.value;
+      break;
     }
     rejections_.value.fetch_add(1, std::memory_order_relaxed);
     qmetrics().rejections.add(1);
     obs::trace_instant_here("cpu_retry", "queue");
   }
+  if (obs_on) {
+    obs::record_runtime_phase(obs::Phase::kTotal, now_ns() - op_start);
+  }
+  if (rid != 0) {
+    obs::trace_complete_here("op", "queue", op_start, {"req", rid},
+                             {"enq", 0});
+  }
+  return out;
 }
 
 }  // namespace pimds::core

@@ -1,0 +1,56 @@
+#include "model/conformance.hpp"
+
+#include <cstdio>
+
+namespace pimds::model {
+
+namespace {
+
+std::string fmt_double(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+std::string escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    if (c == '\n') {
+      out += "\\n";
+      continue;
+    }
+    out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace
+
+double ConformanceRow::divergence_pct() const noexcept {
+  if (predicted_ops_per_sec == 0.0) return 0.0;
+  return 100.0 * (measured_ops_per_sec - predicted_ops_per_sec) /
+         predicted_ops_per_sec;
+}
+
+std::string conformance_json(const std::vector<ConformanceRow>& rows,
+                             int indent) {
+  const std::string pad(static_cast<std::size_t>(indent), ' ');
+  const std::string in1 = pad + "  ";
+  const std::string in2 = pad + "    ";
+  std::string out = "{\n" + in1 + "\"rows\": [";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const ConformanceRow& r = rows[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += in2 + "{\"name\": \"" + escape(r.name) + "\"" +
+           ", \"predicted_ops_per_sec\": " + fmt_double(r.predicted_ops_per_sec) +
+           ", \"measured_ops_per_sec\": " + fmt_double(r.measured_ops_per_sec) +
+           ", \"divergence_pct\": " + fmt_double(r.divergence_pct()) + "}";
+  }
+  out += rows.empty() ? "]" : "\n" + in1 + "]";
+  out += "\n" + pad + "}";
+  return out;
+}
+
+}  // namespace pimds::model

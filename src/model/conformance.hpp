@@ -1,0 +1,35 @@
+// Model-conformance reporting: measured throughput vs. the Section 3/5
+// analytic predictions, as machine-readable rows.
+//
+// Every bench that has a closed-form prediction for one of its configs
+// (docs/MODEL.md) contributes ConformanceRows; JsonReporter emits them as a
+// top-level `"conformance": {"rows": [...]}` section in every --json output
+// (always present, possibly empty, so the schema is stable and
+// scripts/perf_gate.py can rely on it). divergence_pct is signed:
+// positive means the implementation beat the model's bound, negative means
+// it fell short — the model gives upper bounds, so persistent large
+// positives indicate a modelling or accounting bug, not a fast machine.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace pimds::model {
+
+struct ConformanceRow {
+  std::string name;             ///< e.g. "pim_queue.pipelined.p48"
+  double predicted_ops_per_sec = 0.0;
+  double measured_ops_per_sec = 0.0;
+
+  /// 100 * (measured - predicted) / predicted; 0 when predicted == 0.
+  double divergence_pct() const noexcept;
+};
+
+/// JSON object {"rows": [{"name", "predicted_ops_per_sec",
+/// "measured_ops_per_sec", "divergence_pct"}, ...]}. `indent` follows the
+/// MetricsSnapshot::to_json convention (spaces before the closing brace's
+/// line; inner lines one level deeper).
+std::string conformance_json(const std::vector<ConformanceRow>& rows,
+                             int indent = 0);
+
+}  // namespace pimds::model

@@ -5,4 +5,5 @@
 #pragma once
 
 #include "obs/metrics.hpp"  // IWYU pragma: export
+#include "obs/phase.hpp"    // IWYU pragma: export
 #include "obs/trace.hpp"    // IWYU pragma: export

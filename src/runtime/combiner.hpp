@@ -25,6 +25,8 @@
 #include "common/cacheline.hpp"
 #include "common/mpmc_queue.hpp"
 #include "common/spinwait.hpp"
+#include "common/timing.hpp"
+#include "obs/phase.hpp"
 
 namespace pimds::runtime {
 
@@ -59,6 +61,11 @@ class RequestCombiner {
   /// `send` receives an owning Batch* and must transmit it to the PIM core.
   template <typename SendFn>
   void submit(const Entry& entry, SendFn&& send) {
+    // The combiner_wait phase: publication to "shipped in some batch". On
+    // the combined path this subsumes the issue phase (the structure's op
+    // wrapper records issue only on the direct-send path, so the two never
+    // double-count).
+    const std::uint64_t t0 = obs::metrics_enabled() ? now_ns() : 0;
     Record rec;
     rec.entry = entry;
     queue_.push(&rec);
@@ -71,6 +78,9 @@ class RequestCombiner {
       } else {
         spin.wait();
       }
+    }
+    if (t0 != 0) {
+      obs::record_runtime_phase(obs::Phase::kCombinerWait, now_ns() - t0);
     }
   }
 

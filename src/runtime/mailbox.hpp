@@ -34,6 +34,7 @@
 #include "common/spinwait.hpp"
 #include "common/timing.hpp"
 #include "obs/metrics.hpp"
+#include "obs/phase.hpp"
 #include "runtime/message.hpp"
 
 namespace pimds::runtime {
@@ -228,7 +229,16 @@ class ResponseSlot {
     SpinWait spin;
     while (!full_.value.load(std::memory_order_acquire)) spin.wait();
     const std::uint64_t ready = ready_ns_.value.load(std::memory_order_relaxed);
-    if (ready != 0) wait_until_ns(ready);
+    if (ready != 0) {
+      wait_until_ns(ready);
+      // Latency attribution: time past the delivery deadline is consumer
+      // wakeup overhead, the only phase the requester itself can observe.
+      if (obs::metrics_enabled()) {
+        const std::uint64_t now = now_ns();
+        obs::record_runtime_phase(obs::Phase::kCpuReceive,
+                                  now > ready ? now - ready : 0);
+      }
+    }
     R out = std::move(value_);
     full_.value.store(false, std::memory_order_release);
     return out;

@@ -16,9 +16,21 @@ struct Message {
   std::uint64_t value = 0;
   void* slot = nullptr;          ///< response slot, when a reply is expected
   std::uint64_t send_time_ns = 0;  ///< stamped by Mailbox::send
+#ifndef PIMDS_OBS_DISABLED
+  /// Causal trace context (obs::next_request_id; 0 = untraced). Correlates
+  /// the requester's `op` span with the serving core's `req_dispatch`
+  /// instant in the Perfetto export. Compiled out with -DPIMDS_OBS=OFF so
+  /// the disabled-observability message layout is unchanged (40 bytes).
+  std::uint64_t req_id = 0;
+#endif
 };
 
 static_assert(sizeof(Message) <= kCacheLineSize,
               "a message must fit in one cache line");
+#ifdef PIMDS_OBS_DISABLED
+static_assert(sizeof(Message) == 40,
+              "trace context must compile out entirely when observability "
+              "is disabled");
+#endif
 
 }  // namespace pimds::runtime

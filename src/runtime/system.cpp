@@ -51,6 +51,10 @@ std::uint64_t PimCoreApi::reply_ready_ns() const {
   auto& injector = LatencyInjector::instance();
   if (!injector.enabled()) return 0;
   const auto lmsg = static_cast<std::uint64_t>(injector.params().message());
+  // Either way the response spends Lmessage on the crossbar; record it as
+  // the response_flight phase (once per response message — a fat combined
+  // response is one crossing no matter how many requesters it answers).
+  obs::record_runtime_phase(obs::Phase::kResponseFlight, lmsg);
   if (system_.config_.pipelined_responses) return now_ns() + lmsg;
   // Unpipelined ablation: the core stalls until the reply would have been
   // received, then serves the next request (Section 5.2's "no pipelining"
@@ -142,10 +146,43 @@ std::uint64_t PimSystem::pending_high_water(std::size_t vault) const noexcept {
 
 void PimSystem::dispatch(PimCoreApi& api, Core& core, const Message* msgs,
                          std::size_t n) {
+  // Latency attribution (obs/phase.hpp): each message's mailbox_queue phase
+  // is the gap between its send stamp and this dispatch — crossbar flight
+  // (Lmessage) plus any queueing behind earlier requests. The vault_service
+  // phase is the handler time, attributed evenly across the batch.
+  const bool obs_on = obs::metrics_enabled();
+  std::uint64_t t_dispatch = 0;
+  if (obs_on) {
+    t_dispatch = now_ns();
+    const bool tracing = obs::trace_enabled();
+    for (std::size_t i = 0; i < n; ++i) {
+      const Message& m = msgs[i];
+      const std::uint64_t wait =
+          t_dispatch > m.send_time_ns ? t_dispatch - m.send_time_ns : 0;
+      obs::record_runtime_phase(obs::Phase::kMailboxQueue, wait);
+#ifndef PIMDS_OBS_DISABLED
+      if (tracing && m.req_id != 0) {
+        obs::trace_instant_here("req_dispatch", "runtime", {"req", m.req_id},
+                                {"wait_ns", wait});
+      }
+#endif
+    }
+  }
   if (core.batch_handler) {
     core.batch_handler(api, msgs, n);
   } else if (core.handler) {
     for (std::size_t i = 0; i < n; ++i) core.handler(api, msgs[i]);
+  }
+  if (obs_on) {
+    const std::uint64_t dur = now_ns() - t_dispatch;
+    const std::uint64_t per_msg = dur / n;
+    for (std::size_t i = 0; i < n; ++i) {
+      obs::record_runtime_phase(obs::Phase::kVaultService, per_msg);
+    }
+    if (obs::trace_enabled()) {
+      obs::trace_complete_here("vault_service", "runtime", t_dispatch,
+                               {"n", static_cast<std::uint64_t>(n)});
+    }
   }
   core.processed.value.fetch_add(n, std::memory_order_relaxed);
   core.messages->add(n);

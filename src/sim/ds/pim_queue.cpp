@@ -34,6 +34,12 @@ struct QMsg {
   Kind kind = Kind::kStop;
   std::uint64_t value = 0;
   SimSlot<Reply>* reply = nullptr;
+  // Trace context (obs/phase.hpp): the CPU's virtual send time, so the
+  // serving core can attribute the mailbox_queue phase, and the causal
+  // request id correlating CPU `op` spans with core-side events. 0 on
+  // core-to-core protocol messages, which have no requester.
+  Time issue_ns = 0;
+  std::uint64_t req = 0;
 };
 
 /// CPU-visible directory of which core currently owns each special segment.
@@ -129,6 +135,28 @@ PimQueueResult run_pim_queue(const QueueConfig& cfg,
       // Non-enqueue messages picked up while draining an enqueue batch
       // (Section 5.1 fat-node combining) are replayed in arrival order.
       std::deque<QMsg> replay;
+      // Latency attribution: the serve start bounds each request's
+      // mailbox_queue phase (send -> this core picks it up, which includes
+      // the Lmessage flight) and starts its vault_service phase; the reply
+      // then adds the response_flight leg. In virtual time these tile the
+      // requester's end-to-end latency exactly.
+      const auto record_reply = [&](const QMsg& req_msg, Time serve_start,
+                                    Context& c) {
+        if (req_msg.issue_ns == 0) return;
+        obs::record_sim_phase(obs::Phase::kVaultService,
+                              c.now() - serve_start);
+        obs::record_sim_phase(obs::Phase::kResponseFlight,
+                              static_cast<Time>(msg_ns));
+      };
+      const auto record_arrival = [&](const QMsg& req_msg, Context& c) {
+        if (req_msg.issue_ns == 0) return;
+        obs::record_sim_phase(obs::Phase::kMailboxQueue,
+                              c.now() - req_msg.issue_ns);
+        if (req_msg.req != 0 && obs::trace_enabled()) {
+          c.trace_instant("req_dispatch", {"req", req_msg.req},
+                          {"wait_ns", c.now() - req_msg.issue_ns});
+        }
+      };
       while (stopped < total_cpus) {
         QMsg m;
         if (!replay.empty()) {
@@ -137,11 +165,14 @@ PimQueueResult run_pim_queue(const QueueConfig& cfg,
         } else {
           m = vault.inbox.recv(ctx);
         }
+        const Time t_serve = ctx.now();
+        record_arrival(m, ctx);
         switch (m.kind) {
           case QMsg::Kind::kEnq: {
             if (!vault.enq_seg) {
               ctx.trace_instant("reject", {"vault", v});
               m.reply->set(ctx, Reply{false, false, 0}, msg_ns);
+              record_reply(m, t_serve, ctx);
               break;
             }
             const Time enq_start = ctx.now();
@@ -152,6 +183,10 @@ PimQueueResult run_pim_queue(const QueueConfig& cfg,
               std::vector<QMsg> batch{m};
               while (auto more = vault.inbox.try_recv(ctx)) {
                 if (more->kind == QMsg::Kind::kEnq) {
+                  // Replayed messages get their arrival recorded when they
+                  // are served from the replay queue; batch members are
+                  // served now, so record their arrival here.
+                  record_arrival(*more, ctx);
                   batch.push_back(*more);
                 } else {
                   replay.push_back(*more);
@@ -165,6 +200,9 @@ PimQueueResult run_pim_queue(const QueueConfig& cfg,
               for (const QMsg& e : batch) {
                 vault.enq_seg->nodes.push_back(e.value);
                 e.reply->set(ctx, Reply{true, false, 0}, msg_ns);
+                // Per-op service: every batch member waits for the whole
+                // fat-node append before its (shared) response ships.
+                record_reply(e, t_serve, ctx);
               }
               ctx.trace_complete("drain_batch", enq_start,
                                  {"n", appended});
@@ -175,6 +213,10 @@ PimQueueResult run_pim_queue(const QueueConfig& cfg,
               ctx.charge(MemClass::kPimLocal);
               vault.enq_seg->nodes.push_back(m.value);
               m.reply->set(ctx, Reply{true, false, 0}, msg_ns);
+              record_reply(m, t_serve, ctx);
+              if (obs::trace_enabled()) {
+                ctx.trace_complete("vault_service", t_serve, {"vault", v});
+              }
             }
             vault.enq_seg->enq_count += appended;
             result.enq_ops += appended;
@@ -216,6 +258,7 @@ PimQueueResult run_pim_queue(const QueueConfig& cfg,
           case QMsg::Kind::kDeq: {
             if (!vault.deq_seg) {
               m.reply->set(ctx, Reply{false, false, 0}, msg_ns);
+              record_reply(m, t_serve, ctx);
               break;
             }
             if (!vault.deq_seg->nodes.empty()) {
@@ -232,10 +275,12 @@ PimQueueResult run_pim_queue(const QueueConfig& cfg,
               vault_ops[v]->add(1);
               if (vault.enq_seg) ++result.co_resident_ops;
               m.reply->set(ctx, Reply{true, true, value}, msg_ns);
+              record_reply(m, t_serve, ctx);
               if (!opts.pipelining) ctx.advance(msg_ns);
             } else if (vault.deq_seg == vault.enq_seg) {
               // Single-segment case: the queue really is empty.
               m.reply->set(ctx, Reply{true, false, 0}, msg_ns);
+              record_reply(m, t_serve, ctx);
               ++result.empty_dequeues;
               ++result.deq_ops;
               vault_ops[v]->add(1);
@@ -250,6 +295,7 @@ PimQueueResult run_pim_queue(const QueueConfig& cfg,
               vault.deq_seg = nullptr;
               ctx.trace_instant("reject", {"vault", v});
               m.reply->set(ctx, Reply{false, false, 0}, msg_ns);
+              record_reply(m, t_serve, ctx);
             }
             break;
           }
@@ -287,6 +333,8 @@ PimQueueResult run_pim_queue(const QueueConfig& cfg,
       SimSlot<Reply> reply;
       while (ctx.now() < cfg.duration_ns) {
         const Time issued = ctx.now();
+        const std::uint64_t rid =
+            obs::trace_enabled() ? obs::next_request_id() : 0;
         // One value per OPERATION, not per send: a rejected CPU retries the
         // same request. Recorded runs tag values with the producer slot so
         // every enqueued value is unique (the checker matches dequeues to
@@ -305,7 +353,8 @@ PimQueueResult run_pim_queue(const QueueConfig& cfg,
               is_enq ? directory.enq_cid : directory.deq_cid;
           const QMsg::Kind kind =
               is_enq ? QMsg::Kind::kEnq : QMsg::Kind::kDeq;
-          vaults[target]->inbox.send(ctx, QMsg{kind, value, &reply});
+          vaults[target]->inbox.send(
+              ctx, QMsg{kind, value, &reply, ctx.now(), rid});
           r = reply.await(ctx);
           if (r.accepted) break;
           ++result.rejections;  // stale directory: re-read and resend
@@ -318,6 +367,14 @@ PimQueueResult run_pim_queue(const QueueConfig& cfg,
                    ctx.now());
         }
         h_latency.record(ctx.now() - issued);
+        // End-to-end reference for the attribution report: across every
+        // attempt the wait/service/flight phases tile [issued, now] exactly
+        // (virtual time), so sum(phases) == sum(total) up to CPU-side gaps.
+        obs::record_sim_phase(obs::Phase::kTotal, ctx.now() - issued);
+        if (rid != 0) {
+          ctx.trace_complete("op", issued, {"req", rid},
+                             {"enq", is_enq ? 1u : 0u});
+        }
         if (cfg.latency_sink_ns != nullptr) {
           cfg.latency_sink_ns->push_back(
               static_cast<double>(ctx.now() - issued));

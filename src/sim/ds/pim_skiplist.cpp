@@ -2,7 +2,7 @@
 #include <string>
 #include <vector>
 
-#include "obs/metrics.hpp"
+#include "obs/obs.hpp"
 #include "sim/ds/skiplist_common.hpp"
 #include "sim/ds/skiplists.hpp"
 #include "sim/mailbox.hpp"
@@ -17,6 +17,11 @@ struct SkipMsg {
   std::uint64_t key = 0;
   SimSlot<bool>* reply = nullptr;
   bool stop = false;
+  // Trace context (obs/phase.hpp): virtual send time for mailbox_queue
+  // attribution and the causal request id tying CPU `op` spans to the
+  // serving core's events. Zero on stop messages.
+  Time issue_ns = 0;
+  std::uint64_t req = 0;
 };
 
 }  // namespace
@@ -65,11 +70,33 @@ RunResult run_pim_skiplist(const SkipListConfig& cfg, std::size_t partitions) {
           ++stopped;
           continue;
         }
+        // Latency attribution: mailbox_queue is send -> pickup (Lmessage
+        // flight plus queueing behind earlier requests), vault_service is
+        // the traversal, response_flight the reply's crossbar leg. In
+        // virtual time these tile the requester's await window exactly.
+        const Time t_serve = ctx.now();
+        if (m.issue_ns != 0) {
+          obs::record_sim_phase(obs::Phase::kMailboxQueue,
+                                t_serve - m.issue_ns);
+          if (m.req != 0 && obs::trace_enabled()) {
+            ctx.trace_instant("req_dispatch", {"req", m.req},
+                              {"wait_ns", t_serve - m.issue_ns});
+          }
+        }
         part_ops[v]->add(1);
         const bool r = list.execute(ctx, m.op, m.key, MemClass::kPimLocal);
         // Asynchronous response (pipelining): the core serves the next
         // request while the reply is in flight.
         m.reply->set(ctx, r, msg_ns);
+        if (m.issue_ns != 0) {
+          obs::record_sim_phase(obs::Phase::kVaultService,
+                                ctx.now() - t_serve);
+          obs::record_sim_phase(obs::Phase::kResponseFlight,
+                                static_cast<Time>(msg_ns));
+          if (obs::trace_enabled()) {
+            ctx.trace_complete("vault_service", t_serve, {"vault", v});
+          }
+        }
       }
     });
   }
@@ -84,16 +111,24 @@ RunResult run_pim_skiplist(const SkipListConfig& cfg, std::size_t partitions) {
       while (ctx.now() < cfg.duration_ns) {
         const SetOp op = pick_op(ctx.rng(), cfg.mix);
         const std::uint64_t key = ctx.rng().next_in(1, cfg.key_range);
-        if (log != nullptr) log->begin(check_op(op), key, ctx.now());
+        const Time issued = ctx.now();
+        const std::uint64_t rid =
+            obs::trace_enabled() ? obs::next_request_id() : 0;
+        if (log != nullptr) log->begin(check_op(op), key, issued);
         // Route by the CPU-cached sentinel directory (Section 4.2): the
         // sentinels are few and hot, so the lookup hits the CPU cache; we
-        // charge one LLC access for it.
+        // charge one LLC access for it. That lookup is the op's issue phase.
         ctx.charge(MemClass::kLlc);
+        obs::record_sim_phase(obs::Phase::kIssue, ctx.now() - issued);
         const std::size_t p = partition_of(key, cfg.key_range, partitions);
-        inboxes[p]->send(ctx, SkipMsg{op, key, &reply, false});
+        inboxes[p]->send(ctx, SkipMsg{op, key, &reply, false, ctx.now(), rid});
         const bool r = reply.await(ctx);
         if (log != nullptr) {
           log->end(r ? check::kRetTrue : check::kRetFalse, ctx.now());
+        }
+        obs::record_sim_phase(obs::Phase::kTotal, ctx.now() - issued);
+        if (rid != 0) {
+          ctx.trace_complete("op", issued, {"req", rid}, {"key", key});
         }
         ++ops;
       }

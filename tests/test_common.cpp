@@ -111,6 +111,49 @@ TEST(RunningStats, MergeWithEmptySides) {
   EXPECT_DOUBLE_EQ(b.max(), 3.0);
 }
 
+TEST(RunningStats, MergeOfDisjointRangesMatchesOneAccumulator) {
+  // Two accumulators fed from ranges that never overlap (1..100 and
+  // 100001..100100): the merged moments must equal a single accumulator
+  // over the union, and min/max must come from different sides.
+  RunningStats low, high, all;
+  for (int i = 1; i <= 100; ++i) {
+    low.add(i);
+    all.add(i);
+  }
+  for (int i = 100'001; i <= 100'100; ++i) {
+    high.add(i);
+    all.add(i);
+  }
+  RunningStats merged = low;
+  merged.merge(high);
+  EXPECT_EQ(merged.count(), all.count());
+  EXPECT_DOUBLE_EQ(merged.min(), 1.0);
+  EXPECT_DOUBLE_EQ(merged.max(), 100'100.0);
+  EXPECT_NEAR(merged.mean(), all.mean(), 1e-9 * all.mean());
+  EXPECT_NEAR(merged.variance(), all.variance(), 1e-6 * all.variance());
+  // Merge order must not matter.
+  RunningStats other = high;
+  other.merge(low);
+  EXPECT_DOUBLE_EQ(other.mean(), merged.mean());
+  EXPECT_NEAR(other.variance(), merged.variance(), 1e-9 * merged.variance());
+}
+
+TEST(Summary, P999OnTinySamplesDegradesToTheMaximum) {
+  // With fewer than 1000 samples the 0.999 rank has nothing to
+  // interpolate toward; it must stay within the observed range and reach
+  // the maximum, not read past the end or return garbage.
+  const Summary two = Summary::of({5.0, 7.0});
+  EXPECT_DOUBLE_EQ(two.max, 7.0);
+  EXPECT_GE(two.p999, 5.0);
+  EXPECT_LE(two.p999, 7.0);
+  EXPECT_GE(two.p999, two.p50);
+
+  const Summary one = Summary::of({42.0});
+  EXPECT_DOUBLE_EQ(one.p50, 42.0);
+  EXPECT_DOUBLE_EQ(one.p999, 42.0);
+  EXPECT_DOUBLE_EQ(one.max, 42.0);
+}
+
 TEST(Summary, PercentilesOfKnownVector) {
   std::vector<double> v;
   for (int i = 1; i <= 100; ++i) v.push_back(i);

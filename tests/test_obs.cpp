@@ -281,6 +281,77 @@ TEST(Histogram, PercentilesOfKnownDistribution) {
   EXPECT_GE(d.percentile(0.999), d.percentile(0.5));
 }
 
+TEST(Histogram, EmptyHistogramDerivesAllZero) {
+  const HistogramData d = Histogram{}.data();
+  EXPECT_EQ(d.count, 0u);
+  EXPECT_EQ(d.sum, 0u);
+  EXPECT_EQ(d.max, 0u);
+  EXPECT_DOUBLE_EQ(d.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(d.percentile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(d.percentile(0.999), 0.0);
+}
+
+TEST(Histogram, SingleBucketEveryPercentileLandsInIt) {
+  Histogram h;
+  for (int i = 0; i < 1000; ++i) h.record(100);
+  const HistogramData d = h.data();
+  const unsigned idx = Histogram::bucket_index(100);
+  const double lo = static_cast<double>(Histogram::bucket_lower(idx));
+  const double up = static_cast<double>(Histogram::bucket_upper(idx));
+  for (double q : {0.0, 0.5, 0.9, 0.99, 0.999, 1.0}) {
+    const double p = d.percentile(q);
+    EXPECT_GE(p, lo) << "q=" << q;
+    EXPECT_LE(p, up) << "q=" << q;
+  }
+  EXPECT_EQ(d.max, 100u);
+  EXPECT_DOUBLE_EQ(d.mean(), 100.0);
+}
+
+TEST(Histogram, P999OnTinySampleCountsUsesFloorRank) {
+  // Nearest-rank with a floored 0-based rank: with 2 samples the 0.999
+  // rank floors to 0, so p999 answers from the LOWER sample's bucket —
+  // only q = 1.0 is guaranteed to reach the maximum. Tiny-sample tails
+  // are a property of the data, not the histogram, and the convention
+  // must stay put or committed baselines shift.
+  Histogram h;
+  h.record(10);
+  h.record(1'000'000);
+  const HistogramData d = h.data();
+  EXPECT_LE(d.percentile(0.999), 16.0);
+  const unsigned top = Histogram::bucket_index(1'000'000);
+  EXPECT_GE(d.percentile(1.0),
+            static_cast<double>(Histogram::bucket_lower(top)));
+  EXPECT_LE(d.percentile(0.50), 16.0);
+  EXPECT_EQ(d.max, 1'000'000u);
+}
+
+TEST(Histogram, MergedDataFromDisjointRangesAddsUp) {
+  Histogram low, high;
+  for (std::uint64_t v = 0; v < 100; ++v) low.record(v);
+  for (std::uint64_t v = 1'000'000; v < 1'000'100; ++v) high.record(v);
+  HistogramData merged;
+  low.collect(merged);
+  high.collect(merged);
+  EXPECT_EQ(merged.count, 200u);
+  EXPECT_EQ(merged.max, 1'000'099u);
+  EXPECT_LE(merged.percentile(0.25), 128.0);
+  EXPECT_GE(merged.percentile(0.75), 900'000.0);
+}
+
+TEST(Message, TraceContextCompilesOutWhenObsDisabled) {
+#ifdef PIMDS_OBS_DISABLED
+  // The req_id field must vanish entirely: same layout as the seed.
+  static_assert(sizeof(runtime::Message) == 40,
+                "Message grew in the -DPIMDS_OBS=OFF configuration");
+  SUCCEED();
+#else
+  // With observability on, the trace context may use the cache line's slack
+  // but not spill past it.
+  EXPECT_LE(sizeof(runtime::Message), kCacheLineSize);
+  EXPECT_EQ(sizeof(runtime::Message), 48u);
+#endif
+}
+
 TEST(Histogram, ConcurrentRecordsAllCounted) {
   Histogram h;
   std::vector<std::thread> threads;
