@@ -147,6 +147,17 @@ class JsonReporter {
     notes_.push_back("  \"" + escape(key) + "\": " + buf);
   }
 
+  /// Snapshot the phase-attribution section NOW instead of at flush time.
+  /// Benches that run several configurations in one process (ablations,
+  /// seed-vs-optimized comparisons) call Registry::reset() before the run
+  /// the attribution should describe and capture right after it; otherwise
+  /// the section averages the intentionally-degraded legs in with the
+  /// headline configuration and gates like perf_gate.py read noise.
+  void capture_attribution() {
+    if (!enabled()) return;
+    attribution_ = obs::attribution_json(obs::attribution_report(), 2);
+  }
+
   void flush() {
     if (flushed_) return;
     flushed_ = true;
@@ -170,8 +181,8 @@ class JsonReporter {
     for (const auto& n : notes_) std::fprintf(f, "%s,\n", n.c_str());
     std::fprintf(f, "  \"conformance\": %s,\n",
                  model::conformance_json(conformance_, 2).c_str());
-    std::fprintf(f, "  \"attribution\": %s,\n",
-                 obs::attribution_json(obs::attribution_report(), 2).c_str());
+    if (attribution_.empty()) capture_attribution();
+    std::fprintf(f, "  \"attribution\": %s,\n", attribution_.c_str());
     std::fprintf(f, "  \"metrics\": %s,\n",
                  obs::Registry::instance().to_json(2).c_str());
     std::fprintf(f, "  \"records\": [\n");
@@ -204,6 +215,7 @@ class JsonReporter {
   std::string trace_path_;
   std::vector<std::string> records_;
   std::vector<std::string> notes_;
+  std::string attribution_;
   std::vector<model::ConformanceRow> conformance_;
   bool flushed_ = false;
 };

@@ -22,15 +22,29 @@ import pathlib
 import subprocess
 import sys
 
-# (binary, json name it reports, extra args). batch_drain gets a reduced op
-# count: its absolute throughput is host-dependent and the gate only holds
-# its internal speedup ratio, so there is no reason to burn minutes on it.
+# (binary, json name it reports, extra args). batch_drain runs at 18
+# threads: enough concurrency to keep both PIM cores saturated (the gate
+# holds its internal batched-vs-seed speedup plus the batched run's
+# attribution shares, all host-speed independent), while 600 ops/thread
+# keeps the speedup distribution tight enough for best-of-2 gating. The
+# 4 us drain gather window holds sender-side queueing under the gate's
+# mailbox_queue ceiling (CPU-side combining already lands fat messages,
+# so the longer Lpim auto-window only adds queueing delay). These flags
+# match the binary's own defaults; they are spelled out here so the gated
+# configuration is visible where CI reads it.
+# batch_drain runs FIRST: it is the only bench measuring real threads, so
+# it gets the machine before the sim benches churn the caches and the
+# scheduler (the sim benches run in virtual time and do not care).
 BENCHES = [
+    (
+        "ablation_batch_drain",
+        "batch_drain",
+        ["--threads", "18", "--ops", "600", "--gather-ns", "4000"],
+    ),
     ("sec52_fifo_queues", "sec52_fifo_queues", []),
     ("fig4_skiplists", "fig4_skiplists", []),
     ("table1_linked_lists", "table1_linked_lists", []),
     ("table2_skiplists", "table2_skiplists", []),
-    ("ablation_batch_drain", "batch_drain", ["--threads", "8", "--ops", "300"]),
 ]
 
 

@@ -39,8 +39,16 @@ GATES = {
     "table1_linked_lists": {"rel_tol": 0.10},
     "table2_skiplists": {"rel_tol": 0.10, "coverage": ("sim", 90.0, 110.0)},
     # Real threads: hold only the within-run speedup of the batched path
-    # over the seed path (>= min_speedup) -- host-speed independent.
-    "batch_drain": {"min_speedup": 1.2},
+    # over the seed path (>= min_speedup) -- host-speed independent. The
+    # runtime attribution section is additionally gated on coverage (the
+    # phase sums must explain >= 90% of measured wall time) and on the
+    # mailbox_queue share (the lane transport must keep sender-side queueing
+    # below 17% of attributed time; the shared-ring seed sat at ~34%).
+    "batch_drain": {
+        "min_speedup": 2.0,
+        "coverage": ("runtime", 90.0, 130.0),
+        "max_phase_share": ("runtime", "mailbox_queue", 17.0),
+    },
 }
 
 failures = []
@@ -114,18 +122,43 @@ def gate_bench(name, policy, baseline, fresh_docs):
 
     if "coverage" in policy:
         domain, lo, hi = policy["coverage"]
+        covs = [
+            doc["attribution"][domain].get("coverage_pct", 0.0)
+            for doc in fresh_docs
+            if domain in doc.get("attribution", {})
+        ]
+        n_checked += 1
+        if not covs:
+            problem(f"{name}: no {domain!r} attribution in any fresh run")
+        elif not any(lo <= c <= hi for c in covs):
+            # Best-of-N like the speedup check: one noisy run can't fail it.
+            problem(
+                f"{name}: {domain} attribution coverage "
+                f"{max(covs):.1f}% (best of {len(covs)}) outside "
+                f"[{lo:.0f}, {hi:.0f}]%"
+            )
+
+    if "max_phase_share" in policy:
+        domain, phase, cap = policy["max_phase_share"]
+        shares = []
         for doc in fresh_docs:
-            att = doc.get("attribution", {}).get(domain)
-            if att is None:
-                problem(f"{name}: no {domain!r} attribution in fresh run")
-                continue
-            cov = att.get("coverage_pct", 0.0)
-            n_checked += 1
-            if not lo <= cov <= hi:
-                problem(
-                    f"{name}: {domain} attribution coverage {cov:.1f}% "
-                    f"outside [{lo:.0f}, {hi:.0f}]%"
-                )
+            ph = (
+                doc.get("attribution", {})
+                .get(domain, {})
+                .get("phases", {})
+                .get(phase)
+            )
+            if ph is not None:
+                shares.append(ph.get("share_pct", 100.0))
+        n_checked += 1
+        if not shares:
+            problem(f"{name}: no {domain}.{phase} share in any fresh run")
+        elif min(shares) >= cap:
+            problem(
+                f"{name}: {domain} phase {phase!r} share "
+                f"{min(shares):.1f}% (best of {len(shares)}) is at or "
+                f"above the {cap:.0f}% ceiling"
+            )
 
     print(f"perf_gate: {name}: {n_checked} checks, best-of-{len(fresh_docs)}")
 

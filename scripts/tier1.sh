@@ -25,9 +25,9 @@ fi
 
 echo "== tier-1: -DPIMDS_OBS=OFF configuration =="
 # Compiling test_obs in this configuration checks the layout static
-# asserts (Message must stay at its 40-byte seed size with the trace
-# context compiled out); the filtered run plus a bench smoke checks the
-# disabled mode end to end. The full test_obs suite is NOT expected to
+# asserts (FatEntry must drop to 32 bytes and Message to 112 with the
+# per-op trace context compiled out); the filtered run plus a bench smoke
+# checks the disabled mode end to end. The full test_obs suite is NOT expected to
 # pass here — most of it tests the very layer this build removes.
 cmake -B build-noobs -S . -DPIMDS_OBS=OFF > /dev/null
 cmake --build build-noobs -j --target test_obs ablation_batch_drain
@@ -38,10 +38,14 @@ echo "obs-off: OK"
 if [[ "$skip_tsan" == 0 ]]; then
   echo "== tier-1: runtime tests under ThreadSanitizer =="
   cmake --preset tsan > /dev/null
-  cmake --build build-tsan -j --target test_runtime test_mailbox_batch test_obs
+  cmake --build build-tsan -j --target \
+    test_runtime test_mailbox_batch test_spsc_ring test_obs
   # No suppressions: the runtime message path must be genuinely race-free.
   TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_runtime
   TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_mailbox_batch
+  # The per-sender SPSC lanes and the multi-lane drain sweep are new
+  # lock-free code; MultiLaneDrainStress is the dedicated TSan target.
+  TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_spsc_ring
   # The metrics/trace layer is all relaxed atomics + sharding; it must be
   # race-free too (counter sharding test hammers it from 8 threads).
   TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_obs

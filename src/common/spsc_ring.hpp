@@ -1,0 +1,116 @@
+// Bounded lock-free single-producer / single-consumer ring buffer.
+//
+// The per-sender mailbox lane transport: each sender thread owns exactly one
+// lane into a PIM core's mailbox, so the only synchronization a send or a
+// receive needs is one acquire load plus one release store on an index word
+// — no CAS, no shared ticket counter, no cross-sender cache-line traffic
+// (compare common/mpmc_queue.hpp, whose producers all hammer one tail word).
+//
+// Classic Lamport ring with index caching: the producer keeps a local copy
+// of the consumer's head (refreshed only when the ring looks full) and the
+// consumer a local copy of the producer's tail (refreshed only when the
+// ring looks empty), so the steady-state hot path touches a single shared
+// cache line per side per wraparound, not per operation.
+//
+// Memory ordering: the producer's release store of tail_ publishes the slot
+// write to the consumer's acquire load; the consumer's release store of
+// head_ publishes the slot as reusable to the producer's acquire load. Both
+// sides' own index loads are relaxed (single writer each).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <memory>
+#include <optional>
+#include <utility>
+
+#include "common/cacheline.hpp"
+
+namespace pimds {
+
+template <typename T>
+class SpscRing {
+ public:
+  /// @param capacity ring size; rounded up to the next power of two (min 2).
+  explicit SpscRing(std::size_t capacity) {
+    std::size_t cap = 2;
+    while (cap < capacity) cap *= 2;
+    mask_ = cap - 1;
+    slots_ = std::make_unique<T[]>(cap);
+  }
+
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  std::size_t capacity() const noexcept { return mask_ + 1; }
+
+  /// Producer-only. Returns false when the ring is full.
+  bool try_push(T value) {
+    const std::size_t tail = tail_.value.load(std::memory_order_relaxed);
+    if (tail - cached_head_ > mask_) {
+      cached_head_ = head_.value.load(std::memory_order_acquire);
+      if (tail - cached_head_ > mask_) return false;  // genuinely full
+    }
+    slots_[tail & mask_] = std::move(value);
+    tail_.value.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer-only. Returns nullopt when the ring is empty.
+  std::optional<T> try_pop() {
+    const std::size_t head = head_.value.load(std::memory_order_relaxed);
+    if (head == cached_tail_) {
+      cached_tail_ = tail_.value.load(std::memory_order_acquire);
+      if (head == cached_tail_) return std::nullopt;  // genuinely empty
+    }
+    std::optional<T> out(std::move(slots_[head & mask_]));
+    head_.value.store(head + 1, std::memory_order_release);
+    return out;
+  }
+
+  /// Consumer-only batch pop: invokes `f(T&&)` for up to `max_n` queued
+  /// items and returns the number consumed. The head index is published
+  /// once at the end, so a burst costs one release store total.
+  template <typename F>
+  std::size_t consume(F&& f, std::size_t max_n) {
+    std::size_t head = head_.value.load(std::memory_order_relaxed);
+    if (head == cached_tail_) {
+      cached_tail_ = tail_.value.load(std::memory_order_acquire);
+      if (head == cached_tail_) return 0;
+    }
+    std::size_t n = 0;
+    while (n < max_n && head != cached_tail_) {
+      f(std::move(slots_[head & mask_]));
+      ++head;
+      ++n;
+    }
+    head_.value.store(head, std::memory_order_release);
+    return n;
+  }
+
+  /// Approximate occupancy; exact from the consumer thread (the producer
+  /// can at most have published items this misses).
+  std::size_t size() const noexcept {
+    const std::size_t tail = tail_.value.load(std::memory_order_acquire);
+    const std::size_t head = head_.value.load(std::memory_order_acquire);
+    return tail >= head ? tail - head : 0;
+  }
+
+  /// Approximate emptiness (exact only when the producer is quiesced).
+  bool empty() const noexcept {
+    return head_.value.load(std::memory_order_acquire) ==
+           tail_.value.load(std::memory_order_acquire);
+  }
+
+ private:
+  std::size_t mask_;
+  std::unique_ptr<T[]> slots_;
+  // Producer line: tail index + the producer's cached view of head.
+  CachePadded<std::atomic<std::size_t>> tail_{0};
+  std::size_t cached_head_ = 0;  ///< producer-local
+  // Consumer line: head index + the consumer's cached view of tail.
+  CachePadded<std::atomic<std::size_t>> head_{0};
+  std::size_t cached_tail_ = 0;  ///< consumer-local
+};
+
+}  // namespace pimds

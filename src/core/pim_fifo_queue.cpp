@@ -3,12 +3,16 @@
 #include <cassert>
 
 #include "obs/obs.hpp"
+#include "runtime/fat_arena.hpp"
 #include "runtime/mailbox.hpp"
 
 namespace pimds::core {
 
+using runtime::fat_entries;
+using runtime::FatEntry;
 using runtime::Message;
 using runtime::PimCoreApi;
+using runtime::release_fat_payload;
 using runtime::RequestCombiner;
 using runtime::ResponseSlot;
 
@@ -21,6 +25,7 @@ struct QueueMetrics {
   obs::Counter& enq_batches = reg.counter("runtime.queue.enq_batches");
   obs::Counter& rejections = reg.counter("runtime.queue.rejections");
   obs::Counter& handoffs = reg.counter("runtime.queue.segment_handoffs");
+  obs::Counter& segs_destroyed = reg.counter("runtime.queue.segments_destroyed");
   obs::Histogram& enq_batch = reg.histogram("runtime.queue.enq_batch");
   obs::Histogram& deq_batch = reg.histogram("runtime.queue.deq_batch");
 };
@@ -35,6 +40,8 @@ PimFifoQueue::PimFifoQueue(runtime::PimSystem& system)
 
 PimFifoQueue::PimFifoQueue(runtime::PimSystem& system, Options options)
     : system_(system), options_(options), vaults_(system.num_vaults()) {
+  enq_combiner_.set_linger_ns(options_.combine_linger_ns);
+  deq_combiner_.set_linger_ns(options_.combine_linger_ns);
   // Initial state (Section 5.1): one empty segment acting as both the
   // enqueue and the dequeue segment, in vault 0. It already holds the
   // dequeue role, so it is NOT in the segment queue.
@@ -83,12 +90,13 @@ void PimFifoQueue::handle_batch(PimCoreApi& api, const Message* msgs,
     const Message& m = msgs[i];
     switch (m.kind) {
       case kEnqBatch: {
-        // Already CPU-combined: always served as a fat node.
-        auto* b = static_cast<RequestCombiner::Batch*>(m.slot);
-        for (std::uint32_t j = 0; j < b->count; ++j) {
-          enqs.push_back(PendingEnq{b->entries[j].value, b->entries[j].slot});
+        // Already CPU-combined: always served as a fat node. The batch
+        // rides inside the message (inline or spilled) — zero-copy decode.
+        const FatEntry* entries = fat_entries(m);
+        for (std::uint16_t j = 0; j < m.fat_count; ++j) {
+          enqs.push_back(PendingEnq{entries[j].value, entries[j].slot});
         }
-        RequestCombiner::Batch::destroy(b);
+        release_fat_payload(m);
         if (!options_.enqueue_combining) flush();
         break;
       }
@@ -100,11 +108,11 @@ void PimFifoQueue::handle_batch(PimCoreApi& api, const Message* msgs,
         }
         break;
       case kDeqBatch: {
-        auto* b = static_cast<RequestCombiner::Batch*>(m.slot);
-        for (std::uint32_t j = 0; j < b->count; ++j) {
-          deqs.push_back(b->entries[j].slot);
+        const FatEntry* entries = fat_entries(m);
+        for (std::uint16_t j = 0; j < m.fat_count; ++j) {
+          deqs.push_back(entries[j].slot);
         }
-        RequestCombiner::Batch::destroy(b);
+        release_fat_payload(m);
         break;
       }
       case kDeq:
@@ -292,6 +300,8 @@ PimFifoQueue::Reply PimFifoQueue::serve_one_deq(PimCoreApi& api,
   assert(next < vaults_.size() && "exhausted segment has no successor");
   vs.deq_seg = nullptr;
   api.vault().destroy(&seg);
+  segments_destroyed_.value.fetch_add(1, std::memory_order_relaxed);
+  qmetrics().segs_destroyed.add(1);
   Message pass;
   pass.kind = kNewDeqSeg;
   if (next == api.vault_id()) {
@@ -339,14 +349,14 @@ void PimFifoQueue::serve_deq_batch(PimCoreApi& api, std::vector<void*>& slots) {
 }
 
 void PimFifoQueue::handle_deq_batch(PimCoreApi& api, const Message& m) {
-  auto* b = static_cast<RequestCombiner::Batch*>(m.slot);
+  const FatEntry* entries = fat_entries(m);
   std::vector<void*> slots;
-  slots.reserve(b->count);
-  for (std::uint32_t j = 0; j < b->count; ++j) {
-    slots.push_back(b->entries[j].slot);
+  slots.reserve(m.fat_count);
+  for (std::uint16_t j = 0; j < m.fat_count; ++j) {
+    slots.push_back(entries[j].slot);
   }
   serve_deq_batch(api, slots);
-  RequestCombiner::Batch::destroy(b);
+  release_fat_payload(m);
 }
 
 void PimFifoQueue::enqueue(std::uint64_t value) {
@@ -356,14 +366,15 @@ void PimFifoQueue::enqueue(std::uint64_t value) {
   const std::uint64_t op_start = (obs_on || rid != 0) ? now_ns() : 0;
   for (;;) {
     if (options_.cpu_combining) {
-      RequestCombiner::Entry e;
+      RequestCombiner::Entry e{};
       e.kind = kEnq;
       e.value = value;
       e.slot = &slot;
-      enq_combiner_.submit(e, [this](RequestCombiner::Batch* b) {
-        Message m;
+#ifndef PIMDS_OBS_DISABLED
+      e.req_id = rid;  // combined ops keep their trace correlation
+#endif
+      enq_combiner_.submit(e, [this](Message& m) {
         m.kind = kEnqBatch;
-        m.slot = b;
         system_.send(enq_cid_.value.load(std::memory_order_acquire), m);
       });
     } else {
@@ -403,13 +414,14 @@ std::optional<std::uint64_t> PimFifoQueue::dequeue() {
   std::optional<std::uint64_t> out;
   for (;;) {
     if (options_.cpu_combining) {
-      RequestCombiner::Entry e;
+      RequestCombiner::Entry e{};
       e.kind = kDeq;
       e.slot = &slot;
-      deq_combiner_.submit(e, [this](RequestCombiner::Batch* b) {
-        Message m;
+#ifndef PIMDS_OBS_DISABLED
+      e.req_id = rid;
+#endif
+      deq_combiner_.submit(e, [this](Message& m) {
         m.kind = kDeqBatch;
-        m.slot = b;
         system_.send(deq_cid_.value.load(std::memory_order_acquire), m);
       });
     } else {

@@ -51,6 +51,12 @@ class PimFifoQueue {
     /// CPU-side request combining: co-located waiting requests ride one
     /// crossbar message (off = one message per request, the seed path).
     bool cpu_combining = true;
+    /// Combiner flush linger (see RequestCombiner::set_linger_ns): how long
+    /// a flushing leader yields for stragglers before shipping a non-full
+    /// batch. Default off: on an oversubscribed host one yield costs a full
+    /// scheduler round trip, so the leader overshoots any microsecond-scale
+    /// window without gathering anything. Enable only with cores to spare.
+    std::uint64_t combine_linger_ns = 0;
   };
 
   /// Installs handlers on ALL vaults of `system`; construct before start().
@@ -78,6 +84,17 @@ class PimFifoQueue {
   }
   std::uint64_t segments_created() const noexcept {
     return segments_created_.value.load(std::memory_order_relaxed);
+  }
+  std::uint64_t segments_destroyed() const noexcept {
+    return segments_destroyed_.value.load(std::memory_order_relaxed);
+  }
+  /// Segments currently resident in the vaults: the initial segment plus
+  /// every hand-off-created one, minus those destroyed when exhausted.
+  /// After the system quiesces this is exactly what the vaults' net
+  /// alloc−free balance must account for (nodes all freed on dequeue), so
+  /// the shutdown balance assertion compares against it.
+  std::uint64_t live_segments() const noexcept {
+    return 1 + segments_created() - segments_destroyed();
   }
   /// Largest enqueue batch combined into one fat node so far.
   std::uint64_t max_enqueue_batch() const noexcept {
@@ -132,8 +149,8 @@ class PimFifoQueue {
     kDeq = 2,
     kNewEnqSeg = 3,
     kNewDeqSeg = 4,
-    kEnqBatch = 5,  ///< CPU-combined enqueues (slot = RequestCombiner::Batch*)
-    kDeqBatch = 6,  ///< CPU-combined dequeues (slot = RequestCombiner::Batch*)
+    kEnqBatch = 5,  ///< CPU-combined enqueues (fat payload in the message)
+    kDeqBatch = 6,  ///< CPU-combined dequeues (fat payload in the message)
   };
 
   void handle_batch(runtime::PimCoreApi& api, const runtime::Message* msgs,
@@ -172,6 +189,7 @@ class PimFifoQueue {
   CachePadded<std::atomic<std::uint64_t>> deq_count_{0};
   CachePadded<std::atomic<std::uint64_t>> rejections_{0};
   CachePadded<std::atomic<std::uint64_t>> segments_created_{0};
+  CachePadded<std::atomic<std::uint64_t>> segments_destroyed_{0};
   CachePadded<std::atomic<std::uint64_t>> max_enq_batch_{0};
   CachePadded<std::atomic<std::uint64_t>> max_deq_batch_{0};
 };

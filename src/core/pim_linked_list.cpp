@@ -4,6 +4,7 @@
 #include <cassert>
 #include <vector>
 
+#include "runtime/fat_arena.hpp"
 #include "runtime/mailbox.hpp"
 
 namespace pimds::core {
@@ -33,14 +34,12 @@ bool PimLinkedList::submit(Kind kind, std::uint64_t key) {
   assert(key >= 1 && "key 0 is reserved for the dummy head");
   ResponseSlot<bool> slot;
   if (options_.cpu_combining) {
-    RequestCombiner::Entry entry;
+    RequestCombiner::Entry entry{};
     entry.kind = kind;
     entry.key = key;
     entry.slot = &slot;
-    combiner_.submit(entry, [this](RequestCombiner::Batch* batch) {
-      Message m;
+    combiner_.submit(entry, [this](Message& m) {
       m.kind = kOpBatch;
-      m.slot = batch;
       system_.send(options_.vault, m);
     });
   } else {
@@ -151,12 +150,11 @@ void PimLinkedList::handle_batch(PimCoreApi& api, const Message* msgs,
   for (std::size_t i = 0; i < n; ++i) {
     const Message& m = msgs[i];
     if (m.kind == kOpBatch) {
-      auto* batch = static_cast<RequestCombiner::Batch*>(m.slot);
-      for (std::uint32_t j = 0; j < batch->count; ++j) {
-        const RequestCombiner::Entry& e = batch->entries[j];
-        push_op(e.kind, e.key, e.slot);
+      const runtime::FatEntry* entries = runtime::fat_entries(m);
+      for (std::uint16_t j = 0; j < m.fat_count; ++j) {
+        push_op(entries[j].kind, entries[j].key, entries[j].slot);
       }
-      RequestCombiner::Batch::destroy(batch);
+      runtime::release_fat_payload(m);
     } else {
       push_op(m.kind, m.key, m.slot);
     }

@@ -8,8 +8,8 @@ namespace pimds::obs {
 namespace {
 
 constexpr const char* kPhaseNames[kPhaseCount] = {
-    "issue",          "combiner_wait",   "mailbox_queue", "vault_service",
-    "response_flight", "cpu_receive",    "total",
+    "issue",           "combiner_wait", "request_flight", "mailbox_queue",
+    "vault_service",   "response_flight", "cpu_receive",  "total",
 };
 constexpr const char* kDomainNames[kPhaseDomainCount] = {"runtime", "sim"};
 

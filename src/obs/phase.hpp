@@ -5,8 +5,13 @@
 //
 //   issue            CPU-side work before the request is on the wire
 //   combiner_wait    waiting inside the CPU-side RequestCombiner (Sec. 4.1)
-//   mailbox_queue    send -> picked up by the PIM core (crossbar flight,
-//                    Lmessage, plus queueing behind earlier requests)
+//   request_flight   the request's crossbar leg (the modeled Lmessage; 0
+//                    and unrecorded when latency injection is off)
+//   mailbox_queue    queueing between delivery and the PIM core's pickup —
+//                    the transport's real overhead, with the modeled
+//                    flight split out so an efficient mailbox shows up as
+//                    a small share here rather than being drowned by
+//                    Lmessage
 //   vault_service    PIM-core handler time (Lpim-dominated)
 //   response_flight  reply publish -> delivery-ready (Lmessage when
 //                    responses are pipelined, Figure 6)
@@ -40,13 +45,14 @@ namespace pimds::obs {
 enum class Phase : std::uint8_t {
   kIssue = 0,
   kCombinerWait,
+  kRequestFlight,
   kMailboxQueue,
   kVaultService,
   kResponseFlight,
   kCpuReceive,
   kTotal,  ///< end-to-end, measured independently of the other phases
 };
-inline constexpr std::size_t kPhaseCount = 7;
+inline constexpr std::size_t kPhaseCount = 8;
 
 enum class PhaseDomain : std::uint8_t { kRuntime = 0, kSim = 1 };
 inline constexpr std::size_t kPhaseDomainCount = 2;

@@ -4,19 +4,22 @@
 //
 // Co-located CPU threads targeting the same PIM core publish their requests
 // into a shared queue; whoever wins the (try-lock) combiner role gathers up
-// to kMaxCombine published requests into one Batch and ships the whole
-// batch across the crossbar as ONE message — the batch-per-crossing shape.
-// The PIM core serves every entry and publishes each requester's response
-// slot with one shared ready_ns: the batch's single fat response message.
+// to kMaxCombine published requests into one fat Message and ships the
+// whole batch across the crossbar as ONE message — the batch-per-crossing
+// shape. The PIM core serves every entry and publishes each requester's
+// response slot with one shared ready_ns: the batch's single fat response
+// message.
+//
+// The batch travels zero-copy inside the Message itself (runtime/
+// message.hpp): up to kMessageInlineFat entries ride inline (SBO), larger
+// batches borrow a pooled FatArena block — either way the flush path does
+// no per-op heap allocation. Each entry carries its requester's req_id, so
+// combined ops keep their trace correlation.
 //
 // A requester whose record was picked up by another thread's flush just
 // waits on its own slot; a requester left behind (batch filled up) keeps
 // competing for the combiner role until its record has been shipped, so no
 // request can be stranded.
-//
-// The Batch lives on the CPU heap (the model's shared-memory publication
-// area). Ownership transfers with the message: the PIM-core handler must
-// free it with RequestCombiner::Batch::destroy() after serving it.
 #pragma once
 
 #include <atomic>
@@ -27,6 +30,8 @@
 #include "common/spinwait.hpp"
 #include "common/timing.hpp"
 #include "obs/phase.hpp"
+#include "runtime/fat_arena.hpp"
+#include "runtime/message.hpp"
 
 namespace pimds::runtime {
 
@@ -34,31 +39,35 @@ class RequestCombiner {
  public:
   /// Cap on requests per crossbar message. 16 keys the batch at a few cache
   /// lines — the "fat node" regime of Section 5.1.
-  static constexpr std::size_t kMaxCombine = 16;
+  static constexpr std::size_t kMaxCombine = kMaxFatEntries;
 
-  struct Entry {
-    std::uint32_t kind = 0;
-    std::uint64_t key = 0;
-    std::uint64_t value = 0;
-    void* slot = nullptr;  ///< requester's ResponseSlot<R>
-  };
-
-  struct Batch {
-    std::uint32_t count = 0;
-    Entry entries[kMaxCombine];
-
-    static void destroy(Batch* b) { delete b; }
-  };
+  /// One combined request: the fat-message entry itself (zero-copy — what
+  /// a requester submits is exactly what the PIM core decodes).
+  using Entry = FatEntry;
 
   explicit RequestCombiner(std::size_t queue_capacity = 1024)
       : queue_(queue_capacity) {}
+
+  /// Flush linger: a leader whose first pop sweep came up short of
+  /// kMaxCombine yields for up to this window picking up stragglers before
+  /// shipping. Under latency injection, co-located requesters released by
+  /// one fat response wake microseconds to tens of microseconds apart —
+  /// a bounded linger re-clusters that scheduler dispersion into one fat
+  /// message, and the vault then charges one local access for the lot.
+  /// The leader yields (not spins) through the window, so the linger costs
+  /// scheduler handoffs, not CPU. 0 (default) ships immediately. Caveat:
+  /// when runnable threads outnumber cores, one yield alone can overshoot
+  /// the whole window, so the linger only helps with cores to spare.
+  void set_linger_ns(std::uint64_t ns) noexcept { linger_ns_ = ns; }
 
   RequestCombiner(const RequestCombiner&) = delete;
   RequestCombiner& operator=(const RequestCombiner&) = delete;
 
   /// Publish `entry` and return once it has been shipped in some batch
   /// (ours or another thread's). The caller then awaits its response slot.
-  /// `send` receives an owning Batch* and must transmit it to the PIM core.
+  /// `send` receives a Message whose fat payload holds the batch; it must
+  /// set the opcode and transmit it (payload ownership moves with it — the
+  /// receiver releases any spill via release_fat_payload).
   template <typename SendFn>
   void submit(const Entry& entry, SendFn&& send) {
     // The combiner_wait phase: publication to "shipped in some batch". On
@@ -66,7 +75,7 @@ class RequestCombiner {
     // wrapper records issue only on the direct-send path, so the two never
     // double-count).
     const std::uint64_t t0 = obs::metrics_enabled() ? now_ns() : 0;
-    Record rec;
+    Record rec{};
     rec.entry = entry;
     queue_.push(&rec);
     SpinWait spin;
@@ -109,20 +118,33 @@ class RequestCombiner {
   template <typename SendFn>
   void flush(SendFn&& send) {
     Record* picked[kMaxCombine];
-    Batch* batch = new Batch;
-    while (batch->count < kMaxCombine) {
+    std::uint32_t n = 0;
+    while (n < kMaxCombine) {
       std::optional<Record*> r = queue_.try_pop();
       if (!r) break;
-      picked[batch->count] = *r;
-      batch->entries[batch->count] = (*r)->entry;
-      ++batch->count;
+      picked[n++] = *r;
     }
-    const std::uint32_t n = batch->count;
-    if (n == 0) {
-      delete batch;
-      return;
+    if (n == 0) return;
+    if (n < kMaxCombine && linger_ns_ != 0) {
+      const std::uint64_t deadline = now_ns() + linger_ns_;
+      while (n < kMaxCombine && now_ns() < deadline) {
+        if (std::optional<Record*> r = queue_.try_pop()) {
+          picked[n++] = *r;
+        } else {
+          std::this_thread::yield();
+        }
+      }
     }
-    send(batch);  // ownership moves to the PIM core
+    Message m;
+    m.fat_count = static_cast<std::uint16_t>(n);
+    FatEntry* entries = m.fat.inline_;
+    if (n > kMessageInlineFat) {
+      m.fat_spilled = 1;
+      m.fat.spill = FatArena::instance().acquire();
+      entries = m.fat.spill;
+    }
+    for (std::uint32_t i = 0; i < n; ++i) entries[i] = picked[i]->entry;
+    send(m);  // payload ownership moves to the PIM core
     // Only after the batch is on the wire may the requesters stop waiting
     // (their records are stack-allocated in submit()).
     for (std::uint32_t i = 0; i < n; ++i) {
@@ -137,6 +159,7 @@ class RequestCombiner {
   }
 
   MpmcQueue<Record*> queue_;
+  std::uint64_t linger_ns_ = 0;
   CachePadded<std::atomic<bool>> lock_{false};
   CachePadded<std::atomic<std::uint64_t>> batches_{0};
   CachePadded<std::atomic<std::uint64_t>> combined_{0};

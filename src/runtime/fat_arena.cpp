@@ -1,0 +1,38 @@
+#include "runtime/fat_arena.hpp"
+
+namespace pimds::runtime {
+
+FatArena& FatArena::instance() {
+  static FatArena arena;
+  return arena;
+}
+
+FatArena::FatArena()
+    : pool_(kPoolCapacity),
+      acquires_(obs::Registry::instance().counter("runtime.fat_arena.acquires")),
+      releases_(obs::Registry::instance().counter("runtime.fat_arena.releases")),
+      heap_allocs_(
+          obs::Registry::instance().counter("runtime.fat_arena.heap_allocs")) {}
+
+FatEntry* FatArena::acquire() {
+  acquires_.add(1);
+  if (std::optional<FatEntry*> block = pool_.try_pop()) return *block;
+  heap_allocs_.add(1);
+  return new FatEntry[kMaxFatEntries];
+}
+
+void FatArena::release(FatEntry* block) {
+  releases_.add(1);
+  EbrDomain::Guard guard(ebr_);
+  ebr_.retire_erased(block, &FatArena::recycle);
+}
+
+// Runs when EBR reclaims a retired block — possibly from ~EbrDomain at
+// process exit, which is why pool_ is declared before ebr_: the pool must
+// outlive the domain so late reclaims still have somewhere to push.
+void FatArena::recycle(void* p) {
+  auto* block = static_cast<FatEntry*>(p);
+  if (!instance().pool_.try_push(block)) delete[] block;
+}
+
+}  // namespace pimds::runtime

@@ -1,13 +1,50 @@
 // Fixed-size message exchanged between CPU threads and PIM cores in the
-// real-thread emulation. One cache line, as assumed by the paper's Section 3
-// ("the size of a message ... is at most the size of a cache line").
+// real-thread emulation, plus the "fat node" payload combined requests ride
+// in (Section 5.1's fat-node regime applied to the request path).
+//
+// The base header — opcode, routing, one key/value, response slot, send
+// stamp — stays within one cache line, as assumed by the paper's Section 3
+// ("the size of a message ... is at most the size of a cache line"). A
+// combined batch additionally carries up to kMaxCombine per-op FatEntry
+// records *inside the message*: small batches inline into the message body
+// (SBO), larger ones spill to a FatArena block (runtime/fat_arena.hpp)
+// whose pointer travels in the same union. Either way the batch moves
+// zero-copy: no per-op heap allocation on the send path, and the per-op
+// req_id rides in the entry, so combined ops stay visible to tracing.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 
 #include "common/cacheline.hpp"
 
 namespace pimds::runtime {
+
+/// One combined request inside a fat message: the per-op fields a batch
+/// member contributes (mirrors the direct-send Message fields). Kept
+/// trivially constructible (no member initializers) so an array of entries
+/// can live inside the Message's payload union — value-initialize at the
+/// point of use (`FatEntry e{};`).
+struct FatEntry {
+  std::uint32_t kind;    ///< data-structure-specific opcode
+  std::uint32_t reserved;
+  std::uint64_t key;
+  std::uint64_t value;
+  void* slot;  ///< requester's ResponseSlot<R>
+#ifndef PIMDS_OBS_DISABLED
+  /// Per-op causal trace context (obs::next_request_id; 0 = untraced).
+  /// Carrying it here closes the combined-path tracing gap: every batch
+  /// member keeps its `req_dispatch` correlation, not just direct sends.
+  std::uint64_t req_id;
+#endif
+};
+
+/// Max combined requests per crossbar message (the fat-node cap; also
+/// RequestCombiner::kMaxCombine and the FatArena block size).
+inline constexpr std::size_t kMaxFatEntries = 16;
+
+/// Fat entries stored inline in the message before spilling to the arena.
+inline constexpr std::size_t kMessageInlineFat = 2;
 
 struct Message {
   std::uint32_t kind = 0;    ///< data-structure-specific opcode
@@ -20,15 +57,42 @@ struct Message {
   /// Causal trace context (obs::next_request_id; 0 = untraced). Correlates
   /// the requester's `op` span with the serving core's `req_dispatch`
   /// instant in the Perfetto export. Compiled out with -DPIMDS_OBS=OFF so
-  /// the disabled-observability message layout is unchanged (40 bytes).
+  /// the disabled-observability message layout is unchanged (112 bytes).
   std::uint64_t req_id = 0;
 #endif
+  /// Combined ops carried in `fat` (0 = plain single-op message).
+  std::uint16_t fat_count = 0;
+  /// Nonzero when `fat.spill` points at a FatArena block the receiver must
+  /// release (release_fat_payload); zero means the entries are inline.
+  std::uint16_t fat_spilled = 0;
+  std::uint32_t fat_reserved = 0;
+  union FatPayload {
+    FatEntry* spill = nullptr;            ///< arena block, kMaxFatEntries long
+    FatEntry inline_[kMessageInlineFat];  ///< SBO: small batches ride inline
+  } fat;
 };
 
-static_assert(sizeof(Message) <= kCacheLineSize,
-              "a message must fit in one cache line");
+/// The batch a fat message carries, wherever it lives (inline or spilled).
+inline FatEntry* fat_entries(Message& m) noexcept {
+  return m.fat_spilled ? m.fat.spill : m.fat.inline_;
+}
+inline const FatEntry* fat_entries(const Message& m) noexcept {
+  return m.fat_spilled ? m.fat.spill : m.fat.inline_;
+}
+
+// The base header must keep to the paper's one-cache-line message bound;
+// the fat payload may extend into adjacent lines (a fat node is by design
+// several lines' worth of ids moving as one transfer), but the whole
+// message stays within the three lines the SBO budget allows.
+static_assert(offsetof(Message, fat) + sizeof(FatEntry*) <= kCacheLineSize,
+              "the non-fat message header must fit in one cache line");
+static_assert(sizeof(Message) <= 3 * kCacheLineSize,
+              "a fat message must stay within its three-line SBO budget");
 #ifdef PIMDS_OBS_DISABLED
-static_assert(sizeof(Message) == 40,
+static_assert(sizeof(FatEntry) == 32,
+              "per-op trace context must compile out of fat entries when "
+              "observability is disabled");
+static_assert(sizeof(Message) == 112,
               "trace context must compile out entirely when observability "
               "is disabled");
 #endif

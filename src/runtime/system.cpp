@@ -4,6 +4,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "common/thread_utils.hpp"
 #include "common/timing.hpp"
 #include "common/spinwait.hpp"
 #include "obs/obs.hpp"
@@ -12,7 +13,7 @@ namespace pimds::runtime {
 
 PimSystem::Core::Core(std::size_t id, const Config& config)
     : vault(std::make_unique<Vault>(id, config.vault_bytes)),
-      mailbox(config.mailbox_capacity) {
+      mailbox(config.mailbox_capacity, config.mailbox_lanes) {
   const std::string prefix = "runtime.vault" + std::to_string(id);
   auto& registry = obs::Registry::instance();
   messages = &registry.counter(prefix + ".messages");
@@ -22,6 +23,12 @@ PimSystem::Core::Core(std::size_t id, const Config& config)
       prefix + ".mailbox.pending_hwm", &mailbox.pending_hwm_gauge()));
   obs_handles.push_back(registry.register_histogram(
       prefix + ".mailbox.drain_batch", &mailbox.drain_batch_histogram()));
+  obs_handles.push_back(registry.register_gauge(
+      prefix + ".mailbox.lane_depth_hwm", &mailbox.lane_depth_hwm_gauge()));
+  obs_handles.push_back(registry.register_gauge(
+      prefix + ".mailbox.active_lanes", &mailbox.active_lanes_gauge()));
+  obs_handles.push_back(registry.register_counter(
+      prefix + ".mailbox.overflow_sends", &mailbox.overflow_sends_counter()));
 }
 
 Vault& PimCoreApi::vault() { return *system_.cores_[vault_id_]->vault; }
@@ -51,10 +58,9 @@ std::uint64_t PimCoreApi::reply_ready_ns() const {
   auto& injector = LatencyInjector::instance();
   if (!injector.enabled()) return 0;
   const auto lmsg = static_cast<std::uint64_t>(injector.params().message());
-  // Either way the response spends Lmessage on the crossbar; record it as
-  // the response_flight phase (once per response message — a fat combined
-  // response is one crossing no matter how many requesters it answers).
-  obs::record_runtime_phase(obs::Phase::kResponseFlight, lmsg);
+  // The response_flight phase is measured by the consumer (publish stamp →
+  // delivery instant, ResponseSlot::await), not recorded here as the
+  // modeled constant — see the degenerate-histogram fix in DESIGN.md §5e.
   if (system_.config_.pipelined_responses) return now_ns() + lmsg;
   // Unpipelined ablation: the core stalls until the reply would have been
   // received, then serves the next request (Section 5.2's "no pipelining"
@@ -146,24 +152,56 @@ std::uint64_t PimSystem::pending_high_water(std::size_t vault) const noexcept {
 
 void PimSystem::dispatch(PimCoreApi& api, Core& core, const Message* msgs,
                          std::size_t n) {
-  // Latency attribution (obs/phase.hpp): each message's mailbox_queue phase
-  // is the gap between its send stamp and this dispatch — crossbar flight
-  // (Lmessage) plus any queueing behind earlier requests. The vault_service
-  // phase is the handler time, attributed evenly across the batch.
+  // Latency attribution (obs/phase.hpp): the gap between a message's send
+  // stamp and this dispatch splits into the modeled crossbar flight
+  // (request_flight, exactly Lmessage under injection) and everything
+  // beyond it (mailbox_queue — the transport's real queueing overhead).
+  // A fat message carries fat_count operations, each of which experienced
+  // that wait and keeps its own req_id, so combined ops are attributed and
+  // traced per op, not per message. The vault_service phase is the full
+  // handler window, attributed to every operation of the batch (each op
+  // waits out the whole traversal before its reply publishes). Clock
+  // discipline: one now_ns() read at each transition (t_dispatch, t_done),
+  // shared across every per-op record at that boundary.
   const bool obs_on = obs::metrics_enabled();
   std::uint64_t t_dispatch = 0;
+  std::size_t total_ops = 0;
   if (obs_on) {
     t_dispatch = now_ns();
+    auto& injector = LatencyInjector::instance();
+    const std::uint64_t lmsg =
+        injector.enabled()
+            ? static_cast<std::uint64_t>(injector.params().message())
+            : 0;
     const bool tracing = obs::trace_enabled();
     for (std::size_t i = 0; i < n; ++i) {
       const Message& m = msgs[i];
       const std::uint64_t wait =
           t_dispatch > m.send_time_ns ? t_dispatch - m.send_time_ns : 0;
-      obs::record_runtime_phase(obs::Phase::kMailboxQueue, wait);
+      const std::uint64_t flight = wait < lmsg ? wait : lmsg;
+      const std::size_t ops = m.fat_count > 0 ? m.fat_count : 1;
+      total_ops += ops;
+      for (std::size_t k = 0; k < ops; ++k) {
+        if (lmsg != 0) {
+          obs::record_runtime_phase(obs::Phase::kRequestFlight, flight);
+        }
+        obs::record_runtime_phase(obs::Phase::kMailboxQueue, wait - flight);
+      }
 #ifndef PIMDS_OBS_DISABLED
-      if (tracing && m.req_id != 0) {
-        obs::trace_instant_here("req_dispatch", "runtime", {"req", m.req_id},
-                                {"wait_ns", wait});
+      if (tracing) {
+        if (m.fat_count > 0) {
+          const FatEntry* entries = fat_entries(m);
+          for (std::uint16_t j = 0; j < m.fat_count; ++j) {
+            if (entries[j].req_id != 0) {
+              obs::trace_instant_here("req_dispatch", "runtime",
+                                      {"req", entries[j].req_id},
+                                      {"wait_ns", wait});
+            }
+          }
+        } else if (m.req_id != 0) {
+          obs::trace_instant_here("req_dispatch", "runtime", {"req", m.req_id},
+                                  {"wait_ns", wait});
+        }
       }
 #endif
     }
@@ -174,10 +212,17 @@ void PimSystem::dispatch(PimCoreApi& api, Core& core, const Message* msgs,
     for (std::size_t i = 0; i < n; ++i) core.handler(api, msgs[i]);
   }
   if (obs_on) {
-    const std::uint64_t dur = now_ns() - t_dispatch;
-    const std::uint64_t per_msg = dur / n;
-    for (std::size_t i = 0; i < n; ++i) {
-      obs::record_runtime_phase(obs::Phase::kVaultService, per_msg);
+    const std::uint64_t t_done = now_ns();
+    // Every operation of the batch spends the WHOLE handler window on the
+    // PIM core before its response is published (batch handlers publish at
+    // the end of their traversal), so each op's vault_service is the full
+    // window — the service latency the requester actually experiences, not
+    // a 1/N share. The phases decompose per-op end-to-end latency; summed
+    // across a batch they exceed the core's wall time by design (core
+    // utilization lives in the metrics section, not here).
+    const std::uint64_t window = t_done - t_dispatch;
+    for (std::size_t i = 0; i < total_ops; ++i) {
+      obs::record_runtime_phase(obs::Phase::kVaultService, window);
     }
     if (obs::trace_enabled()) {
       obs::trace_complete_here("vault_service", "runtime", t_dispatch,
@@ -191,8 +236,14 @@ void PimSystem::dispatch(PimCoreApi& api, Core& core, const Message* msgs,
 void PimSystem::core_loop(std::size_t vault_id) {
   Core& core = *cores_[vault_id];
   core.vault->bind_owner();
+  if (config_.pin_cores) pin_to_cpu(vault_id);
   obs::name_this_thread("pim-core" + std::to_string(vault_id));
   PimCoreApi api(*this, vault_id);
+  const std::uint64_t gather_ns =
+      config_.drain_gather_window_ns != 0 ? config_.drain_gather_window_ns
+      : config_.inject_latency
+          ? static_cast<std::uint64_t>(config_.params.pim())
+          : 0;
   SpinWait idle_spin;
   std::vector<Message> batch;
   batch.reserve(config_.drain_batch);
@@ -201,6 +252,20 @@ void PimSystem::core_loop(std::size_t vault_id) {
     std::size_t n = 0;
     if (config_.batch_drain) {
       n = core.mailbox.drain(batch, config_.drain_batch);
+      // Gather window: a shallow batch with more arrivals imminently due
+      // is worth one bounded sleep — the fold amortizes the batch's
+      // fat-node charges across more ops (and on oversubscribed hosts the
+      // sleep itself hands the CPU back to the senders).
+      if (gather_ns != 0 && n > 0 && n < config_.drain_batch) {
+        const std::uint64_t deadline = now_ns() + gather_ns;
+        std::uint64_t next;
+        while (n < config_.drain_batch &&
+               (next = core.mailbox.next_pending_ready_ns()) != 0 &&
+               next <= deadline) {
+          wait_until_ns(next);
+          n += core.mailbox.drain(batch, config_.drain_batch - n);
+        }
+      }
     } else if (std::optional<Message> m = core.mailbox.poll()) {
       // Seed per-message path (ablation): blocks on the head message's
       // delivery time, serializing the core at Lmessage + Lpim per op.

@@ -85,6 +85,9 @@ class PimSystem {
     /// scaled down so tests stay lightweight).
     std::size_t vault_bytes = 32ull << 20;
     std::size_t mailbox_capacity = 4096;
+    /// Per-sender SPSC lanes per mailbox before senders share the MPMC
+    /// overflow ring (see runtime/mailbox.hpp).
+    std::size_t mailbox_lanes = Mailbox::kDefaultLanes;
     LatencyParams params = LatencyParams::paper_defaults();
     /// Emulate the Section 3 latencies with calibrated spin waits. Off by
     /// default: functional runs measure real hardware.
@@ -95,10 +98,22 @@ class PimSystem {
     bool batch_drain = true;
     /// Max messages handed to a handler per drain pass.
     std::size_t drain_batch = 64;
+    /// When a drain pass comes up shallower than drain_batch but more
+    /// messages are already in flight and due within this window, the core
+    /// sleeps to their delivery and folds them into the same batch — one
+    /// Lpim fat-node charge amortizes across more operations, and the
+    /// sleep hands the CPU to the senders on oversubscribed hosts.
+    /// 0 = auto: Lpim when latency injection is on, else off.
+    std::uint64_t drain_gather_window_ns = 0;
     /// Section 5.2 response pipelining: publish replies with a future
     /// ready_ns and keep serving (false = the core waits out Lmessage per
     /// reply before the next request; ablation knob).
     bool pipelined_responses = true;
+    /// Pin each vault's PIM-core thread to CPU `vault_id` (modulo the
+    /// hardware thread count) so a core and its lanes keep a stable
+    /// placement. Off by default: benches opt in; oversubscribed test
+    /// runs are better left to the scheduler.
+    bool pin_cores = false;
   };
 
   /// A handler runs on the vault's PIM-core thread for every message.

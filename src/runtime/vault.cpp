@@ -50,6 +50,7 @@ void* Vault::allocate(std::size_t bytes, std::size_t alignment) {
     void* p = free_lists_[cls];
     std::memcpy(&free_lists_[cls], p, sizeof(void*));
     used_ += bytes;
+    ++allocs_;
     vault_metrics().allocs.add(1);
     vault_metrics().bytes_hwm.record_max(used_);
     return p;
@@ -66,6 +67,7 @@ void* Vault::allocate(std::size_t bytes, std::size_t alignment) {
   if (offset + alloc_bytes > capacity_) throw std::bad_alloc();
   bump_ = offset + alloc_bytes;
   used_ += bytes;
+  ++allocs_;
   vault_metrics().allocs.add(1);
   vault_metrics().bytes_hwm.record_max(used_);
   return arena_.get() + offset;
@@ -76,6 +78,7 @@ void Vault::deallocate(void* p, std::size_t bytes,
   assert_owner();
   if (p == nullptr) return;
   used_ -= bytes;
+  ++frees_;
   vault_metrics().frees.add(1);
   const std::size_t cls = size_class(bytes);
   if (cls >= kNumClasses || alignment > alignof(std::max_align_t)) {

@@ -32,6 +32,15 @@ class Vault {
   std::size_t capacity() const noexcept { return capacity_; }
   std::size_t bytes_used() const noexcept { return used_; }
 
+  /// Per-instance allocator traffic (the process-wide totals live in the
+  /// registry as runtime.vault.allocs/frees). live_blocks() is the
+  /// shutdown-time balance check: after a structure quiesces it must equal
+  /// the blocks the structure intentionally keeps (e.g. live segments), or
+  /// something leaked.
+  std::uint64_t allocs() const noexcept { return allocs_; }
+  std::uint64_t frees() const noexcept { return frees_; }
+  std::uint64_t live_blocks() const noexcept { return allocs_ - frees_; }
+
   /// Called once by the owning PIM core thread; enables owner assertions.
   void bind_owner() noexcept { owner_ = std::this_thread::get_id(); }
 
@@ -62,6 +71,8 @@ class Vault {
   std::size_t id_;
   std::size_t capacity_;
   std::size_t used_ = 0;
+  std::uint64_t allocs_ = 0;
+  std::uint64_t frees_ = 0;
   std::unique_ptr<std::byte[]> arena_;
   std::size_t bump_ = 0;
   // Free lists for 16/32/64/128/256-byte classes; larger blocks are not

@@ -135,11 +135,11 @@ PimQueueResult run_pim_queue(const QueueConfig& cfg,
       // Non-enqueue messages picked up while draining an enqueue batch
       // (Section 5.1 fat-node combining) are replayed in arrival order.
       std::deque<QMsg> replay;
-      // Latency attribution: the serve start bounds each request's
-      // mailbox_queue phase (send -> this core picks it up, which includes
-      // the Lmessage flight) and starts its vault_service phase; the reply
-      // then adds the response_flight leg. In virtual time these tile the
-      // requester's end-to-end latency exactly.
+      // Latency attribution: the serve start bounds each request's inbound
+      // leg (split exactly into the Lmessage request_flight and the
+      // queueing remainder, mailbox_queue) and starts its vault_service
+      // phase; the reply then adds the response_flight leg. In virtual
+      // time these tile the requester's end-to-end latency exactly.
       const auto record_reply = [&](const QMsg& req_msg, Time serve_start,
                                     Context& c) {
         if (req_msg.issue_ns == 0) return;
@@ -150,8 +150,12 @@ PimQueueResult run_pim_queue(const QueueConfig& cfg,
       };
       const auto record_arrival = [&](const QMsg& req_msg, Context& c) {
         if (req_msg.issue_ns == 0) return;
-        obs::record_sim_phase(obs::Phase::kMailboxQueue,
-                              c.now() - req_msg.issue_ns);
+        const Time wait = c.now() - req_msg.issue_ns;
+        const Time flight = wait < static_cast<Time>(msg_ns)
+                                ? wait
+                                : static_cast<Time>(msg_ns);
+        obs::record_sim_phase(obs::Phase::kRequestFlight, flight);
+        obs::record_sim_phase(obs::Phase::kMailboxQueue, wait - flight);
         if (req_msg.req != 0 && obs::trace_enabled()) {
           c.trace_instant("req_dispatch", {"req", req_msg.req},
                           {"wait_ns", c.now() - req_msg.issue_ns});

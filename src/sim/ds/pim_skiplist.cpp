@@ -70,14 +70,19 @@ RunResult run_pim_skiplist(const SkipListConfig& cfg, std::size_t partitions) {
           ++stopped;
           continue;
         }
-        // Latency attribution: mailbox_queue is send -> pickup (Lmessage
-        // flight plus queueing behind earlier requests), vault_service is
-        // the traversal, response_flight the reply's crossbar leg. In
-        // virtual time these tile the requester's await window exactly.
+        // Latency attribution: send -> pickup splits exactly into the
+        // Lmessage request_flight and the queueing remainder
+        // (mailbox_queue); vault_service is the traversal, response_flight
+        // the reply's crossbar leg. In virtual time these tile the
+        // requester's await window exactly.
         const Time t_serve = ctx.now();
         if (m.issue_ns != 0) {
-          obs::record_sim_phase(obs::Phase::kMailboxQueue,
-                                t_serve - m.issue_ns);
+          const Time wait = t_serve - m.issue_ns;
+          const Time flight = wait < static_cast<Time>(msg_ns)
+                                  ? wait
+                                  : static_cast<Time>(msg_ns);
+          obs::record_sim_phase(obs::Phase::kRequestFlight, flight);
+          obs::record_sim_phase(obs::Phase::kMailboxQueue, wait - flight);
           if (m.req != 0 && obs::trace_enabled()) {
             ctx.trace_instant("req_dispatch", {"req", m.req},
                               {"wait_ns", t_serve - m.issue_ns});

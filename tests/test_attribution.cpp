@@ -27,6 +27,7 @@ TEST(PhaseTaxonomy, NamesAndHistogramsLineUp) {
   using obs::Phase;
   EXPECT_STREQ(obs::phase_name(Phase::kIssue), "issue");
   EXPECT_STREQ(obs::phase_name(Phase::kCombinerWait), "combiner_wait");
+  EXPECT_STREQ(obs::phase_name(Phase::kRequestFlight), "request_flight");
   EXPECT_STREQ(obs::phase_name(Phase::kMailboxQueue), "mailbox_queue");
   EXPECT_STREQ(obs::phase_name(Phase::kVaultService), "vault_service");
   EXPECT_STREQ(obs::phase_name(Phase::kResponseFlight), "response_flight");
@@ -69,8 +70,9 @@ TEST(SimAttribution, QueuePhasesTileEndToEndLatency) {
   EXPECT_GE(rep.sim.coverage_pct, 90.0);
   EXPECT_LE(rep.sim.coverage_pct, 110.0);
   // The queue's CPU sends cost nothing before the wire, so the breakdown is
-  // wait + service + flight only.
+  // flight + wait + service + flight only.
   using obs::Phase;
+  EXPECT_GT(rep.sim.phase_count[static_cast<int>(Phase::kRequestFlight)], 0u);
   EXPECT_GT(rep.sim.phase_count[static_cast<int>(Phase::kMailboxQueue)], 0u);
   EXPECT_GT(rep.sim.phase_count[static_cast<int>(Phase::kVaultService)], 0u);
   EXPECT_GT(rep.sim.phase_count[static_cast<int>(Phase::kResponseFlight)],
