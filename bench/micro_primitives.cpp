@@ -1,16 +1,18 @@
 // Google-benchmark microbenchmarks for the substrate primitives: fiber
-// switches, virtual-time scheduling, the MPMC mailbox transport, EBR
-// guards, RNG, and the latency injector. These bound the overheads that
-// the emulation adds on top of the modeled latencies.
+// switches, virtual-time scheduling, the MPMC mailbox transport, the
+// reclamation seam (EBR vs hazard pointers, read side and retire side),
+// RNG, and the latency injector. These bound the overheads that the
+// emulation adds on top of the modeled latencies.
 #include <benchmark/benchmark.h>
 
+#include <atomic>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "bench/bench_util.hpp"
-#include "common/ebr.hpp"
 #include "common/mpmc_queue.hpp"
+#include "common/reclaim.hpp"
 #include "common/rng.hpp"
 #include "common/zipf.hpp"
 #include "sim/engine.hpp"
@@ -81,14 +83,49 @@ void BM_MpmcPushPop(benchmark::State& state) {
 }
 BENCHMARK(BM_MpmcPushPop);
 
-void BM_EbrGuard(benchmark::State& state) {
-  EbrDomain domain;
+// --- Reclamation-seam comparison (the numbers behind DESIGN.md §5f). ---
+// Named domains, so every --json run carries the reclaim.micro.<policy>.*
+// registry metrics alongside the records.
+
+/// Guard enter/exit: EBR pins the epoch (two fenced stores), HP only bumps
+/// a per-thread depth until a hazard is actually published.
+void BM_ReclaimGuard(benchmark::State& state, ReclaimPolicy policy) {
+  auto domain = make_reclaimer(policy, "micro");
   for (auto _ : state) {
-    EbrDomain::Guard guard(domain);
+    ReclaimGuard guard(*domain);
     benchmark::DoNotOptimize(&guard);
   }
 }
-BENCHMARK(BM_EbrGuard);
+BENCHMARK_CAPTURE(BM_ReclaimGuard, ebr, pimds::ReclaimPolicy::kEbr);
+BENCHMARK_CAPTURE(BM_ReclaimGuard, hp, pimds::ReclaimPolicy::kHp);
+
+/// Read-side cost per protected pointer: EBR is one acquire load; HP adds
+/// the publish + store-load fence + revalidation loop.
+void BM_ReclaimProtect(benchmark::State& state, ReclaimPolicy policy) {
+  auto domain = make_reclaimer(policy, "micro");
+  int target = 42;
+  std::atomic<int*> src{&target};
+  for (auto _ : state) {
+    ReclaimGuard guard(*domain);
+    benchmark::DoNotOptimize(guard.protect(0, src));
+  }
+}
+BENCHMARK_CAPTURE(BM_ReclaimProtect, ebr, pimds::ReclaimPolicy::kEbr);
+BENCHMARK_CAPTURE(BM_ReclaimProtect, hp, pimds::ReclaimPolicy::kHp);
+
+/// Retire throughput including the amortized reclamation passes (EBR epoch
+/// advance every batch, HP scan every threshold).
+void BM_ReclaimRetire(benchmark::State& state, ReclaimPolicy policy) {
+  auto domain = make_reclaimer(policy, "micro");
+  for (auto _ : state) {
+    auto* node = new std::uint64_t(7);
+    ReclaimGuard guard(*domain);
+    guard.retire(node);
+  }
+  domain->flush();
+}
+BENCHMARK_CAPTURE(BM_ReclaimRetire, ebr, pimds::ReclaimPolicy::kEbr);
+BENCHMARK_CAPTURE(BM_ReclaimRetire, hp, pimds::ReclaimPolicy::kHp);
 
 void BM_LatencyInjectionPim(benchmark::State& state) {
   auto& inj = LatencyInjector::instance();

@@ -2,12 +2,18 @@
 # Tier-1 verification (ROADMAP.md): standard build + full ctest, then the
 # runtime message-path tests again under ThreadSanitizer (the mailbox drain /
 # response pipelining code is exactly the kind of lock-free code TSan exists
-# for). Usage: scripts/tier1.sh [--skip-tsan]
+# for), and the reclamation seam under ASan+LSan (a reclamation bug is either
+# a use-after-free or a leak — exactly what that pair detects).
+# Usage: scripts/tier1.sh [--skip-tsan] [--skip-asan]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 skip_tsan=0
-[[ "${1:-}" == "--skip-tsan" ]] && skip_tsan=1
+skip_asan=0
+for arg in "$@"; do
+  [[ "$arg" == "--skip-tsan" ]] && skip_tsan=1
+  [[ "$arg" == "--skip-asan" ]] && skip_asan=1
+done
 
 echo "== tier-1: standard build + ctest =="
 cmake -B build -S . > /dev/null
@@ -49,6 +55,31 @@ if [[ "$skip_tsan" == 0 ]]; then
   # The metrics/trace layer is all relaxed atomics + sharding; it must be
   # race-free too (counter sharding test hammers it from 8 threads).
   TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_obs
+  # Reclamation seam: the protect/retire race and the policy-parameterized
+  # baseline matrix are the TSan targets for the HP publish/scan fences.
+  cmake --build build-tsan -j --target test_reclaim test_baselines \
+    test_mpmc_ebr soak_reclamation
+  TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_reclaim
+  TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_baselines
+  TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_mpmc_ebr
+  TSAN_OPTIONS="halt_on_error=1" \
+    ./build-tsan/tests/soak_reclamation --seconds 2 --policy both
+fi
+
+if [[ "$skip_asan" == 0 ]]; then
+  echo "== tier-1: reclamation seam under ASan + LSan =="
+  cmake --preset asan > /dev/null
+  cmake --build build-asan -j --target test_reclaim test_baselines \
+    test_mpmc_ebr soak_reclamation
+  # LSan runs at exit by default under ASan: any node a policy drops on the
+  # floor (or frees twice) fails here even if no test assertion notices.
+  ASAN_OPTIONS="halt_on_error=1" ./build-asan/tests/test_reclaim
+  ASAN_OPTIONS="halt_on_error=1" ./build-asan/tests/test_baselines
+  ASAN_OPTIONS="halt_on_error=1" ./build-asan/tests/test_mpmc_ebr
+  # Cap the malloc quarantine: its default (256 MB) parks freed churn nodes
+  # in RSS and would trip the soak's leak ceiling without any actual leak.
+  ASAN_OPTIONS="halt_on_error=1:quarantine_size_mb=32" \
+    ./build-asan/tests/soak_reclamation --seconds 2 --policy both
 fi
 
 echo "tier-1: OK"

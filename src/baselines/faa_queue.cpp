@@ -11,14 +11,15 @@ FaaQueue::Segment::Segment() {
 
 void FaaQueue::free_segment(void* p) { delete static_cast<Segment*>(p); }
 
-FaaQueue::FaaQueue() {
+FaaQueue::FaaQueue(ReclaimPolicy policy)
+    : reclaim_(make_reclaimer(policy, "baselines.faa_queue")) {
   Segment* initial = new Segment();
   head_.value.store(initial, std::memory_order_relaxed);
   tail_.value.store(initial, std::memory_order_relaxed);
 }
 
 FaaQueue::~FaaQueue() {
-  ebr_.reclaim_all_unsafe();
+  reclaim_->reclaim_all_unsafe();
   Segment* s = head_.value.load(std::memory_order_relaxed);
   while (s != nullptr) {
     Segment* next = s->next.load(std::memory_order_relaxed);
@@ -29,9 +30,12 @@ FaaQueue::~FaaQueue() {
 
 void FaaQueue::enqueue(std::uint64_t value) {
   assert(value != kEmpty && value != kTaken);
-  EbrDomain::Guard guard(ebr_);
+  ReclaimGuard guard(*reclaim_);
   for (;;) {
-    Segment* t = tail_.value.load(std::memory_order_acquire);
+    // Safe to dereference under hazard pointers because a drained segment
+    // is only retired after the tail has been helped past it (see
+    // dequeue), so tail_ == t at validation time implies t is not retired.
+    Segment* t = guard.protect(kSlotAnchor, tail_.value);
     const std::uint64_t i =
         t->enq_idx.value.fetch_add(1, std::memory_order_acq_rel);
     charge_atomic();
@@ -66,9 +70,9 @@ void FaaQueue::enqueue(std::uint64_t value) {
 }
 
 std::optional<std::uint64_t> FaaQueue::dequeue() {
-  EbrDomain::Guard guard(ebr_);
+  ReclaimGuard guard(*reclaim_);
   for (;;) {
-    Segment* h = head_.value.load(std::memory_order_acquire);
+    Segment* h = guard.protect(kSlotAnchor, head_.value);
     // Empty probe before consuming a ticket, so an idle dequeuer does not
     // burn cells forever on an empty queue.
     const std::uint64_t deq = h->deq_idx.value.load(std::memory_order_acquire);
@@ -87,12 +91,18 @@ std::optional<std::uint64_t> FaaQueue::dequeue() {
       if (v != kEmpty) return v;
       continue;  // overtook the enqueuer: cell burned, try the next ticket
     }
-    // Segment drained: advance the head and retire the old segment.
-    Segment* next = h->next.load(std::memory_order_acquire);
+    // Segment drained: advance the head and retire the old segment. The
+    // tail must be helped off `h` first — otherwise an enqueuer could
+    // validate tail_ == h after h was retired and touch freed memory.
+    Segment* next = guard.protect(kSlotNext, h->next);
     if (next == nullptr) return std::nullopt;
+    Segment* t = tail_.value.load(std::memory_order_acquire);
+    if (t == h) {
+      tail_.value.compare_exchange_strong(t, next, std::memory_order_acq_rel);
+    }
     if (head_.value.compare_exchange_strong(h, next,
                                             std::memory_order_acq_rel)) {
-      ebr_.retire_erased(h, &FaaQueue::free_segment);
+      guard.retire(h, &FaaQueue::free_segment);
     }
   }
 }

@@ -3,16 +3,18 @@
 // & Ramalhete): each segment holds a cell array with fetch-and-add enqueue
 // and dequeue tickets, so the hot path is one F&A on a shared counter plus
 // one (usually uncontended) cell operation, rather than a CAS retry loop.
-// Segments chain like a Michael-Scott queue and are reclaimed with EBR.
+// Segments chain like a Michael-Scott queue and are reclaimed through the
+// pluggable Reclaimer seam (common/reclaim.hpp: EBR or hazard pointers).
 #pragma once
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <optional>
 
 #include "common/cacheline.hpp"
-#include "common/ebr.hpp"
 #include "common/latency.hpp"
+#include "common/reclaim.hpp"
 
 namespace pimds::baselines {
 
@@ -20,7 +22,7 @@ class FaaQueue {
  public:
   static constexpr std::size_t kSegmentCells = 1024;
 
-  FaaQueue();
+  explicit FaaQueue(ReclaimPolicy policy = ReclaimPolicy::kEbr);
   ~FaaQueue();
 
   FaaQueue(const FaaQueue&) = delete;
@@ -29,6 +31,8 @@ class FaaQueue {
   /// `value` must not equal the reserved markers ~0 (empty) or ~1 (taken).
   void enqueue(std::uint64_t value);
   std::optional<std::uint64_t> dequeue();
+
+  Reclaimer& reclaimer() noexcept { return *reclaim_; }
 
  private:
   // Cell protocol: kEmpty -> value (enqueuer claims it), or
@@ -46,11 +50,15 @@ class FaaQueue {
     std::atomic<std::uint64_t> cells[kSegmentCells];
   };
 
+  // Hazard-slot naming: 0 = head/tail anchor, 1 = the successor segment.
+  static constexpr unsigned kSlotAnchor = 0;
+  static constexpr unsigned kSlotNext = 1;
+
   static void free_segment(void* p);
 
   CachePadded<std::atomic<Segment*>> head_;
   CachePadded<std::atomic<Segment*>> tail_;
-  EbrDomain ebr_;
+  std::unique_ptr<Reclaimer> reclaim_;
 };
 
 }  // namespace pimds::baselines

@@ -11,13 +11,14 @@ constexpr std::uint64_t kHeadKey = 0;
 constexpr std::uint64_t kTailKey = std::numeric_limits<std::uint64_t>::max();
 }  // namespace
 
-LazyList::LazyList() {
+LazyList::LazyList(ReclaimPolicy policy)
+    : reclaim_(make_reclaimer(policy, "baselines.lazy_list")) {
   Node* tail = new Node(kTailKey, nullptr);
   head_ = new Node(kHeadKey, tail);
 }
 
 LazyList::~LazyList() {
-  ebr_.reclaim_all_unsafe();  // frees unlinked-but-unreclaimed nodes
+  reclaim_->reclaim_all_unsafe();  // frees unlinked-but-unreclaimed nodes
   Node* n = head_;
   while (n != nullptr) {
     Node* next = n->next.load(std::memory_order_relaxed);
@@ -26,24 +27,40 @@ LazyList::~LazyList() {
   }
 }
 
-void LazyList::locate(std::uint64_t key, Node*& prev, Node*& curr) const {
-  prev = head_;
-  charge_cpu_access();
-  curr = prev->next.load(std::memory_order_acquire);
-  while (curr->key < key) {
+void LazyList::locate(ReclaimGuard& guard, std::uint64_t key, Node*& prev,
+                      Node*& curr) const {
+  const bool hp = guard.validating();
+  for (;;) {  // outer loop only re-entered under hazard pointers
+    prev = head_;
     charge_cpu_access();
-    prev = curr;
-    curr = curr->next.load(std::memory_order_acquire);
+    curr = guard.protect(kSlotCurr, prev->next);
+    bool restart = false;
+    while (curr->key < key) {
+      charge_cpu_access();
+      prev = curr;
+      guard.republish(kSlotPrev, prev);  // prev stays covered by old hazard
+      curr = guard.protect(kSlotCurr, prev->next);
+      // If prev is unmarked here, it was reachable when the curr hazard
+      // was validated, so curr cannot have been retired before the hazard
+      // published. A marked prev's next is frozen and may lead into
+      // already-retired nodes — restart from the head. (EBR never needs
+      // this: the guard pins the whole epoch.)
+      if (hp && prev->marked.load(std::memory_order_acquire)) {
+        restart = true;
+        break;
+      }
+    }
+    if (!restart) return;
   }
 }
 
 bool LazyList::add(std::uint64_t key) {
   assert(key > kHeadKey && key < kTailKey);
-  EbrDomain::Guard guard(ebr_);
+  ReclaimGuard guard(*reclaim_);
   for (;;) {
     Node* prev;
     Node* curr;
-    locate(key, prev, curr);
+    locate(guard, key, prev, curr);
     std::scoped_lock both(prev->lock, curr->lock);
     if (!validate(prev, curr)) continue;  // raced with a remove: retry
     if (curr->key == key) return false;
@@ -56,11 +73,11 @@ bool LazyList::add(std::uint64_t key) {
 
 bool LazyList::remove(std::uint64_t key) {
   assert(key > kHeadKey && key < kTailKey);
-  EbrDomain::Guard guard(ebr_);
+  ReclaimGuard guard(*reclaim_);
   for (;;) {
     Node* prev;
     Node* curr;
-    locate(key, prev, curr);
+    locate(guard, key, prev, curr);
     std::scoped_lock both(prev->lock, curr->lock);
     if (!validate(prev, curr)) continue;
     if (curr->key != key) return false;
@@ -68,20 +85,20 @@ bool LazyList::remove(std::uint64_t key) {
     prev->next.store(curr->next.load(std::memory_order_relaxed),
                      std::memory_order_release);
     size_.fetch_sub(1, std::memory_order_relaxed);
-    ebr_.retire(curr);
+    guard.retire(curr);
     return true;
   }
 }
 
 bool LazyList::contains(std::uint64_t key) {
   assert(key > kHeadKey && key < kTailKey);
-  EbrDomain::Guard guard(ebr_);
-  const Node* curr = head_;
-  charge_cpu_access();
-  while (curr->key < key) {
-    charge_cpu_access();
-    curr = curr->next.load(std::memory_order_acquire);
-  }
+  ReclaimGuard guard(*reclaim_);
+  // The original wait-free walk is only sound under EBR (any reachable-at-
+  // guard-entry node stays allocated). Hazard pointers need the validating
+  // hand-over-hand walk, so both paths share locate().
+  Node* prev;
+  Node* curr;
+  locate(guard, key, prev, curr);
   return curr->key == key && !curr->marked.load(std::memory_order_acquire);
 }
 

@@ -36,7 +36,8 @@ LockFreeSkipList::Node* LockFreeSkipList::make_node(std::uint64_t key,
 
 void LockFreeSkipList::free_node(void* p) { operator delete(p); }
 
-LockFreeSkipList::LockFreeSkipList() {
+LockFreeSkipList::LockFreeSkipList(ReclaimPolicy policy)
+    : reclaim_(make_reclaimer(policy, "baselines.lockfree_skiplist")) {
   head_ = make_node(kHeadKey, kMaxHeight - 1);
   tail_ = make_node(kTailKey, kMaxHeight - 1);
   for (int lvl = 0; lvl < kMaxHeight; ++lvl) {
@@ -46,7 +47,7 @@ LockFreeSkipList::LockFreeSkipList() {
 }
 
 LockFreeSkipList::~LockFreeSkipList() {
-  ebr_.reclaim_all_unsafe();
+  reclaim_->reclaim_all_unsafe();
   Node* n = head_;
   while (n != nullptr) {
     Node* next = ptr_of(n->next[0].load(std::memory_order_relaxed));
@@ -61,16 +62,35 @@ int LockFreeSkipList::random_height() {
   return h;
 }
 
-bool LockFreeSkipList::find(std::uint64_t key, Node** preds, Node** succs) {
+// Hazard-pointer safety sketch (all of it folds away under EBR, where the
+// guard pins the epoch and every protect is a plain acquire load):
+//   - pred is covered continuously: it starts as the immortal head and only
+//     advances to nodes already covered by the curr hazard (republish).
+//   - protect_word validates the full word, so an unmarked stable
+//     pred->next[lvl] proves pred was not logically deleted at that level
+//     at validation time — hence still physically linked (unlink requires
+//     the mark first), hence curr was reachable and not yet retired when
+//     the hazard published.
+//   - a marked word read through pred means pred's next is frozen and may
+//     lead into retired nodes: restart from the head.
+//   - in the helping loop the unlink CAS's success proves curr was still
+//     pred's live successor, so the frozen curr->next target (succ, hazard
+//     published before the CAS) had not been retired before publication.
+bool LockFreeSkipList::find(ReclaimGuard& guard, std::uint64_t key,
+                            Node** preds, Node** succs) {
+  const bool hp = guard.validating();
 retry:
   Node* pred = head_;
+  guard.republish(kSlotPred, pred);
   for (int lvl = kMaxHeight - 1; lvl >= 0; --lvl) {
-    std::uintptr_t curr_word = pred->next[lvl].load(std::memory_order_acquire);
+    std::uintptr_t curr_word =
+        guard.protect_word(kSlotCurr, pred->next[lvl], kPtrMask);
     charge_cpu_access();
+    if (hp && marked(curr_word)) goto retry;  // pred deleted at this level
     Node* curr = ptr_of(curr_word);
     for (;;) {
       std::uintptr_t succ_word =
-          curr->next[lvl].load(std::memory_order_acquire);
+          guard.protect_word(kSlotSucc, curr->next[lvl], kPtrMask);
       // Help: physically unlink nodes marked at this level.
       while (marked(succ_word)) {
         Node* succ = ptr_of(succ_word);
@@ -81,12 +101,15 @@ retry:
         }
         charge_atomic();
         curr = succ;
-        succ_word = curr->next[lvl].load(std::memory_order_acquire);
+        guard.republish(kSlotCurr, curr);  // still covered by the succ slot
+        succ_word = guard.protect_word(kSlotSucc, curr->next[lvl], kPtrMask);
         charge_cpu_access();
       }
       if (curr->key < key) {
         pred = curr;
+        guard.republish(kSlotPred, pred);
         curr = ptr_of(succ_word);
+        guard.republish(kSlotCurr, curr);
         charge_cpu_access();
       } else {
         break;
@@ -94,19 +117,21 @@ retry:
     }
     preds[lvl] = pred;
     succs[lvl] = curr;
+    guard.republish(pred_slot(lvl), pred);
+    guard.republish(succ_slot(lvl), curr);
   }
   return succs[0]->key == key;
 }
 
 bool LockFreeSkipList::add(std::uint64_t key) {
   assert(key > kHeadKey && key < kTailKey);
-  EbrDomain::Guard guard(ebr_);
+  ReclaimGuard guard(*reclaim_);
   const int top = random_height() - 1;
   Node* preds[kMaxHeight];
   Node* succs[kMaxHeight];
   Node* node = nullptr;
   for (;;) {
-    if (find(key, preds, succs)) {
+    if (find(guard, key, preds, succs)) {
       if (node != nullptr) free_node(node);  // never linked: safe to free
       return false;
     }
@@ -115,6 +140,10 @@ bool LockFreeSkipList::add(std::uint64_t key) {
       node->next[lvl].store(tag(succs[lvl], false),
                             std::memory_order_relaxed);
     }
+    // The node becomes shared at the bottom splice, after which a racing
+    // remove may retire it mid-tower-build — pin it first (it is still
+    // private here, so the raw publish cannot miss a retirement).
+    guard.republish(kSlotSelf, node);
     // Linearization: splice at the bottom level.
     std::uintptr_t expected = tag(succs[0], false);
     if (!preds[0]->next[0].compare_exchange_strong(
@@ -135,7 +164,7 @@ bool LockFreeSkipList::add(std::uint64_t key) {
           charge_atomic();
           break;
         }
-        find(key, preds, succs);  // refresh preds/succs
+        find(guard, key, preds, succs);  // refresh preds/succs
         if (succs[lvl] != node) {
           // The node got removed (and possibly unlinked) at this level
           // before we could splice it in; abandon the upper tower.
@@ -159,11 +188,11 @@ bool LockFreeSkipList::add(std::uint64_t key) {
 
 bool LockFreeSkipList::remove(std::uint64_t key) {
   assert(key > kHeadKey && key < kTailKey);
-  EbrDomain::Guard guard(ebr_);
+  ReclaimGuard guard(*reclaim_);
   Node* preds[kMaxHeight];
   Node* succs[kMaxHeight];
-  if (!find(key, preds, succs)) return false;
-  Node* victim = succs[0];
+  if (!find(guard, key, preds, succs)) return false;
+  Node* victim = succs[0];  // pinned by succ_slot(0) until the guard drops
   // Mark the upper levels top-down; contention is benign.
   for (int lvl = victim->top_level; lvl >= 1; --lvl) {
     std::uintptr_t w = victim->next[lvl].load(std::memory_order_acquire);
@@ -183,14 +212,22 @@ bool LockFreeSkipList::remove(std::uint64_t key) {
     }
   }
   size_.fetch_sub(1, std::memory_order_relaxed);
-  find(key, preds, succs);  // physically unlink via helping
-  ebr_.retire_erased(victim, &LockFreeSkipList::free_node);
+  find(guard, key, preds, succs);  // physically unlink via helping
+  guard.retire(victim, &LockFreeSkipList::free_node);
   return true;
 }
 
 bool LockFreeSkipList::contains(std::uint64_t key) {
   assert(key > kHeadKey && key < kTailKey);
-  EbrDomain::Guard guard(ebr_);
+  ReclaimGuard guard(*reclaim_);
+  if (guard.validating()) {
+    // The wait-free walk below skips through marked nodes without hazards,
+    // which is unsound once retired nodes can be freed under a live guard;
+    // hazard pointers take the validating (helping) find() instead.
+    Node* preds[kMaxHeight];
+    Node* succs[kMaxHeight];
+    return find(guard, key, preds, succs);
+  }
   Node* pred = head_;
   Node* curr = nullptr;
   for (int lvl = kMaxHeight - 1; lvl >= 0; --lvl) {

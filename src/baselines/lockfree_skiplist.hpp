@@ -1,15 +1,18 @@
 // Lock-free skip-list (Herlihy & Shavit, "The Art of Multiprocessor
-// Programming" — the paper's citation [27]), with epoch-based reclamation.
+// Programming" — the paper's citation [27]), with pluggable safe-memory
+// reclamation (common/reclaim.hpp: EBR or hazard pointers).
 //
 // Deleted nodes are marked (low tag bit on each forward pointer) before
-// being physically unlinked by helping traversals; contains() is wait-free.
+// being physically unlinked by helping traversals; contains() is wait-free
+// under EBR and shares the validating find() under hazard pointers.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
 
-#include "common/ebr.hpp"
 #include "common/latency.hpp"
+#include "common/reclaim.hpp"
 #include "common/rng.hpp"
 
 namespace pimds::baselines {
@@ -18,7 +21,7 @@ class LockFreeSkipList {
  public:
   static constexpr int kMaxHeight = 16;
 
-  LockFreeSkipList();
+  explicit LockFreeSkipList(ReclaimPolicy policy = ReclaimPolicy::kEbr);
   ~LockFreeSkipList();
 
   LockFreeSkipList(const LockFreeSkipList&) = delete;
@@ -33,6 +36,8 @@ class LockFreeSkipList {
     return size_.load(std::memory_order_relaxed);
   }
 
+  Reclaimer& reclaimer() noexcept { return *reclaim_; }
+
  private:
   struct Node;
 
@@ -46,6 +51,7 @@ class LockFreeSkipList {
     return reinterpret_cast<std::uintptr_t>(p) |
            static_cast<std::uintptr_t>(mark);
   }
+  static constexpr std::uintptr_t kPtrMask = ~std::uintptr_t{1};
 
   struct Node {
     std::uint64_t key;
@@ -53,20 +59,38 @@ class LockFreeSkipList {
     std::atomic<std::uintptr_t> next[1];
   };
 
+  // Hazard-slot layout. The traversal slots rotate hand-over-hand; the
+  // per-level slots keep every preds[lvl]/succs[lvl] pinned from the find()
+  // that produced them until the guard (or the next find) releases them.
+  // Max slot used: succ_slot(15) = 35 < Reclaimer::kGuardSlots.
+  static constexpr unsigned kSlotPred = 0;
+  static constexpr unsigned kSlotCurr = 1;
+  static constexpr unsigned kSlotSucc = 2;
+  static constexpr unsigned kSlotSelf = 3;  // add()'s own node during build
+  static constexpr unsigned pred_slot(int lvl) noexcept {
+    return 4 + 2 * static_cast<unsigned>(lvl);
+  }
+  static constexpr unsigned succ_slot(int lvl) noexcept {
+    return 5 + 2 * static_cast<unsigned>(lvl);
+  }
+
   static Node* make_node(std::uint64_t key, int top_level);
   static void free_node(void* p);
 
   /// Herlihy-Shavit find(): fills preds/succs on every level, physically
   /// unlinking marked nodes along the way. Returns true if an unmarked node
-  /// with `key` sits at level 0.
-  bool find(std::uint64_t key, Node** preds, Node** succs);
+  /// with `key` sits at level 0. `guard` must be the caller's live guard;
+  /// under hazard pointers every preds/succs entry is left protected by its
+  /// per-level slot.
+  bool find(ReclaimGuard& guard, std::uint64_t key, Node** preds,
+            Node** succs);
 
   int random_height();
 
   Node* head_;
   Node* tail_;
   std::atomic<std::size_t> size_{0};
-  EbrDomain ebr_;
+  std::unique_ptr<Reclaimer> reclaim_;
 };
 
 }  // namespace pimds::baselines

@@ -2,14 +2,15 @@
 
 namespace pimds::baselines {
 
-MsQueue::MsQueue() {
+MsQueue::MsQueue(ReclaimPolicy policy)
+    : reclaim_(make_reclaimer(policy, "baselines.ms_queue")) {
   Node* dummy = new Node(0);
   head_.value.store(dummy, std::memory_order_relaxed);
   tail_.value.store(dummy, std::memory_order_relaxed);
 }
 
 MsQueue::~MsQueue() {
-  ebr_.reclaim_all_unsafe();
+  reclaim_->reclaim_all_unsafe();
   Node* n = head_.value.load(std::memory_order_relaxed);
   while (n != nullptr) {
     Node* next = n->next.load(std::memory_order_relaxed);
@@ -19,11 +20,14 @@ MsQueue::~MsQueue() {
 }
 
 void MsQueue::enqueue(std::uint64_t value) {
-  EbrDomain::Guard guard(ebr_);
+  ReclaimGuard guard(*reclaim_);
   Node* node = new Node(value);
   charge_cpu_access();  // the node write
   for (;;) {
-    Node* last = tail_.value.load(std::memory_order_acquire);
+    // protect() re-validates tail_ == last after publishing, which is what
+    // makes dereferencing `last` safe under hazard pointers: the tail never
+    // points at a retired node (dequeue never advances head past the tail).
+    Node* last = guard.protect(kSlotAnchor, tail_.value);
     Node* next = last->next.load(std::memory_order_acquire);
     if (last != tail_.value.load(std::memory_order_acquire)) continue;
     if (next == nullptr) {
@@ -43,11 +47,14 @@ void MsQueue::enqueue(std::uint64_t value) {
 }
 
 std::optional<std::uint64_t> MsQueue::dequeue() {
-  EbrDomain::Guard guard(ebr_);
+  ReclaimGuard guard(*reclaim_);
   for (;;) {
-    Node* first = head_.value.load(std::memory_order_acquire);
+    Node* first = guard.protect(kSlotAnchor, head_.value);
     Node* last = tail_.value.load(std::memory_order_acquire);
-    Node* next = first->next.load(std::memory_order_acquire);
+    Node* next = guard.protect(kSlotNext, first->next);
+    // Re-check AFTER the hazard on `next` is published: head_ == first
+    // proves first is not yet retired, hence its successor not yet either
+    // (Michael's dequeue protocol).
     if (first != head_.value.load(std::memory_order_acquire)) continue;
     if (next == nullptr) return std::nullopt;  // empty
     if (first == last) {
@@ -61,7 +68,7 @@ std::optional<std::uint64_t> MsQueue::dequeue() {
     if (head_.value.compare_exchange_weak(first, next,
                                           std::memory_order_acq_rel)) {
       charge_atomic();
-      ebr_.retire(first);
+      guard.retire(first);
       return value;
     }
   }

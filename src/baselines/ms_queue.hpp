@@ -1,4 +1,5 @@
-// Michael-Scott lock-free FIFO queue, with epoch-based reclamation.
+// Michael-Scott lock-free FIFO queue, with pluggable safe-memory
+// reclamation (common/reclaim.hpp: EBR or hazard pointers).
 // Classic CAS-based baseline: both ends contend on a single cache line
 // each, so throughput flattens under load — the motivating pathology for
 // Section 5's contended-structure discussion.
@@ -6,17 +7,18 @@
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <optional>
 
 #include "common/cacheline.hpp"
-#include "common/ebr.hpp"
 #include "common/latency.hpp"
+#include "common/reclaim.hpp"
 
 namespace pimds::baselines {
 
 class MsQueue {
  public:
-  MsQueue();
+  explicit MsQueue(ReclaimPolicy policy = ReclaimPolicy::kEbr);
   ~MsQueue();
 
   MsQueue(const MsQueue&) = delete;
@@ -26,9 +28,12 @@ class MsQueue {
   std::optional<std::uint64_t> dequeue();
 
   bool empty() const noexcept {
-    const Node* h = head_.value.load(std::memory_order_acquire);
+    ReclaimGuard guard(*reclaim_);
+    const Node* h = guard.protect(0, head_.value);
     return h->next.load(std::memory_order_acquire) == nullptr;
   }
+
+  Reclaimer& reclaimer() noexcept { return *reclaim_; }
 
  private:
   struct Node {
@@ -38,9 +43,13 @@ class MsQueue {
     explicit Node(std::uint64_t v) : value(v) {}
   };
 
+  // Hazard-slot naming: 0 = head/tail anchor, 1 = the successor.
+  static constexpr unsigned kSlotAnchor = 0;
+  static constexpr unsigned kSlotNext = 1;
+
   CachePadded<std::atomic<Node*>> head_;  // dummy-node convention
   CachePadded<std::atomic<Node*>> tail_;
-  EbrDomain ebr_;
+  std::unique_ptr<Reclaimer> reclaim_;
 };
 
 }  // namespace pimds::baselines

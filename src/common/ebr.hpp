@@ -1,10 +1,12 @@
 // Epoch-based memory reclamation (EBR) for lock-free structures.
 //
-// The lock-free skip-list baseline unlinks nodes that concurrent readers may
-// still be traversing; EBR defers reclamation until no reader can hold a
-// reference. Classic 3-epoch scheme (Fraser): readers pin the global epoch
-// on entry; retired nodes are freed once every pinned reader has observed a
-// newer epoch (two global epoch advances).
+// One of two implementations of the Reclaimer seam (common/reclaim.hpp);
+// the other is hazard pointers (common/hazard.hpp). EBR has the cheapest
+// possible read side — a guard pins the global epoch and individual
+// pointers need no protection — at the cost of unbounded garbage while any
+// reader stalls inside a guard. Classic 3-epoch scheme (Fraser): readers
+// pin the global epoch on entry; retired nodes are freed once every pinned
+// reader has observed a newer epoch (two global epoch advances).
 #pragma once
 
 #include <array>
@@ -12,58 +14,72 @@
 #include <cassert>
 #include <cstddef>
 #include <cstdint>
-#include <functional>
+#include <string>
 #include <vector>
 
 #include "common/cacheline.hpp"
+#include "common/reclaim.hpp"
 
 namespace pimds {
 
+namespace obs {
+class Counter;
+class Gauge;
+class Histogram;
+}  // namespace obs
+
 /// One reclamation domain. Threads participate via thread-local slots
-/// claimed on first use; at most kMaxThreads threads may ever enter.
-class EbrDomain {
+/// claimed on first use; at most kMaxThreads threads may ever enter, and
+/// the kMaxThreads+1'th participant aborts with a diagnostic instead of
+/// corrupting a neighbor's slot.
+class EbrDomain final : public Reclaimer {
  public:
   static constexpr std::size_t kMaxThreads = 256;
   /// Retired nodes buffered per thread before attempting an epoch advance.
   static constexpr std::size_t kRetireBatch = 64;
 
-  EbrDomain() = default;
-  ~EbrDomain() { reclaim_all_unsafe(); }
+  /// `domain` names this domain's metrics in the obs registry
+  /// (`reclaim.<domain>.ebr.*`); empty skips metric registration (anonymous
+  /// short-lived domains in tests/benches).
+  explicit EbrDomain(std::string domain = "");
+  ~EbrDomain() override { reclaim_all_unsafe(); }
 
   EbrDomain(const EbrDomain&) = delete;
   EbrDomain& operator=(const EbrDomain&) = delete;
 
-  /// RAII critical-section guard. While alive, nodes retired by other
-  /// threads in the current epoch will not be freed.
-  class Guard {
-   public:
-    explicit Guard(EbrDomain& domain) noexcept : domain_(domain) {
-      domain_.enter();
-    }
-    ~Guard() { domain_.exit(); }
-    Guard(const Guard&) = delete;
-    Guard& operator=(const Guard&) = delete;
+  /// RAII critical-section guard (seam-wide type). While alive, nodes
+  /// retired by other threads in the current epoch will not be freed.
+  using Guard = ReclaimGuard;
 
-   private:
-    EbrDomain& domain_;
-  };
+  // Reclaimer interface -----------------------------------------------------
+  const char* policy_name() const noexcept override { return "ebr"; }
+  void retire_erased(void* p, void (*deleter)(void*)) override;
+  using Reclaimer::retire;
 
-  /// Schedules `p` for deletion once no guard from an older epoch survives.
-  /// Must be called inside a Guard.
-  template <typename T>
-  void retire(T* p) {
-    retire_erased(p, [](void* q) { delete static_cast<T*>(q); });
-  }
-
-  void retire_erased(void* p, void (*deleter)(void*));
+  /// Tries to advance the epoch and drain the calling thread's limbo lists
+  /// (one pass per epoch bucket). Bounds the backlog after a stall clears.
+  void flush() override;
 
   /// Frees everything immediately. Only safe when no thread is inside a
   /// Guard (e.g. single-threaded teardown).
-  void reclaim_all_unsafe();
+  void reclaim_all_unsafe() override;
 
-  /// Testing hook: number of retired-but-unreclaimed nodes owned by the
-  /// calling thread.
+  ReclaimStats stats() const override;
+
+  // Introspection -----------------------------------------------------------
+  /// Number of retired-but-unreclaimed nodes owned by the calling thread.
   std::size_t pending_local() const;
+
+  /// Participant slots claimed over this domain's lifetime.
+  std::size_t slots_in_use() const noexcept {
+    return slots_claimed_.load(std::memory_order_relaxed);
+  }
+
+  /// Epoch advances that found a reader pinned to an older epoch (the
+  /// "one stalled reader defers everything" signature).
+  std::uint64_t epoch_stalls() const noexcept {
+    return stalls_.load(std::memory_order_relaxed);
+  }
 
  private:
   struct Retired {
@@ -79,10 +95,12 @@ class EbrDomain {
     std::uint64_t limbo_epoch[3] = {0, 0, 0};
   };
 
-  void enter() noexcept;
-  void exit() noexcept;
+  void* guard_enter() override;
+  void guard_exit(void* ctx) noexcept override;
+
   std::size_t my_slot_index();
   void try_advance_and_reclaim(ThreadSlot& slot);
+  void note_freed(std::size_t n) noexcept;
 
   static std::uint64_t next_domain_id() noexcept;
 
@@ -92,6 +110,21 @@ class EbrDomain {
   CachePadded<std::atomic<std::uint64_t>> global_epoch_{1};
   std::array<ThreadSlot, kMaxThreads> slots_{};
   std::atomic<std::size_t> high_water_{0};
+  std::atomic<std::size_t> slots_claimed_{0};
+
+  // Accounting (ReclaimStats; relaxed, read by stats()).
+  std::atomic<std::uint64_t> retired_{0};
+  std::atomic<std::uint64_t> freed_{0};
+  std::atomic<std::uint64_t> scans_{0};
+  std::atomic<std::uint64_t> stalls_{0};
+
+  // Obs-registry mirrors; null when the domain is anonymous.
+  obs::Counter* m_retired_ = nullptr;
+  obs::Counter* m_freed_ = nullptr;
+  obs::Counter* m_stalls_ = nullptr;
+  obs::Gauge* m_in_flight_ = nullptr;
+  obs::Gauge* m_slots_ = nullptr;
+  obs::Histogram* m_scan_ns_ = nullptr;
 };
 
 }  // namespace pimds

@@ -1,0 +1,194 @@
+#include "common/hazard.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/timing.hpp"
+#include "obs/metrics.hpp"
+
+namespace pimds {
+
+namespace {
+
+// Per-thread cache of (domain -> record index) claims, mirroring the EBR
+// slot-claim cache (common/ebr.cpp) but for hazard-pointer records.
+struct RecClaim {
+  std::uint64_t domain_id;
+  std::size_t index;
+};
+thread_local std::vector<RecClaim> t_rec_claims;
+
+}  // namespace
+
+HpDomain::HpDomain(std::string domain) : Reclaimer(/*validating=*/true) {
+  if (!domain.empty()) {
+    auto& reg = obs::Registry::instance();
+    const std::string base = "reclaim." + domain + ".hp.";
+    m_retired_ = &reg.counter(base + "retired");
+    m_freed_ = &reg.counter(base + "freed");
+    m_scan_kept_ = &reg.counter(base + "scan_kept");
+    m_in_flight_ = &reg.gauge(base + "in_flight");
+    m_slots_ = &reg.gauge(base + "slots_in_use");
+    m_scan_hazards_max_ = &reg.gauge(base + "scan_hazards_max");
+    m_scan_ns_ = &reg.histogram(base + "scan_ns");
+  }
+}
+
+std::uint64_t HpDomain::next_domain_id() noexcept {
+  static std::atomic<std::uint64_t> counter{1};
+  return counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+HpDomain::ThreadRec& HpDomain::my_rec() {
+  for (const auto& claim : t_rec_claims) {
+    if (claim.domain_id == id_) return recs_[claim.index];
+  }
+  for (std::size_t i = 0; i < kMaxThreads; ++i) {
+    bool expected = false;
+    if (!recs_[i].claimed.load(std::memory_order_relaxed) &&
+        recs_[i].claimed.compare_exchange_strong(expected, true,
+                                                 std::memory_order_acq_rel)) {
+      t_rec_claims.push_back({id_, i});
+      std::size_t hw = high_water_.load(std::memory_order_relaxed);
+      while (hw < i + 1 && !high_water_.compare_exchange_weak(
+                               hw, i + 1, std::memory_order_relaxed)) {
+      }
+      const std::size_t used =
+          recs_claimed_.fetch_add(1, std::memory_order_relaxed) + 1;
+      if (m_slots_ != nullptr) m_slots_->record_max(used);
+      return recs_[i];
+    }
+  }
+  std::fprintf(stderr,
+               "HpDomain: participant cap exhausted (%zu threads have "
+               "claimed records; kMaxThreads=%zu). Records are claimed per "
+               "(thread, domain) on first guard entry and never recycled — "
+               "reuse worker threads or raise kMaxThreads.\n",
+               recs_claimed_.load(std::memory_order_relaxed), kMaxThreads);
+  std::abort();
+}
+
+void* HpDomain::guard_enter() {
+  ThreadRec& rec = my_rec();
+  ++rec.depth;
+  return &rec;
+}
+
+void HpDomain::guard_exit(void* ctx) noexcept {
+  auto* rec = static_cast<ThreadRec*>(ctx);
+  if (--rec->depth > 0) return;  // inner guard of a nested pair
+  for (unsigned s = 0; s < rec->dirty_high; ++s) {
+    rec->hazards[s].store(0, std::memory_order_release);
+  }
+  rec->dirty_high = 0;
+}
+
+void HpDomain::publish(void* ctx, unsigned slot,
+                       std::uintptr_t word) noexcept {
+  auto* rec = static_cast<ThreadRec*>(ctx);
+  assert(slot < kGuardSlots);
+  if (slot + 1 > rec->dirty_high) rec->dirty_high = slot + 1;
+  rec->hazards[slot].store(word, std::memory_order_release);
+  // Store-load fence: the publication must be visible before the caller's
+  // validating re-read of the source pointer. Pairs with the fence at the
+  // top of scan(): either the scan sees this hazard, or the validating
+  // re-read sees the unlink that preceded the retire.
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+}
+
+void HpDomain::clear_slot(void* ctx, unsigned slot) noexcept {
+  auto* rec = static_cast<ThreadRec*>(ctx);
+  assert(slot < kGuardSlots);
+  rec->hazards[slot].store(0, std::memory_order_release);
+}
+
+void HpDomain::retire_erased(void* p, void (*deleter)(void*)) {
+  ThreadRec& rec = my_rec();
+  rec.retired.push_back({p, deleter});
+  retired_.fetch_add(1, std::memory_order_relaxed);
+  if (m_retired_ != nullptr) m_retired_->add(1);
+  if (rec.retired.size() >= kScanThreshold) scan(rec);
+}
+
+void HpDomain::scan(ThreadRec& rec) {
+  scans_.fetch_add(1, std::memory_order_relaxed);
+  const std::uint64_t t0 = m_scan_ns_ != nullptr ? now_ns() : 0;
+  // Pairs with the fence in publish(): a hazard published before a retired
+  // node was unlinked is guaranteed visible here.
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+  std::vector<std::uintptr_t> hazards;
+  hazards.reserve(64);
+  const std::size_t hw = high_water_.load(std::memory_order_acquire);
+  for (std::size_t i = 0; i < hw; ++i) {
+    if (!recs_[i].claimed.load(std::memory_order_acquire)) continue;
+    for (const auto& h : recs_[i].hazards) {
+      const std::uintptr_t w = h.load(std::memory_order_acquire);
+      if (w != 0) hazards.push_back(w);
+    }
+  }
+  std::sort(hazards.begin(), hazards.end());
+  if (m_scan_hazards_max_ != nullptr) {
+    m_scan_hazards_max_->record_max(hazards.size());
+  }
+  std::size_t kept = 0;
+  std::size_t n_freed = 0;
+  for (Retired& r : rec.retired) {
+    if (std::binary_search(hazards.begin(), hazards.end(),
+                           reinterpret_cast<std::uintptr_t>(r.ptr))) {
+      rec.retired[kept++] = r;  // still protected: keep for a later scan
+    } else {
+      r.deleter(r.ptr);
+      ++n_freed;
+    }
+  }
+  rec.retired.resize(kept);
+  freed_.fetch_add(n_freed, std::memory_order_relaxed);
+  if (kept > 0) {
+    scan_kept_.fetch_add(1, std::memory_order_relaxed);
+    if (m_scan_kept_ != nullptr) m_scan_kept_->add(1);
+  }
+  if (m_freed_ != nullptr) m_freed_->add(n_freed);
+  if (m_in_flight_ != nullptr) {
+    m_in_flight_->set(retired_.load(std::memory_order_relaxed) -
+                      freed_.load(std::memory_order_relaxed));
+  }
+  if (m_scan_ns_ != nullptr) m_scan_ns_->record(now_ns() - t0);
+}
+
+void HpDomain::flush() { scan(my_rec()); }
+
+void HpDomain::reclaim_all_unsafe() {
+  const std::size_t hw = high_water_.load(std::memory_order_acquire);
+  std::size_t n_freed = 0;
+  for (std::size_t i = 0; i < hw; ++i) {
+    for (const Retired& r : recs_[i].retired) {
+      r.deleter(r.ptr);
+      ++n_freed;
+    }
+    recs_[i].retired.clear();
+  }
+  freed_.fetch_add(n_freed, std::memory_order_relaxed);
+  if (m_freed_ != nullptr && n_freed > 0) m_freed_->add(n_freed);
+}
+
+ReclaimStats HpDomain::stats() const {
+  ReclaimStats s;
+  s.retired = retired_.load(std::memory_order_relaxed);
+  s.freed = freed_.load(std::memory_order_relaxed);
+  s.in_flight = s.retired - s.freed;
+  s.slots_in_use = recs_claimed_.load(std::memory_order_relaxed);
+  s.scans = scans_.load(std::memory_order_relaxed);
+  s.stalls = scan_kept_.load(std::memory_order_relaxed);
+  return s;
+}
+
+std::size_t HpDomain::pending_local() const {
+  for (const auto& claim : t_rec_claims) {
+    if (claim.domain_id == id_) return recs_[claim.index].retired.size();
+  }
+  return 0;
+}
+
+}  // namespace pimds

@@ -1,0 +1,130 @@
+// Hazard-pointer memory reclamation (Michael, "Hazard Pointers: Safe Memory
+// Reclamation for Lock-Free Objects", IEEE TPDS 2004).
+//
+// Second implementation of the Reclaimer seam (common/reclaim.hpp). Where
+// EBR pins one global epoch per reader — so a single stalled guard defers
+// every retire in the domain — hazard pointers protect individual nodes:
+// readers publish each pointer before dereferencing it (the
+// protect-with-validate loop in ReclaimGuard), and the retire side frees
+// everything except the currently-published set. Garbage is bounded by
+// (scan threshold + published hazards) per thread no matter how long any
+// reader stalls; the price is a store+fence per pointer hop on the read
+// side. micro_primitives measures the trade both ways.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/cacheline.hpp"
+#include "common/reclaim.hpp"
+
+namespace pimds {
+
+namespace obs {
+class Counter;
+class Gauge;
+class Histogram;
+}  // namespace obs
+
+/// One hazard-pointer domain. Threads participate via records claimed on
+/// first use (never recycled); each record carries kGuardSlots hazard slots
+/// and a private retire list that is scanned-and-freed once it reaches
+/// kScanThreshold entries.
+class HpDomain final : public Reclaimer {
+ public:
+  static constexpr std::size_t kMaxThreads = 256;
+  /// Retired nodes buffered per thread before an amortized scan. The
+  /// per-thread backlog is bounded by kScanThreshold plus the number of
+  /// hazards published process-wide at scan time.
+  static constexpr std::size_t kScanThreshold = 128;
+
+  /// `domain` names this domain's metrics in the obs registry
+  /// (`reclaim.<domain>.hp.*`); empty skips metric registration.
+  explicit HpDomain(std::string domain = "");
+  ~HpDomain() override { reclaim_all_unsafe(); }
+
+  HpDomain(const HpDomain&) = delete;
+  HpDomain& operator=(const HpDomain&) = delete;
+
+  using Guard = ReclaimGuard;
+
+  // Reclaimer interface -----------------------------------------------------
+  const char* policy_name() const noexcept override { return "hp"; }
+  void retire_erased(void* p, void (*deleter)(void*)) override;
+  using Reclaimer::retire;
+
+  /// Scan-and-free the calling thread's retire list immediately.
+  void flush() override;
+
+  /// Frees every retired node regardless of published hazards. Only safe
+  /// when no thread is inside a Guard (single-threaded teardown).
+  void reclaim_all_unsafe() override;
+
+  ReclaimStats stats() const override;
+
+  // Introspection -----------------------------------------------------------
+  /// Retired-but-unreclaimed nodes owned by the calling thread.
+  std::size_t pending_local() const;
+
+  /// Participant records claimed over this domain's lifetime.
+  std::size_t slots_in_use() const noexcept {
+    return recs_claimed_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Retired {
+    void* ptr;
+    void (*deleter)(void*);
+  };
+
+  struct alignas(kCacheLineSize) ThreadRec {
+    std::atomic<bool> claimed{false};
+    /// Published hazards; 0 = empty. Written by the owner, read by every
+    /// scanning thread.
+    std::array<std::atomic<std::uintptr_t>, kGuardSlots> hazards{};
+    /// Guard nesting depth (owner-only writes); hazards are cleared when
+    /// the outermost guard exits.
+    int depth = 0;
+    /// Highest slot published since the outermost guard entry, so exit
+    /// clears only the dirty prefix instead of all kGuardSlots.
+    unsigned dirty_high = 0;
+    /// Owner-only retire list.
+    std::vector<Retired> retired;
+  };
+
+  void* guard_enter() override;
+  void guard_exit(void* ctx) noexcept override;
+  void publish(void* ctx, unsigned slot, std::uintptr_t word) noexcept override;
+  void clear_slot(void* ctx, unsigned slot) noexcept override;
+
+  ThreadRec& my_rec();
+  void scan(ThreadRec& rec);
+
+  static std::uint64_t next_domain_id() noexcept;
+
+  const std::uint64_t id_ = next_domain_id();
+  std::array<ThreadRec, kMaxThreads> recs_{};
+  std::atomic<std::size_t> high_water_{0};
+  std::atomic<std::size_t> recs_claimed_{0};
+
+  // Accounting (ReclaimStats; relaxed, read by stats()).
+  std::atomic<std::uint64_t> retired_{0};
+  std::atomic<std::uint64_t> freed_{0};
+  std::atomic<std::uint64_t> scans_{0};
+  std::atomic<std::uint64_t> scan_kept_{0};  ///< scans that kept >=1 node
+
+  // Obs-registry mirrors; null when the domain is anonymous.
+  obs::Counter* m_retired_ = nullptr;
+  obs::Counter* m_freed_ = nullptr;
+  obs::Counter* m_scan_kept_ = nullptr;
+  obs::Gauge* m_in_flight_ = nullptr;
+  obs::Gauge* m_slots_ = nullptr;
+  obs::Gauge* m_scan_hazards_max_ = nullptr;
+  obs::Histogram* m_scan_ns_ = nullptr;
+};
+
+}  // namespace pimds

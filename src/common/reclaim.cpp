@@ -1,0 +1,23 @@
+#include "common/reclaim.hpp"
+
+#include "common/ebr.hpp"
+#include "common/hazard.hpp"
+
+namespace pimds {
+
+std::optional<ReclaimPolicy> parse_reclaim_policy(
+    std::string_view s) noexcept {
+  if (s == "ebr") return ReclaimPolicy::kEbr;
+  if (s == "hp" || s == "hazard") return ReclaimPolicy::kHp;
+  return std::nullopt;
+}
+
+std::unique_ptr<Reclaimer> make_reclaimer(ReclaimPolicy policy,
+                                          std::string domain) {
+  if (policy == ReclaimPolicy::kHp) {
+    return std::make_unique<HpDomain>(std::move(domain));
+  }
+  return std::make_unique<EbrDomain>(std::move(domain));
+}
+
+}  // namespace pimds

@@ -1,0 +1,234 @@
+// Pluggable safe-memory-reclamation seam for the lock-free structures.
+//
+// Every lock-free baseline (and the runtime's FatArena) used to hard-wire
+// epoch-based reclamation: one stalled reader inside an EBR guard defers
+// reclamation for the whole domain. This header extracts the policy into a
+// `Reclaimer` interface with two implementations — `EbrDomain`
+// (common/ebr.hpp, epoch-based: cheapest read side, unbounded garbage under
+// a stalled reader) and `HpDomain` (common/hazard.hpp, hazard pointers:
+// per-pointer protection cost, garbage bounded by the published-hazard
+// count regardless of stalls) — selectable per structure instance
+// (`--reclaim=ebr|hp` in the benches).
+//
+// Read-side contract, shared by both policies:
+//
+//   ReclaimGuard guard(reclaimer);           // RAII critical section
+//   Node* n = guard.protect(slot, src);      // load + publish + validate
+//   ...traverse n...
+//   guard.retire(victim);                    // deferred free (inside guard)
+//
+// protect() re-reads `src` after publishing until the value is stable, so a
+// hazard-pointer scan that misses the publication implies the pointer was
+// re-checked against a live source afterwards. Under EBR the publication is
+// unnecessary (the guard pins the epoch) and protect() collapses to a plain
+// acquire load — the `validating()` flag is false, so the virtual publish
+// path is never taken and the EBR hot path is byte-for-byte the old one.
+//
+// Slot indices are per-guard names for concurrently-live hazards (pred /
+// curr / succ, plus per-level slots for the skip-list); EBR ignores them.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace pimds {
+
+/// Point-in-time accounting for one reclamation domain.
+struct ReclaimStats {
+  std::uint64_t retired = 0;       ///< nodes handed to retire() so far
+  std::uint64_t freed = 0;         ///< nodes whose deleter has run
+  std::uint64_t in_flight = 0;     ///< retired - freed (the backlog)
+  std::uint64_t slots_in_use = 0;  ///< per-thread participant slots claimed
+  std::uint64_t scans = 0;         ///< reclamation scans attempted
+  std::uint64_t stalls = 0;        ///< scans blocked by a lagging reader
+                                   ///< (EBR: epoch_stall; HP: protected node)
+};
+
+class Reclaimer;
+
+/// RAII read-side critical section over any Reclaimer. Stack-only.
+class ReclaimGuard {
+ public:
+  explicit ReclaimGuard(Reclaimer& r) noexcept;
+  ~ReclaimGuard();
+
+  ReclaimGuard(const ReclaimGuard&) = delete;
+  ReclaimGuard& operator=(const ReclaimGuard&) = delete;
+
+  /// True when the policy needs per-pointer protection (hazard pointers).
+  /// Structures gate HP-only restart logic on this so the EBR traversal
+  /// keeps its original (restart-free) shape.
+  bool validating() const noexcept { return validating_; }
+
+  /// Load `src`, publish the value to `slot`, and re-load until stable.
+  /// Returns the protected pointer. Under EBR: one acquire load.
+  template <typename T>
+  T* protect(unsigned slot, const std::atomic<T*>& src) noexcept;
+
+  /// Word variant for tagged pointers: publishes `word & ptr_mask` (the
+  /// node address without mark bits) but validates full-word equality.
+  std::uintptr_t protect_word(unsigned slot,
+                              const std::atomic<std::uintptr_t>& src,
+                              std::uintptr_t ptr_mask) noexcept;
+
+  /// Publish a pointer that is already continuously protected by another
+  /// slot of this guard (hand-over-hand slot rotation). No validation —
+  /// the caller's existing hazard covers the window.
+  template <typename T>
+  void republish(unsigned slot, T* p) noexcept;
+  void republish_word(unsigned slot, std::uintptr_t word) noexcept;
+
+  /// Drop one hazard early (guard destruction clears all of them).
+  void clear(unsigned slot) noexcept;
+
+  /// Defer `delete p` until no reader can hold a reference.
+  template <typename T>
+  void retire(T* p);
+  void retire(void* p, void (*deleter)(void*));
+
+ private:
+  Reclaimer& r_;
+  void* ctx_;        // policy-private per-thread state
+  bool validating_;  // cached Reclaimer::validating()
+};
+
+/// Abstract reclamation domain. One domain per structure instance (or per
+/// shared arena); threads participate via slots claimed on first use.
+class Reclaimer {
+ public:
+  virtual ~Reclaimer() = default;
+
+  /// Hazard slots addressable per guard. Sized for the deepest consumer:
+  /// the lock-free skip-list pins pred+succ per level (2*16) plus three
+  /// traversal slots.
+  static constexpr unsigned kGuardSlots = 40;
+
+  /// True when readers must publish per-pointer hazards (HP). Non-virtual:
+  /// ReclaimGuard reads it on every protect, so it is a plain member.
+  bool validating() const noexcept { return validating_; }
+
+  /// Human-readable policy name ("ebr" / "hp") for stats and bench output.
+  virtual const char* policy_name() const noexcept = 0;
+
+  /// Schedule `p` for deletion once no reader can hold a reference. Must
+  /// be called with a live guard on the calling thread.
+  virtual void retire_erased(void* p, void (*deleter)(void*)) = 0;
+
+  template <typename T>
+  void retire(T* p) {
+    retire_erased(p, [](void* q) { delete static_cast<T*>(q); });
+  }
+
+  /// Best-effort immediate reclamation pass (advance epochs / scan
+  /// hazards). Safe to call any time from any thread; bounds the backlog
+  /// after a burst of retires.
+  virtual void flush() = 0;
+
+  /// Free everything still in limbo. Only safe when no thread is inside a
+  /// guard (single-threaded teardown).
+  virtual void reclaim_all_unsafe() = 0;
+
+  virtual ReclaimStats stats() const = 0;
+
+ protected:
+  explicit Reclaimer(bool validating) noexcept : validating_(validating) {}
+
+ private:
+  friend class ReclaimGuard;
+
+  /// Guard protocol. enter() returns an opaque per-thread context passed
+  /// back to every other call; publishing is only reached when
+  /// validating() is true.
+  virtual void* guard_enter() = 0;
+  virtual void guard_exit(void* ctx) noexcept = 0;
+  virtual void publish(void* ctx, unsigned slot, std::uintptr_t word) noexcept;
+  virtual void clear_slot(void* ctx, unsigned slot) noexcept;
+
+  const bool validating_;
+};
+
+inline void Reclaimer::publish(void*, unsigned, std::uintptr_t) noexcept {}
+inline void Reclaimer::clear_slot(void*, unsigned) noexcept {}
+
+// ---------------------------------------------------------------------------
+// ReclaimGuard inline implementation (the structures' hot path).
+
+inline ReclaimGuard::ReclaimGuard(Reclaimer& r) noexcept
+    : r_(r), ctx_(r.guard_enter()), validating_(r.validating()) {}
+
+inline ReclaimGuard::~ReclaimGuard() { r_.guard_exit(ctx_); }
+
+template <typename T>
+T* ReclaimGuard::protect(unsigned slot, const std::atomic<T*>& src) noexcept {
+  T* v = src.load(std::memory_order_acquire);
+  if (!validating_) return v;
+  for (;;) {
+    r_.publish(ctx_, slot, reinterpret_cast<std::uintptr_t>(v));
+    T* again = src.load(std::memory_order_acquire);
+    if (again == v) return v;
+    v = again;
+  }
+}
+
+inline std::uintptr_t ReclaimGuard::protect_word(
+    unsigned slot, const std::atomic<std::uintptr_t>& src,
+    std::uintptr_t ptr_mask) noexcept {
+  std::uintptr_t v = src.load(std::memory_order_acquire);
+  if (!validating_) return v;
+  for (;;) {
+    r_.publish(ctx_, slot, v & ptr_mask);
+    const std::uintptr_t again = src.load(std::memory_order_acquire);
+    if (again == v) return v;
+    v = again;
+  }
+}
+
+template <typename T>
+void ReclaimGuard::republish(unsigned slot, T* p) noexcept {
+  if (!validating_) return;
+  r_.publish(ctx_, slot, reinterpret_cast<std::uintptr_t>(p));
+}
+
+inline void ReclaimGuard::republish_word(unsigned slot,
+                                         std::uintptr_t word) noexcept {
+  if (!validating_) return;
+  r_.publish(ctx_, slot, word);
+}
+
+inline void ReclaimGuard::clear(unsigned slot) noexcept {
+  if (!validating_) return;
+  r_.clear_slot(ctx_, slot);
+}
+
+template <typename T>
+void ReclaimGuard::retire(T* p) {
+  r_.retire(p);
+}
+
+inline void ReclaimGuard::retire(void* p, void (*deleter)(void*)) {
+  r_.retire_erased(p, deleter);
+}
+
+// ---------------------------------------------------------------------------
+// Policy selection.
+
+enum class ReclaimPolicy { kEbr, kHp };
+
+constexpr const char* to_string(ReclaimPolicy p) noexcept {
+  return p == ReclaimPolicy::kEbr ? "ebr" : "hp";
+}
+
+/// Parses "ebr" / "hp" (bench `--reclaim=` values); nullopt on anything else.
+std::optional<ReclaimPolicy> parse_reclaim_policy(std::string_view s) noexcept;
+
+/// Constructs a domain of the given policy. `domain` names the obs metrics
+/// ("reclaim.<domain>.<policy>.retired" etc.); empty disables metrics
+/// registration (used by short-lived micro-bench domains).
+std::unique_ptr<Reclaimer> make_reclaimer(ReclaimPolicy policy,
+                                          std::string domain);
+
+}  // namespace pimds

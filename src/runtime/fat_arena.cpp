@@ -1,6 +1,22 @@
 #include "runtime/fat_arena.hpp"
 
+#include <cstdlib>
+
 namespace pimds::runtime {
+
+namespace {
+
+// Singleton construction leaves no ctor-argument hook, so the policy comes
+// from the environment; anything other than "hp"/"hazard" means EBR.
+ReclaimPolicy arena_policy_from_env() {
+  const char* env = std::getenv("PIMDS_ARENA_RECLAIM");
+  if (env != nullptr) {
+    if (auto p = parse_reclaim_policy(env)) return *p;
+  }
+  return ReclaimPolicy::kEbr;
+}
+
+}  // namespace
 
 FatArena& FatArena::instance() {
   static FatArena arena;
@@ -9,6 +25,7 @@ FatArena& FatArena::instance() {
 
 FatArena::FatArena()
     : pool_(kPoolCapacity),
+      reclaim_(make_reclaimer(arena_policy_from_env(), "fat_arena")),
       acquires_(obs::Registry::instance().counter("runtime.fat_arena.acquires")),
       releases_(obs::Registry::instance().counter("runtime.fat_arena.releases")),
       heap_allocs_(
@@ -23,13 +40,14 @@ FatEntry* FatArena::acquire() {
 
 void FatArena::release(FatEntry* block) {
   releases_.add(1);
-  EbrDomain::Guard guard(ebr_);
-  ebr_.retire_erased(block, &FatArena::recycle);
+  ReclaimGuard guard(*reclaim_);
+  guard.retire(block, &FatArena::recycle);
 }
 
-// Runs when EBR reclaims a retired block — possibly from ~EbrDomain at
-// process exit, which is why pool_ is declared before ebr_: the pool must
-// outlive the domain so late reclaims still have somewhere to push.
+// Runs when the reclaimer frees a retired block — possibly from the domain
+// destructor at process exit, which is why pool_ is declared before
+// reclaim_: the pool must outlive the domain so late reclaims still have
+// somewhere to push.
 void FatArena::recycle(void* p) {
   auto* block = static_cast<FatEntry*>(p);
   if (!instance().pool_.try_push(block)) delete[] block;

@@ -8,11 +8,13 @@
 // heap allocation — the pool only grows to the peak number of batches in
 // flight.
 //
-// Reclamation is EBR-deferred (common/ebr.hpp): release() retires the
-// block instead of recycling it immediately, so a block can never re-enter
-// the pool — and be handed to another sender — while any thread from an
-// older epoch could still be reading it. That makes the recycling ABA-free
-// without a tagged-pointer freelist.
+// Reclamation runs through the pluggable seam (common/reclaim.hpp):
+// release() retires the block instead of recycling it immediately, so a
+// block can never re-enter the pool — and be handed to another sender —
+// while any thread still inside a read-side guard could be reading it.
+// That makes the recycling ABA-free without a tagged-pointer freelist.
+// The policy defaults to EBR; set PIMDS_ARENA_RECLAIM=hp in the
+// environment to bound the retire backlog with hazard pointers instead.
 //
 // outstanding() (acquired minus released) is the leak detector the
 // shutdown balance assertions use: after a system quiesces it must be zero
@@ -20,9 +22,10 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 
-#include "common/ebr.hpp"
 #include "common/mpmc_queue.hpp"
+#include "common/reclaim.hpp"
 #include "obs/metrics.hpp"
 #include "runtime/message.hpp"
 
@@ -43,7 +46,7 @@ class FatArena {
   FatEntry* acquire();
 
   /// Return a block. Safe from any thread; the block re-enters the pool
-  /// only after the current EBR epoch drains.
+  /// only after the reclaimer proves no reader can still reference it.
   void release(FatEntry* block);
 
   /// Blocks acquired but not yet released. Zero once every fat message has
@@ -55,13 +58,16 @@ class FatArena {
   /// Heap allocations (pool misses); steady state stops growing this.
   std::uint64_t heap_allocs() const noexcept { return heap_allocs_.value(); }
 
+  /// The arena's reclamation domain (metrics name "reclaim.fat_arena.*").
+  Reclaimer& reclaimer() noexcept { return *reclaim_; }
+
  private:
   FatArena();
 
-  static void recycle(void* p);  ///< EBR deleter: pool push or delete[]
+  static void recycle(void* p);  ///< deferred deleter: pool push or delete[]
 
   MpmcQueue<FatEntry*> pool_;
-  EbrDomain ebr_;
+  std::unique_ptr<Reclaimer> reclaim_;
   // Registry-owned (runtime.fat_arena.*): process-wide like the arena.
   obs::Counter& acquires_;
   obs::Counter& releases_;

@@ -8,6 +8,7 @@
 #include <deque>
 #include <map>
 #include <set>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -22,6 +23,23 @@
 
 namespace pimds::baselines {
 namespace {
+
+// The lock-free structures run every suite under both reclamation policies
+// (common/reclaim.hpp): EBR exercises the epoch path, HP exercises the
+// protect-with-validate traversals and restart logic.
+std::string policy_name(const ::testing::TestParamInfo<ReclaimPolicy>& info) {
+  return to_string(info.param);
+}
+
+/// After a concurrent run, the structure's reclamation accounting must be
+/// coherent: nothing freed that was never retired, and flush() must leave
+/// no backlog once all mutators have quiesced.
+void expect_reclaim_coherent(Reclaimer& r) {
+  r.flush();
+  const ReclaimStats s = r.stats();
+  EXPECT_GE(s.retired, s.freed);
+  EXPECT_EQ(s.in_flight, s.retired - s.freed);
+}
 
 // ---------- generic set-semantics checkers ----------
 
@@ -126,35 +144,53 @@ TEST(HohList, SharedRangeAccounting) {
   shared_range_stress(list, 4, 5000);
 }
 
-TEST(LazyList, MatchesStdSet) {
-  LazyList list;
+class LazyListTest : public ::testing::TestWithParam<ReclaimPolicy> {};
+
+TEST_P(LazyListTest, MatchesStdSet) {
+  LazyList list(GetParam());
   check_set_semantics(list, 200, 6000, 2);
 }
 
-TEST(LazyList, DisjointRangeStress) {
-  LazyList list;
+TEST_P(LazyListTest, DisjointRangeStress) {
+  LazyList list(GetParam());
   EXPECT_EQ(disjoint_range_stress(list, 4, 4000), 0);
+  expect_reclaim_coherent(list.reclaimer());
 }
 
-TEST(LazyList, SharedRangeAccounting) {
-  LazyList list;
+TEST_P(LazyListTest, SharedRangeAccounting) {
+  LazyList list(GetParam());
   shared_range_stress(list, 4, 5000);
+  expect_reclaim_coherent(list.reclaimer());
 }
 
-TEST(LockFreeSkipList, MatchesStdSet) {
-  LockFreeSkipList list;
+INSTANTIATE_TEST_SUITE_P(BothPolicies, LazyListTest,
+                         ::testing::Values(ReclaimPolicy::kEbr,
+                                           ReclaimPolicy::kHp),
+                         policy_name);
+
+class LockFreeSkipListTest : public ::testing::TestWithParam<ReclaimPolicy> {};
+
+TEST_P(LockFreeSkipListTest, MatchesStdSet) {
+  LockFreeSkipList list(GetParam());
   check_set_semantics(list, 500, 8000, 3);
 }
 
-TEST(LockFreeSkipList, DisjointRangeStress) {
-  LockFreeSkipList list;
+TEST_P(LockFreeSkipListTest, DisjointRangeStress) {
+  LockFreeSkipList list(GetParam());
   EXPECT_EQ(disjoint_range_stress(list, 4, 6000), 0);
+  expect_reclaim_coherent(list.reclaimer());
 }
 
-TEST(LockFreeSkipList, SharedRangeAccounting) {
-  LockFreeSkipList list;
+TEST_P(LockFreeSkipListTest, SharedRangeAccounting) {
+  LockFreeSkipList list(GetParam());
   shared_range_stress(list, 4, 8000);
+  expect_reclaim_coherent(list.reclaimer());
 }
+
+INSTANTIATE_TEST_SUITE_P(BothPolicies, LockFreeSkipListTest,
+                         ::testing::Values(ReclaimPolicy::kEbr,
+                                           ReclaimPolicy::kHp),
+                         policy_name);
 
 TEST(FcLinkedList, MatchesStdSetBothModes) {
   FcLinkedList combining(true);
@@ -243,23 +279,33 @@ void check_mpmc(Queue& q, int producers, int consumers,
   EXPECT_FALSE(q.dequeue().has_value());
 }
 
-TEST(MsQueue, FifoSingleThreaded) {
-  MsQueue q;
+class MsQueueTest : public ::testing::TestWithParam<ReclaimPolicy> {};
+
+TEST_P(MsQueueTest, FifoSingleThreaded) {
+  MsQueue q(GetParam());
   check_fifo_single_threaded(q);
 }
 
-TEST(MsQueue, MpmcStress) {
-  MsQueue q;
+TEST_P(MsQueueTest, MpmcStress) {
+  MsQueue q(GetParam());
   check_mpmc(q, 2, 2, 20000);
+  expect_reclaim_coherent(q.reclaimer());
 }
 
-TEST(FaaQueue, FifoSingleThreaded) {
-  FaaQueue q;
+INSTANTIATE_TEST_SUITE_P(BothPolicies, MsQueueTest,
+                         ::testing::Values(ReclaimPolicy::kEbr,
+                                           ReclaimPolicy::kHp),
+                         policy_name);
+
+class FaaQueueTest : public ::testing::TestWithParam<ReclaimPolicy> {};
+
+TEST_P(FaaQueueTest, FifoSingleThreaded) {
+  FaaQueue q(GetParam());
   check_fifo_single_threaded(q);
 }
 
-TEST(FaaQueue, CrossesSegmentBoundaries) {
-  FaaQueue q;
+TEST_P(FaaQueueTest, CrossesSegmentBoundaries) {
+  FaaQueue q(GetParam());
   for (std::uint64_t i = 0; i < 3 * FaaQueue::kSegmentCells + 10; ++i) {
     q.enqueue(i);
   }
@@ -267,12 +313,21 @@ TEST(FaaQueue, CrossesSegmentBoundaries) {
     ASSERT_EQ(q.dequeue(), std::optional<std::uint64_t>(i));
   }
   EXPECT_FALSE(q.dequeue().has_value());
+  // Three segments were drained and retired along the way.
+  expect_reclaim_coherent(q.reclaimer());
+  EXPECT_GE(q.reclaimer().stats().retired, 3u);
 }
 
-TEST(FaaQueue, MpmcStress) {
-  FaaQueue q;
+TEST_P(FaaQueueTest, MpmcStress) {
+  FaaQueue q(GetParam());
   check_mpmc(q, 2, 2, 20000);
+  expect_reclaim_coherent(q.reclaimer());
 }
+
+INSTANTIATE_TEST_SUITE_P(BothPolicies, FaaQueueTest,
+                         ::testing::Values(ReclaimPolicy::kEbr,
+                                           ReclaimPolicy::kHp),
+                         policy_name);
 
 TEST(FcQueue, FifoSingleThreaded) {
   FcQueue q;

@@ -144,6 +144,76 @@ TEST(Ebr, NodesSurviveWhileAnotherThreadIsPinned) {
   EXPECT_EQ(CountedNode::live.load(), 0);
 }
 
+// Regression for the "one parked reader stalls the domain" pathology: the
+// epoch_stall counter must fire while the reader is pinned, every retired
+// node must survive the stall, and — the part that used to go untested —
+// flush() must drain the whole backlog once the stall clears, without
+// waiting for future retire traffic.
+TEST(Ebr, EpochStallIsCountedAndBacklogDrainsWhenStallClears) {
+  EbrDomain domain;
+  CountedNode::live = 0;
+  std::atomic<bool> pinned{false};
+  std::atomic<bool> release{false};
+  std::thread reader([&] {
+    EbrDomain::Guard guard(domain);
+    pinned.store(true);
+    while (!release.load()) std::this_thread::yield();
+  });
+  while (!pinned.load()) std::this_thread::yield();
+  constexpr int kRetired = 4 * static_cast<int>(EbrDomain::kRetireBatch);
+  {
+    EbrDomain::Guard guard(domain);
+    for (int i = 0; i < kRetired; ++i) domain.retire(new CountedNode());
+  }
+  // Every full batch attempted an epoch advance and found the parked
+  // reader pinned to the entry epoch.
+  EXPECT_GT(domain.epoch_stalls(), 0u) << "stalled advances went uncounted";
+  EXPECT_EQ(domain.stats().stalls, domain.epoch_stalls());
+  EXPECT_EQ(CountedNode::live.load(), kRetired)
+      << "nodes freed under a stalled reader";
+  EXPECT_EQ(domain.stats().in_flight, static_cast<std::uint64_t>(kRetired));
+  release.store(true);
+  reader.join();
+  // Stall cleared: flush alone (no new retires) must age out every bucket.
+  domain.flush();
+  EXPECT_EQ(CountedNode::live.load(), 0)
+      << "backlog survived flush() after the stall cleared";
+  EXPECT_EQ(domain.stats().in_flight, 0u);
+}
+
+TEST(Ebr, SlotsInUseCountsParticipants) {
+  EbrDomain domain;
+  EXPECT_EQ(domain.slots_in_use(), 0u);
+  { EbrDomain::Guard guard(domain); }
+  EXPECT_EQ(domain.slots_in_use(), 1u);
+  { EbrDomain::Guard guard(domain); }  // same thread: claim is cached
+  EXPECT_EQ(domain.slots_in_use(), 1u);
+  std::thread other([&] { EbrDomain::Guard guard(domain); });
+  other.join();
+  EXPECT_EQ(domain.slots_in_use(), 2u);
+  EXPECT_EQ(domain.stats().slots_in_use, 2u);
+}
+
+#if GTEST_HAS_DEATH_TEST
+// The kMaxThreads+1'th participant must abort with a diagnostic, not
+// silently corrupt a neighbor's slot (or terminate with no message, as the
+// old throw-from-noexcept path did).
+TEST(EbrDeathTest, SlotExhaustionFailsLoudly) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        EbrDomain domain;
+        // Slots are claimed per (thread, domain) and never recycled, so
+        // sequential short-lived threads exhaust the cap deterministically.
+        for (std::size_t i = 0; i <= EbrDomain::kMaxThreads; ++i) {
+          std::thread t([&] { EbrDomain::Guard guard(domain); });
+          t.join();
+        }
+      },
+      "participant cap exhausted");
+}
+#endif
+
 TEST(Ebr, ManyThreadsRetireConcurrently) {
   EbrDomain domain;
   CountedNode::live = 0;

@@ -1,0 +1,212 @@
+// Tests for the pluggable reclamation seam (common/reclaim.hpp): the
+// hazard-pointer domain's core guarantees (a published hazard blocks the
+// free; scans free everything unprotected), the policy factory/parser, and
+// a protect-vs-retire race stress that is the TSan/ASan target for the
+// Dekker-style publish/scan fence pairing.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "common/ebr.hpp"
+#include "common/hazard.hpp"
+#include "common/reclaim.hpp"
+
+namespace pimds {
+namespace {
+
+struct CountedNode {
+  static std::atomic<int> live;
+  std::uint64_t canary = kCanary;
+  static constexpr std::uint64_t kCanary = 0xfeedfacecafebeefULL;
+  CountedNode() { live.fetch_add(1); }
+  ~CountedNode() {
+    canary = 0;
+    live.fetch_sub(1);
+  }
+};
+std::atomic<int> CountedNode::live{0};
+
+TEST(ReclaimPolicyParse, AcceptsKnownNamesOnly) {
+  EXPECT_EQ(parse_reclaim_policy("ebr"), ReclaimPolicy::kEbr);
+  EXPECT_EQ(parse_reclaim_policy("hp"), ReclaimPolicy::kHp);
+  EXPECT_EQ(parse_reclaim_policy("hazard"), ReclaimPolicy::kHp);
+  EXPECT_FALSE(parse_reclaim_policy("qsbr").has_value());
+  EXPECT_FALSE(parse_reclaim_policy("").has_value());
+}
+
+TEST(ReclaimFactory, BuildsTheRequestedPolicy) {
+  auto ebr = make_reclaimer(ReclaimPolicy::kEbr, "");
+  auto hp = make_reclaimer(ReclaimPolicy::kHp, "");
+  EXPECT_STREQ(ebr->policy_name(), "ebr");
+  EXPECT_STREQ(hp->policy_name(), "hp");
+  EXPECT_FALSE(ebr->validating());
+  EXPECT_TRUE(hp->validating());
+}
+
+TEST(HpDomain, RetiredNodesAreFreedByScans) {
+  CountedNode::live = 0;
+  {
+    HpDomain domain;
+    const int n = 4 * static_cast<int>(HpDomain::kScanThreshold);
+    for (int i = 0; i < n; ++i) {
+      HpDomain::Guard guard(domain);
+      guard.retire(new CountedNode());
+    }
+    // Scans fire every kScanThreshold retires; with no hazards published
+    // the backlog stays below one threshold.
+    EXPECT_LT(domain.pending_local(), HpDomain::kScanThreshold);
+    domain.flush();
+    EXPECT_EQ(CountedNode::live.load(), 0);
+    const ReclaimStats s = domain.stats();
+    EXPECT_EQ(s.retired, static_cast<std::uint64_t>(n));
+    EXPECT_EQ(s.freed, static_cast<std::uint64_t>(n));
+    EXPECT_EQ(s.in_flight, 0u);
+    EXPECT_GE(s.scans, 4u);
+    EXPECT_GE(s.slots_in_use, 1u);
+  }
+  EXPECT_EQ(CountedNode::live.load(), 0);
+}
+
+TEST(HpDomain, PublishedHazardBlocksExactlyThatNode) {
+  CountedNode::live = 0;
+  HpDomain domain;
+  auto* hot = new CountedNode();
+  std::atomic<CountedNode*> src{hot};
+  std::atomic<bool> protecting{false};
+  std::atomic<bool> release{false};
+  std::thread reader([&] {
+    HpDomain::Guard guard(domain);
+    CountedNode* p = guard.protect(0, src);
+    EXPECT_EQ(p, hot);
+    protecting.store(true);
+    while (!release.load()) std::this_thread::yield();
+    EXPECT_EQ(p->canary, CountedNode::kCanary)
+        << "protected node mutated or freed under an active hazard";
+  });
+  while (!protecting.load()) std::this_thread::yield();
+  {
+    // Retire the protected node plus several scans' worth of bystanders.
+    HpDomain::Guard guard(domain);
+    src.store(nullptr);
+    guard.retire(hot);
+    for (std::size_t i = 0; i < 3 * HpDomain::kScanThreshold; ++i) {
+      guard.retire(new CountedNode());
+    }
+  }
+  domain.flush();
+  // Everything except the hazard-protected node is gone.
+  EXPECT_EQ(CountedNode::live.load(), 1);
+  EXPECT_GE(domain.stats().stalls, 1u) << "scan_kept never fired";
+  EXPECT_EQ(domain.stats().in_flight, 1u);
+  release.store(true);
+  reader.join();
+  domain.flush();  // hazard cleared at guard exit: now it frees
+  EXPECT_EQ(CountedNode::live.load(), 0);
+  EXPECT_EQ(domain.stats().in_flight, 0u);
+}
+
+TEST(HpDomain, ProtectFollowsTheSourceAcrossUpdates) {
+  HpDomain domain;
+  auto* a = new CountedNode();
+  auto* b = new CountedNode();
+  std::atomic<CountedNode*> src{a};
+  {
+    HpDomain::Guard guard(domain);
+    EXPECT_EQ(guard.protect(0, src), a);
+    src.store(b);
+    EXPECT_EQ(guard.protect(0, src), b);
+    guard.clear(0);
+  }
+  delete a;
+  delete b;
+}
+
+TEST(HpDomain, SlotsInUseCountsParticipants) {
+  HpDomain domain;
+  EXPECT_EQ(domain.slots_in_use(), 0u);
+  { HpDomain::Guard guard(domain); }
+  EXPECT_EQ(domain.slots_in_use(), 1u);
+  std::thread other([&] { HpDomain::Guard guard(domain); });
+  other.join();
+  EXPECT_EQ(domain.slots_in_use(), 2u);
+}
+
+#if GTEST_HAS_DEATH_TEST
+TEST(HpDomainDeathTest, RecordExhaustionFailsLoudly) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        HpDomain domain;
+        for (std::size_t i = 0; i <= HpDomain::kMaxThreads; ++i) {
+          std::thread t([&] { HpDomain::Guard guard(domain); });
+          t.join();
+        }
+      },
+      "participant cap exhausted");
+}
+#endif
+
+// The seam's central race, run under both policies: writers continuously
+// swap a shared pointer and retire the displaced node while readers
+// protect-and-dereference it. Any missed fence or premature free shows up
+// as a canary mismatch natively and as a report under TSan/ASan — this is
+// the sanitizer target for the HP publish/scan (Dekker) pairing.
+class ReclaimRaceTest : public ::testing::TestWithParam<ReclaimPolicy> {};
+
+TEST_P(ReclaimRaceTest, ProtectVsRetireKeepsNodesAlive) {
+  CountedNode::live = 0;
+  {
+    auto domain = make_reclaimer(GetParam(), "");
+    std::atomic<CountedNode*> shared{new CountedNode()};
+    std::atomic<bool> stop{false};
+    std::atomic<std::uint64_t> bad_reads{0};
+    constexpr int kReaders = 2;
+    constexpr int kWriters = 2;
+    constexpr int kSwapsPerWriter = 20000;
+    std::vector<std::thread> threads;
+    for (int r = 0; r < kReaders; ++r) {
+      threads.emplace_back([&] {
+        while (!stop.load(std::memory_order_acquire)) {
+          ReclaimGuard guard(*domain);
+          CountedNode* p = guard.protect(0, shared);
+          if (p->canary != CountedNode::kCanary) {
+            bad_reads.fetch_add(1);
+          }
+        }
+      });
+    }
+    for (int w = 0; w < kWriters; ++w) {
+      threads.emplace_back([&] {
+        for (int i = 0; i < kSwapsPerWriter; ++i) {
+          auto* fresh = new CountedNode();
+          ReclaimGuard guard(*domain);
+          CountedNode* old = shared.exchange(fresh);
+          guard.retire(old);
+        }
+      });
+    }
+    for (std::size_t i = kReaders; i < threads.size(); ++i) threads[i].join();
+    stop.store(true, std::memory_order_release);
+    for (int r = 0; r < kReaders; ++r) threads[r].join();
+    EXPECT_EQ(bad_reads.load(), 0u)
+        << "a reader dereferenced a freed node's memory";
+    delete shared.load();
+    domain->reclaim_all_unsafe();
+    const ReclaimStats s = domain->stats();
+    EXPECT_EQ(s.retired, s.freed);
+  }
+  EXPECT_EQ(CountedNode::live.load(), 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(BothPolicies, ReclaimRaceTest,
+                         ::testing::Values(ReclaimPolicy::kEbr,
+                                           ReclaimPolicy::kHp),
+                         [](const auto& info) {
+                           return std::string(to_string(info.param));
+                         });
+
+}  // namespace
+}  // namespace pimds
