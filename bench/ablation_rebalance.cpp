@@ -16,6 +16,7 @@
 #include "common/rng.hpp"
 #include "common/timing.hpp"
 #include "common/zipf.hpp"
+#include "core/auto_rebalancer.hpp"
 #include "core/pim_skiplist.hpp"
 
 int main(int argc, char** argv) {
@@ -93,7 +94,27 @@ int main(int argc, char** argv) {
     return tput;
   };
 
+  // Observe-only rebalancer during the skewed phase: it consumes the
+  // skip-list LoadMap's HotVaultReport and logs would-trigger decisions
+  // (no migration — the manual quartile split below stays the ablation's
+  // controlled variable). Its would_trigger count is the telemetry-plane
+  // acceptance signal: under theta = 0.99 the hot vault must exceed the
+  // imbalance threshold.
+  core::AutoRebalancer::Options obs_opts;
+  obs_opts.observe_only = true;
+  obs_opts.period = std::chrono::milliseconds(100);
+  core::AutoRebalancer observer(list, obs_opts);
+  observer.start();
+
   const double before = measure("static partitions (skewed)", 1.0);
+
+  observer.stop();
+  const auto hot_report = observer.last_report();
+  std::printf("observe-only rebalancer: %zu would-trigger decisions; "
+              "last report: %s\n",
+              observer.would_trigger_count(), hot_report.summary().c_str());
+  json.note("would_trigger", static_cast<double>(observer.would_trigger_count()));
+  json.note("observed_imbalance_ratio", hot_report.imbalance_ratio);
 
   // Pick split keys at the workload's empirical quartiles — the policy an
   // operator (or an automatic rebalancer watching vault_stats()) would use

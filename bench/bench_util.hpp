@@ -9,10 +9,17 @@
 //                    (obs::Registry snapshot) in <file>
 //   --trace <file>   record runtime/sim events and write a Chrome/Perfetto
 //                    trace_event JSON to <file> on exit
-//   --no-obs         disable metrics AND tracing (overhead measurement)
+//   --no-obs         disable metrics AND tracing (overhead measurement);
+//                    also suppresses --telemetry
+//   --telemetry <file>          windowed JSONL time-series (obs::Sampler)
+//   --telemetry-interval-ms <n> sampling interval (default 100)
+// Environment: PIMDS_FLIGHT_DUMP=<file> dumps the flight-recorder ring of
+// recent windows there at exit (and on SIGUSR1), even without --telemetry.
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
@@ -78,12 +85,18 @@ class JsonReporter {
 
   JsonReporter(int argc, char** argv, std::string bench_name)
       : bench_(std::move(bench_name)) {
+    obs::TelemetryOptions topts;
     for (int i = 1; i < argc; ++i) {
       const std::string arg = argv[i];
       if (arg == "--json" && i + 1 < argc) {
         path_ = argv[i + 1];
       } else if (arg == "--trace" && i + 1 < argc) {
         trace_path_ = argv[i + 1];
+      } else if (arg == "--telemetry" && i + 1 < argc) {
+        topts.path = argv[i + 1];
+      } else if (arg == "--telemetry-interval-ms" && i + 1 < argc) {
+        topts.interval_ms =
+            static_cast<std::uint64_t>(std::strtoull(argv[i + 1], nullptr, 10));
       } else if (arg == "--no-obs") {
         obs::set_metrics_enabled(false);
       }
@@ -96,12 +109,23 @@ class JsonReporter {
       // are short-lived, so a fatter ring is the right trade.
       obs::set_trace_buffer_capacity(1u << 18);
     }
+    bool no_obs = false;
     for (int i = 1; i < argc; ++i) {
       if (std::string(argv[i]) == "--no-obs") {
-        // Takes precedence over --trace: --no-obs measures the disabled
-        // overhead, so nothing may record.
+        // Takes precedence over --trace/--telemetry: --no-obs measures the
+        // disabled overhead, so nothing may record or sample.
         obs::set_trace_enabled(false);
+        no_obs = true;
       }
+    }
+    if (const char* dump = std::getenv("PIMDS_FLIGHT_DUMP")) {
+      // Flight recording rides the sampler: the env var alone starts a
+      // memory-only sampler (no JSONL file) whose ring dumps at exit.
+      if (dump[0] != '\0') topts.flight_dump_path = dump;
+    }
+    if (!no_obs && (!topts.path.empty() || !topts.flight_dump_path.empty())) {
+      sampler_ = std::make_unique<obs::Sampler>(topts);
+      sampler_->start();
     }
   }
 
@@ -161,6 +185,15 @@ class JsonReporter {
   void flush() {
     if (flushed_) return;
     flushed_ = true;
+    if (sampler_ != nullptr) {
+      // Stop before the metrics snapshot below so the final window (and the
+      // flight dump, when configured) is already on disk and the sampler's
+      // self-metering counters are settled.
+      sampler_->stop();
+      std::printf("(telemetry: %zu windows%s%s)\n", sampler_->samples(),
+                  sampler_->options().path.empty() ? "" : " -> ",
+                  sampler_->options().path.c_str());
+    }
     if (!trace_path_.empty()) {
       if (obs::write_chrome_trace(trace_path_)) {
         std::printf("(trace written to %s: %zu events)\n", trace_path_.c_str(),
@@ -179,6 +212,15 @@ class JsonReporter {
     }
     std::fprintf(f, "{\n  \"bench\": \"%s\",\n", escape(bench_).c_str());
     for (const auto& n : notes_) std::fprintf(f, "%s,\n", n.c_str());
+    if (sampler_ != nullptr && !sampler_->options().path.empty()) {
+      std::fprintf(f,
+                   "  \"telemetry\": {\"path\": \"%s\", \"interval_ms\": "
+                   "%llu, \"samples\": %zu},\n",
+                   escape(sampler_->options().path).c_str(),
+                   static_cast<unsigned long long>(
+                       sampler_->options().interval_ms),
+                   sampler_->samples());
+    }
     std::fprintf(f, "  \"conformance\": %s,\n",
                  model::conformance_json(conformance_, 2).c_str());
     if (attribution_.empty()) capture_attribution();
@@ -213,6 +255,7 @@ class JsonReporter {
   std::string bench_;
   std::string path_;
   std::string trace_path_;
+  std::unique_ptr<obs::Sampler> sampler_;
   std::vector<std::string> records_;
   std::vector<std::string> notes_;
   std::string attribution_;

@@ -2,7 +2,13 @@
 // lock-free skip-list and the flat-combining skip-list with 1/4/8/16
 // partitions, plus the PIM-managed skip-list (both the paper's 3x-FC proxy
 // estimate and the directly simulated structure with 8 and 16 vaults).
+//
+// `--skew <theta>` appends one Zipf-skewed PIM k=16 run at the top of the
+// sweep (telemetry scenario; flag-gated so the default output and the
+// committed perf-gate baselines stay bit-identical).
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 
 #include "bench/bench_util.hpp"
 #include "model/skiplist_model.hpp"
@@ -11,6 +17,13 @@
 int main(int argc, char** argv) {
   using namespace pimds;
   using namespace pimds::bench;
+
+  double skew_theta = 0.0;
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--skew") == 0) {
+      skew_theta = std::strtod(argv[i + 1], nullptr);
+    }
+  }
 
   JsonReporter json(argc, argv, "fig4_skiplists");
   banner("Figure 4: skip-list throughput vs threads (simulator)");
@@ -67,6 +80,23 @@ int main(int argc, char** argv) {
                      model::pim_skiplist_partitioned(lp, beta, 8), last_pim8);
     json.conformance("pim_skiplist.k16",
                      model::pim_skiplist_partitioned(lp, beta, 16), last_pim16);
+  }
+
+  if (skew_theta > 0.0) {
+    sim::SkipListConfig cfg;
+    cfg.num_cpus = 16;
+    cfg.key_range = 1 << 15;
+    cfg.initial_size = 1 << 14;
+    cfg.duration_ns = 15'000'000;
+    cfg.zipf_theta = skew_theta;
+    const double tput = sim::run_pim_skiplist(cfg, 16).ops_per_sec();
+    std::printf("\nPIM k=16, 16 threads, Zipf(%.2f): %s Mops/s (uniform: "
+                "%s)\n",
+                skew_theta, mops(tput).c_str(), mops(last_pim16).c_str());
+    json.record("pim16_p16_zipf",
+                {{"threads", "16"},
+                 {"zipf_theta", std::to_string(skew_theta)}},
+                tput);
   }
 
   std::printf(

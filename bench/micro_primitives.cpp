@@ -15,6 +15,7 @@
 #include "common/reclaim.hpp"
 #include "common/rng.hpp"
 #include "common/zipf.hpp"
+#include "obs/obs.hpp"
 #include "sim/engine.hpp"
 #include "sim/fiber.hpp"
 
@@ -127,6 +128,74 @@ void BM_ReclaimRetire(benchmark::State& state, ReclaimPolicy policy) {
 BENCHMARK_CAPTURE(BM_ReclaimRetire, ebr, pimds::ReclaimPolicy::kEbr);
 BENCHMARK_CAPTURE(BM_ReclaimRetire, hp, pimds::ReclaimPolicy::kHp);
 
+// --- Telemetry-plane costs (the numbers behind docs/OBSERVABILITY.md's
+// "Telemetry & LoadMap" section). BM_MetricsSnapshot/BM_DeltaSnapshot/
+// BM_TelemetryLine together bound one sampler tick; BM_LoadMapRecord is
+// the per-op cost the LoadMap adds to the vault service path.
+
+void BM_MetricsSnapshot(benchmark::State& state) {
+  // Populate a registry comparable to a real bench run so the merge cost
+  // is realistic (the process-wide registry already holds the runtime's
+  // metrics from other benchmarks in this binary).
+  auto& reg = obs::Registry::instance();
+  for (int i = 0; i < 64; ++i) {
+    reg.counter("micro.snap.c" + std::to_string(i)).add(1);
+  }
+  for (auto _ : state) {
+    obs::MetricsSnapshot snap = reg.snapshot();
+    benchmark::DoNotOptimize(snap.counters.data());
+  }
+}
+BENCHMARK(BM_MetricsSnapshot);
+
+void BM_DeltaSnapshot(benchmark::State& state) {
+  // One sampler window: full snapshot + diff against the retained
+  // baseline. This is what obs::Sampler pays per tick before serializing.
+  auto& reg = obs::Registry::instance();
+  reg.counter("micro.delta.c").add(1);
+  obs::DeltaBaseline baseline;
+  (void)reg.delta_snapshot(baseline);  // prime, like Sampler::start()
+  for (auto _ : state) {
+    obs::MetricsSnapshot delta = reg.delta_snapshot(baseline);
+    benchmark::DoNotOptimize(delta.counters.data());
+  }
+}
+BENCHMARK(BM_DeltaSnapshot);
+
+void BM_TelemetryLine(benchmark::State& state) {
+  // JSONL serialization of one windowed delta (no file I/O).
+  auto& reg = obs::Registry::instance();
+  reg.counter("micro.line.c").add(1);
+  reg.histogram("micro.line.h").record(123);
+  obs::DeltaBaseline baseline;
+  const obs::MetricsSnapshot delta = reg.delta_snapshot(baseline);
+  std::uint64_t seq = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        obs::telemetry_line(delta, seq++, 1'000'000, 100'000'000));
+  }
+}
+BENCHMARK(BM_TelemetryLine);
+
+void BM_LoadMapRecord(benchmark::State& state) {
+  // Hot-path cost on the vault service loop: sharded counter bump + range
+  // bucket + SpaceSaving sketch update, Zipf-keyed so the sketch sees the
+  // eviction path it sees in production.
+  obs::LoadMap::Options opts;
+  opts.num_vaults = 8;
+  opts.key_min = 1;
+  opts.key_max = 1 << 15;
+  opts.registry_prefix = "";  // stand-alone: skip registry registration
+  obs::LoadMap map(opts);
+  Xoshiro256 rng(1);
+  ZipfGenerator zipf(1 << 15, 0.99);
+  for (auto _ : state) {
+    const std::uint64_t key = zipf.next(rng) + 1;
+    map.record(key & 7, key);
+  }
+}
+BENCHMARK(BM_LoadMapRecord);
+
 void BM_LatencyInjectionPim(benchmark::State& state) {
   auto& inj = LatencyInjector::instance();
   LatencyParams lp;
@@ -182,7 +251,8 @@ int main(int argc, char** argv) {
   args.push_back(argv[0]);
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
-    if (arg == "--json" || arg == "--trace") {
+    if (arg == "--json" || arg == "--trace" || arg == "--telemetry" ||
+        arg == "--telemetry-interval-ms") {
       ++i;  // skip the flag's value as well
       continue;
     }

@@ -22,9 +22,9 @@ import pathlib
 import subprocess
 import sys
 
-# (binary, json name it reports, extra args). batch_drain runs at 18
-# threads: enough concurrency to keep both PIM cores saturated (the gate
-# holds its internal batched-vs-seed speedup plus the batched run's
+# (binary, json name it reports, extra args, telemetry). batch_drain runs
+# at 18 threads: enough concurrency to keep both PIM cores saturated (the
+# gate holds its internal batched-vs-seed speedup plus the batched run's
 # attribution shares, all host-speed independent), while 600 ops/thread
 # keeps the speedup distribution tight enough for best-of-2 gating. The
 # 4 us drain gather window holds sender-side queueing under the gate's
@@ -32,6 +32,11 @@ import sys
 # so the longer Lpim auto-window only adds queueing delay). These flags
 # match the binary's own defaults; they are spelled out here so the gated
 # configuration is visible where CI reads it.
+# batch_drain also runs with the 100 ms telemetry sampler ON: the gate's
+# speedup is an internal same-process ratio (batched vs seed, both legs
+# sampled), and the sampler's metered self-cost is ~0.5% of wall, so the
+# gated numbers carry a windowed time-series for free and the gate keeps
+# proving the telemetry plane does not perturb the hot path.
 # batch_drain runs FIRST: it is the only bench measuring real threads, so
 # it gets the machine before the sim benches churn the caches and the
 # scheduler (the sim benches run in virtual time and do not care).
@@ -40,11 +45,12 @@ BENCHES = [
         "ablation_batch_drain",
         "batch_drain",
         ["--threads", "18", "--ops", "600", "--gather-ns", "4000"],
+        True,
     ),
-    ("sec52_fifo_queues", "sec52_fifo_queues", []),
-    ("fig4_skiplists", "fig4_skiplists", []),
-    ("table1_linked_lists", "table1_linked_lists", []),
-    ("table2_skiplists", "table2_skiplists", []),
+    ("sec52_fifo_queues", "sec52_fifo_queues", [], False),
+    ("fig4_skiplists", "fig4_skiplists", [], False),
+    ("table1_linked_lists", "table1_linked_lists", [], False),
+    ("table2_skiplists", "table2_skiplists", [], False),
 ]
 
 
@@ -65,12 +71,15 @@ def main():
     checker = pathlib.Path(__file__).with_name("trace_report.py")
 
     failures = 0
-    for binary, json_name, extra in BENCHES:
+    for binary, json_name, extra, telemetry in BENCHES:
         if args.filter and args.filter not in binary:
             continue
         exe = build / "bench" / binary
         dest = out / f"BENCH_{json_name}.json"
         cmd = [str(exe), *extra, "--json", str(dest)]
+        jsonl = out / f"BENCH_{json_name}.telemetry.jsonl"
+        if telemetry:
+            cmd += ["--telemetry", str(jsonl), "--telemetry-interval-ms", "100"]
         print(f"bench_all: running {' '.join(cmd)}", flush=True)
         try:
             subprocess.run(
@@ -86,6 +95,17 @@ def main():
         if check.returncode != 0:
             print(f"bench_all: {dest} failed validation", file=sys.stderr)
             failures += 1
+        if telemetry:
+            tcheck = subprocess.run(
+                [
+                    sys.executable,
+                    str(checker.with_name("telemetry_report.py")),
+                    str(jsonl),
+                ]
+            )
+            if tcheck.returncode != 0:
+                print(f"bench_all: {jsonl} failed validation", file=sys.stderr)
+                failures += 1
     if failures:
         print(f"bench_all: {failures} bench(es) failed", file=sys.stderr)
         return 1

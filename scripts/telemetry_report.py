@@ -1,0 +1,266 @@
+#!/usr/bin/env python3
+"""Validate and summarize a telemetry JSONL stream (obs::Sampler output).
+
+Stdlib-only, like trace_report.py. Default mode validates the stream and
+prints a per-vault utilization summary:
+
+  telemetry_report.py RUN.telemetry.jsonl
+
+Validation: every line is a JSON object with schema == "pimds.telemetry.v1",
+seq strictly increasing, t_wall_ns strictly increasing, interval_ns > 0,
+and counters/gauges/histograms present as objects. The line SHAPE is
+schema-stable; the metric-name sets are dynamic by design -- externally
+registered metrics (mailbox counters, LoadMap vault counters) come and go
+with the component that owns them, and readers treat absence as "metric
+not live this window".
+
+Per-vault summary: counter families matching r"\\.vault(\\d+)\\.(\\w+)$" are
+grouped by (family prefix, metric); for the family with the largest total
+the report prints per-vault op shares, the windowed peak imbalance ratio
+(hottest vault / mean over one window), and -- when busy_ns counters are
+present -- per-vault utilization (windowed busy_ns / wall time).
+
+  telemetry_report.py RUN.telemetry.jsonl --assert-hot-vault \\
+      [--threshold 1.5] [--expect-vault N] [--min-window-ops 100]
+
+Asserts the skew acceptance criterion: some window must show an imbalance
+ratio >= threshold (using the MAX over eligible windows, not the aggregate
+-- uniform warm-up/cool-down windows dilute the aggregate). Windows with
+fewer than --min-window-ops total ops are ignored as noise. With
+--expect-vault, the hottest vault of the peak window must be that vault.
+
+Also understands flight-recorder dumps ("pimds.flight.v1": a single JSON
+object with a "samples" list of telemetry lines) -- pass the dump path and
+the same validation/summary runs over the embedded samples.
+
+Exit codes: 0 ok, 1 usage/IO error, 2 validation or assertion failure.
+"""
+
+import argparse
+import json
+import re
+import sys
+from collections import defaultdict
+
+SCHEMA = "pimds.telemetry.v1"
+FLIGHT_SCHEMA = "pimds.flight.v1"
+VAULT_RE = re.compile(r"^(.*)\.vault(\d+)\.(\w+)$")
+
+
+def fail(msg):
+    print(f"telemetry_report: FAIL: {msg}", file=sys.stderr)
+    sys.exit(2)
+
+
+def load_windows(path):
+    """Parse a JSONL stream or a flight dump into a list of window dicts."""
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            text = f.read()
+    except OSError as e:
+        print(f"telemetry_report: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(1)
+    stripped = text.lstrip()
+    if not stripped:
+        fail(f"{path} is empty")
+    if stripped.startswith("{") and f'"{FLIGHT_SCHEMA}"' in stripped[:200]:
+        try:
+            doc = json.loads(text)
+        except json.JSONDecodeError as e:
+            fail(f"{path} is not valid JSON (flight dump): {e}")
+        if doc.get("schema") != FLIGHT_SCHEMA:
+            fail(f'flight dump schema is {doc.get("schema")!r}, '
+                 f"expected {FLIGHT_SCHEMA!r}")
+        samples = doc.get("samples")
+        if not isinstance(samples, list):
+            fail('flight dump missing a "samples" list')
+        print(f"{path}: flight dump, {len(samples)} retained windows, "
+              f"{doc.get('dropped', 0)} dropped")
+        return samples
+    windows = []
+    for lineno, line in enumerate(text.splitlines(), 1):
+        if not line.strip():
+            continue
+        try:
+            windows.append(json.loads(line))
+        except json.JSONDecodeError as e:
+            fail(f"{path}:{lineno} is not valid JSON: {e}")
+    return windows
+
+
+def validate(windows, path):
+    if not windows:
+        fail(f"{path} contains no telemetry windows")
+    prev_seq = None
+    prev_wall = None
+    for i, w in enumerate(windows):
+        where = f"window[{i}]"
+        if not isinstance(w, dict):
+            fail(f"{where} is not an object")
+        if w.get("schema") != SCHEMA:
+            fail(f'{where} schema is {w.get("schema")!r}, expected {SCHEMA!r}')
+        for key in ("seq", "t_wall_ns", "interval_ns"):
+            v = w.get(key)
+            if not isinstance(v, int) or isinstance(v, bool):
+                fail(f"{where} {key!r} must be an integer")
+        if prev_seq is not None and w["seq"] <= prev_seq:
+            fail(f"{where} seq {w['seq']} not strictly increasing "
+                 f"(previous {prev_seq})")
+        if prev_wall is not None and w["t_wall_ns"] <= prev_wall:
+            fail(f"{where} t_wall_ns not strictly increasing")
+        if w["interval_ns"] <= 0:
+            fail(f"{where} interval_ns must be > 0")
+        prev_seq, prev_wall = w["seq"], w["t_wall_ns"]
+        for section in ("counters", "gauges", "histograms"):
+            if not isinstance(w.get(section), dict):
+                fail(f"{where} missing object section {section!r}")
+        for name, v in w["counters"].items():
+            if not isinstance(v, int) or isinstance(v, bool) or v < 0:
+                fail(f"{where} counter {name!r} must be a non-negative int")
+        for name, h in w["histograms"].items():
+            for key in ("count", "mean", "p50", "p90", "p99", "p999", "max"):
+                if key not in h:
+                    fail(f"{where} histogram {name!r} missing {key!r}")
+    return windows
+
+
+def vault_families(windows):
+    """(prefix, metric) -> vault -> [per-window deltas]."""
+    fams = defaultdict(lambda: defaultdict(lambda: [0] * len(windows)))
+    for i, w in enumerate(windows):
+        for name, v in w["counters"].items():
+            m = VAULT_RE.match(name)
+            if m:
+                fams[(m.group(1), m.group(3))][int(m.group(2))][i] = v
+    return fams
+
+
+def pick_ops_family(fams):
+    """The 'ops'-like family with the largest total traffic."""
+    best, best_total = None, -1
+    for key, per_vault in fams.items():
+        if key[1] in ("busy_ns",):
+            continue
+        total = sum(sum(deltas) for deltas in per_vault.values())
+        if total > best_total:
+            best, best_total = key, total
+    return best
+
+
+def window_imbalances(per_vault, n_windows, min_window_ops):
+    """[(window index, total, hottest vault, imbalance ratio)] per window."""
+    out = []
+    vaults = sorted(per_vault)
+    for i in range(n_windows):
+        loads = [per_vault[v][i] for v in vaults]
+        total = sum(loads)
+        if total < min_window_ops:
+            continue
+        mean = total / len(loads)
+        peak = max(loads)
+        hot = vaults[loads.index(peak)]
+        out.append((i, total, hot, peak / mean if mean > 0 else 0.0))
+    return out
+
+
+def summarize(windows, path, min_window_ops):
+    wall = windows[-1]["t_wall_ns"] - windows[0]["t_wall_ns"] + \
+        windows[0]["interval_ns"]
+    n_counters = len({k for w in windows for k in w["counters"]})
+    print(f"{path}: OK {len(windows)} windows over {wall / 1e9:.2f}s, "
+          f"{n_counters} counters")
+    sampler = [w["histograms"].get("telemetry.sample_ns") for w in windows]
+    ticks = sum(h["count"] for h in sampler if h)
+    if ticks:
+        worst_p99 = max(h["p99"] for h in sampler if h)
+        print(f"  sampler self-cost: {ticks} metered ticks, "
+              f"worst window p99 = {worst_p99 / 1e3:.1f}us")
+
+    fams = vault_families(windows)
+    key = pick_ops_family(fams)
+    if key is None:
+        print("  no per-vault counter families -- nothing to attribute")
+        return
+    per_vault = fams[key]
+    family = f"{key[0]}.vault<k>.{key[1]}"
+    vaults = sorted(per_vault)
+    totals = {v: sum(per_vault[v]) for v in vaults}
+    grand = sum(totals.values())
+    print(f"  per-vault load ({family}, {grand} ops total):")
+    for v in vaults:
+        share = 100.0 * totals[v] / grand if grand else 0.0
+        print(f"    vault{v}: {totals[v]:>10} ops ({share:5.1f}%)")
+    imb = window_imbalances(per_vault, len(windows), min_window_ops)
+    if imb:
+        i, total, hot, ratio = max(imb, key=lambda t: t[3])
+        print(f"  peak window imbalance: window[{i}] ratio {ratio:.2f} "
+              f"(hottest vault{hot}, {total} ops in window; "
+              f"{len(imb)}/{len(windows)} windows eligible at "
+              f">= {min_window_ops} ops)")
+
+    busy = fams.get((key[0].rsplit(".", 1)[0] + ".runtime", "busy_ns")) \
+        or next((fams[k] for k in fams if k[1] == "busy_ns"), None)
+    if busy:
+        print("  per-vault utilization (busy_ns / wall):")
+        for v in sorted(busy):
+            util = sum(busy[v]) / wall if wall else 0.0
+            print(f"    vault{v}: {100.0 * util:5.1f}%")
+    return key
+
+
+def assert_hot_vault(windows, fams, key, threshold, expect_vault,
+                     min_window_ops):
+    if key is None:
+        fail("--assert-hot-vault: no per-vault counter family in the stream")
+    imb = window_imbalances(fams[key], len(windows), min_window_ops)
+    if not imb:
+        fail(f"--assert-hot-vault: no window reached {min_window_ops} ops")
+    i, total, hot, ratio = max(imb, key=lambda t: t[3])
+    if ratio < threshold:
+        fail(f"--assert-hot-vault: peak imbalance {ratio:.2f} "
+             f"(window[{i}], hottest vault{hot}) below threshold "
+             f"{threshold:.2f}")
+    if expect_vault is not None and hot != expect_vault:
+        fail(f"--assert-hot-vault: peak window's hottest vault is vault{hot}, "
+             f"expected vault{expect_vault}")
+    print(f"  hot-vault assertion OK: window[{i}] vault{hot} "
+          f"ratio {ratio:.2f} >= {threshold:.2f} ({total} ops)")
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("file", help="telemetry JSONL (or a flight dump JSON)")
+    ap.add_argument(
+        "--assert-hot-vault",
+        action="store_true",
+        help="fail (exit 2) unless some window shows imbalance >= threshold",
+    )
+    ap.add_argument(
+        "--threshold",
+        type=float,
+        default=1.5,
+        help="minimum peak imbalance ratio (hottest / mean), default 1.5",
+    )
+    ap.add_argument(
+        "--expect-vault",
+        type=int,
+        default=None,
+        help="the peak window's hottest vault must be this one",
+    )
+    ap.add_argument(
+        "--min-window-ops",
+        type=int,
+        default=100,
+        help="ignore windows with fewer total family ops than this",
+    )
+    args = ap.parse_args()
+    windows = validate(load_windows(args.file), args.file)
+    key = summarize(windows, args.file, args.min_window_ops)
+    if args.assert_hot_vault:
+        assert_hot_vault(windows, vault_families(windows), key,
+                         args.threshold, args.expect_vault,
+                         args.min_window_ops)
+
+
+if __name__ == "__main__":
+    main()

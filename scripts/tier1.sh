@@ -29,6 +29,23 @@ if [[ "${PIMDS_SCHEDULE_EXPLORE:-0}" == 1 ]]; then
     ./build/tests/test_schedule_explore
 fi
 
+echo "== tier-1: telemetry smoke (Zipf hot vault through the sampler) =="
+# A skewed table2 run with the sampler on: validate the JSONL stream, the
+# flight-recorder dump, and the bench JSON's telemetry section, then assert
+# the acceptance criterion — the theta=0.99 run must surface vault 0 as hot
+# in the windowed per-vault counters.
+telemetry_dir="$(mktemp -d)"
+PIMDS_FLIGHT_DUMP="$telemetry_dir/flight.json" ./build/bench/table2_skiplists \
+  --skew 0.99 --json "$telemetry_dir/table2.json" \
+  --telemetry "$telemetry_dir/table2.telemetry.jsonl" \
+  --telemetry-interval-ms 25 > /dev/null
+python3 scripts/telemetry_report.py "$telemetry_dir/table2.telemetry.jsonl" \
+  --assert-hot-vault --expect-vault 0
+python3 scripts/telemetry_report.py "$telemetry_dir/flight.json"
+python3 scripts/trace_report.py --check-bench "$telemetry_dir/table2.json"
+rm -rf "$telemetry_dir"
+echo "telemetry-smoke: OK"
+
 echo "== tier-1: -DPIMDS_OBS=OFF configuration =="
 # Compiling test_obs in this configuration checks the layout static
 # asserts (FatEntry must drop to 32 bytes and Message to 112 with the
@@ -45,7 +62,7 @@ if [[ "$skip_tsan" == 0 ]]; then
   echo "== tier-1: runtime tests under ThreadSanitizer =="
   cmake --preset tsan > /dev/null
   cmake --build build-tsan -j --target \
-    test_runtime test_mailbox_batch test_spsc_ring test_obs
+    test_runtime test_mailbox_batch test_spsc_ring test_obs test_telemetry
   # No suppressions: the runtime message path must be genuinely race-free.
   TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_runtime
   TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_mailbox_batch
@@ -55,6 +72,9 @@ if [[ "$skip_tsan" == 0 ]]; then
   # The metrics/trace layer is all relaxed atomics + sharding; it must be
   # race-free too (counter sharding test hammers it from 8 threads).
   TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_obs
+  # Telemetry plane: snapshot-merge vs external-registration churn, the
+  # sampler thread, and the LoadMap's single-writer sketch under readers.
+  TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_telemetry
   # Reclamation seam: the protect/retire race and the policy-parameterized
   # baseline matrix are the TSan targets for the HP publish/scan fences.
   cmake --build build-tsan -j --target test_reclaim test_baselines \

@@ -24,7 +24,9 @@ Two modes, both stdlib-only:
       ({"rows": [{name, predicted_ops_per_sec, measured_ops_per_sec,
       divergence_pct}]}) and "attribution" object, and -- when a "metrics"
       section is present -- that histograms carry count/p50/p99/p999.
-      Exit 2 on any violation.
+      When the optional "telemetry" section is present (runs with
+      --telemetry <file>), it must be {"path": str, "interval_ms": num > 0,
+      "samples": int >= 0}. Exit 2 on any violation.
 
 Exit codes: 0 ok, 1 usage/IO error, 2 validation failure.
 """
@@ -104,12 +106,29 @@ def check_bench(path):
             for key in ("count", "mean", "p50", "p99", "p999", "max"):
                 if key not in h:
                     fail(f'histogram "{name}" missing "{key}"')
+    telemetry = doc.get("telemetry")
+    if telemetry is not None:
+        if not isinstance(telemetry, dict):
+            fail('"telemetry" must be an object')
+        if not isinstance(telemetry.get("path"), str) or not telemetry["path"]:
+            fail('telemetry section missing a non-empty string "path"')
+        interval = telemetry.get("interval_ms")
+        if (
+            not isinstance(interval, (int, float))
+            or isinstance(interval, bool)
+            or interval <= 0
+        ):
+            fail('telemetry "interval_ms" must be a positive number')
+        samples = telemetry.get("samples")
+        if not isinstance(samples, int) or isinstance(samples, bool) or samples < 0:
+            fail('telemetry "samples" must be a non-negative integer')
     print(
         f"{path}: OK bench={doc['bench']} records={len(records)} "
         f"conformance_rows={len(conformance['rows'])} "
         f"attribution_domains={len(doc['attribution'])} "
         f"metrics={'yes' if metrics is not None else 'no'} "
-        f"histograms={n_hist}"
+        f"histograms={n_hist} "
+        f"telemetry={'yes' if telemetry is not None else 'no'}"
     )
 
 

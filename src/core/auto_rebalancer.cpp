@@ -1,6 +1,9 @@
 #include "core/auto_rebalancer.hpp"
 
 #include <algorithm>
+#include <cstdio>
+
+#include "obs/metrics.hpp"
 
 namespace pimds::core {
 
@@ -32,7 +35,78 @@ void AutoRebalancer::stop() {
   started_ = false;
 }
 
+obs::LoadMap::HotVaultReport AutoRebalancer::last_report() const {
+  std::lock_guard<std::mutex> lock(report_mu_);
+  return last_report_;
+}
+
+std::uint64_t AutoRebalancer::suggest_split(
+    const obs::LoadMap::HotVaultReport& rep, std::size_t hot) const {
+  // Prefer the LoadMap's hottest key range that falls inside a partition
+  // the hot vault owns: splitting just below the hot spot moves it, where
+  // the blind widest-partition midpoint may leave it in place.
+  const auto partitions = list_.partitions();
+  const auto owned_by_hot = [&](std::uint64_t key) {
+    for (std::size_t i = 0; i < partitions.size(); ++i) {
+      const std::uint64_t lo = partitions[i].sentinel;
+      const std::uint64_t hi = i + 1 < partitions.size()
+                                   ? partitions[i + 1].sentinel
+                                   : list_.options().key_max + 1;
+      if (key >= lo && key < hi) return partitions[i].vault == hot;
+    }
+    return false;
+  };
+  for (const auto& r : rep.hot_ranges) {
+    const std::uint64_t mid = r.lo + (r.hi - r.lo) / 2;
+    if (owned_by_hot(mid)) return mid;
+  }
+  // Fallback: midpoint of the hot vault's widest partition.
+  std::uint64_t best_lo = 0;
+  std::uint64_t best_hi = 0;
+  for (std::size_t i = 0; i < partitions.size(); ++i) {
+    if (partitions[i].vault != hot) continue;
+    const std::uint64_t lo = partitions[i].sentinel;
+    const std::uint64_t hi = i + 1 < partitions.size()
+                                 ? partitions[i + 1].sentinel
+                                 : list_.options().key_max + 1;
+    if (hi - lo > best_hi - best_lo) {
+      best_lo = lo;
+      best_hi = hi;
+    }
+  }
+  return best_lo + (best_hi - best_lo) / 2;
+}
+
+void AutoRebalancer::tick_observe() {
+  obs::LoadMap::HotVaultReport rep = list_.loadmap().report();
+  if (rep.window_ops < options_.min_window_ops) return;
+  const bool trigger = rep.hottest != rep.coldest &&
+                       rep.imbalance_ratio >= options_.imbalance_ratio;
+  {
+    std::lock_guard<std::mutex> lock(report_mu_);
+    last_report_ = rep;
+  }
+  if (!trigger) return;
+  would_trigger_.fetch_add(1, std::memory_order_relaxed);
+  static obs::Counter& would_trigger_counter =
+      obs::Registry::instance().counter("rebalancer.would_trigger");
+  would_trigger_counter.add(1);
+  if (options_.log_decisions) {
+    const std::uint64_t split = suggest_split(rep, rep.hottest);
+    std::fprintf(stderr,
+                 "[auto_rebalancer] would-trigger: %s; would migrate "
+                 "[%llu, end of partition) -> vault %zu (threshold %.2f)\n",
+                 rep.summary().c_str(),
+                 static_cast<unsigned long long>(split), rep.coldest,
+                 options_.imbalance_ratio);
+  }
+}
+
 void AutoRebalancer::tick() {
+  if (options_.observe_only) {
+    tick_observe();
+    return;
+  }
   const auto stats = list_.vault_stats();
   if (last_requests_.size() != stats.size()) {
     last_requests_.assign(stats.size(), 0);
@@ -49,7 +123,7 @@ void AutoRebalancer::tick() {
     last_requests_[v] = stats[v].requests;
     total += delta[v];
   }
-  if (total < 100) return;  // too little traffic to judge
+  if (total < options_.min_window_ops) return;  // too little traffic to judge
   const std::size_t hot = static_cast<std::size_t>(
       std::max_element(delta.begin(), delta.end()) - delta.begin());
   const std::size_t cold = static_cast<std::size_t>(

@@ -2,15 +2,29 @@
 // the trigger policy open: "we expect that rebalancing will not happen very
 // frequently"). This helper watches per-vault request rates and splits the
 // hottest vault's widest partition toward the coldest vault.
+//
+// Two modes:
+//  - active (default): the historical behaviour — diff vault_stats()
+//    request counts per period and call migrate() when the hottest vault
+//    exceeds imbalance_ratio x mean.
+//  - observe-only: consume the skip-list LoadMap's HotVaultReport
+//    (per-vault windows + hot key ranges) and LOG would-trigger decisions
+//    — including the split key the hot-range histogram suggests — without
+//    migrating. This is the staging mode for LoadMap-driven automatic
+//    migration: run it beside production traffic, read the decisions out
+//    of the telemetry stream (`rebalancer.would_trigger` counter), and
+//    flip to active once the policy is trusted.
 #pragma once
 
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "core/pim_skiplist.hpp"
+#include "obs/loadmap.hpp"
 
 namespace pimds::core {
 
@@ -23,6 +37,12 @@ class AutoRebalancer {
     std::chrono::milliseconds period{50};
     /// Safety valve for tests/demos.
     std::size_t max_migrations = ~std::size_t{0};
+    /// Don't judge windows with fewer total ops than this (noise floor).
+    std::uint64_t min_window_ops = 100;
+    /// Decide from the LoadMap and log would-trigger lines, never migrate.
+    bool observe_only = false;
+    /// Print one stderr line per would-trigger decision (observe-only).
+    bool log_decisions = true;
   };
 
   AutoRebalancer(PimSkipList& list, Options options);
@@ -41,14 +61,32 @@ class AutoRebalancer {
     return migrations_.load(std::memory_order_relaxed);
   }
 
+  /// Observe-only decisions so far (also `rebalancer.would_trigger` in the
+  /// metrics registry, so the telemetry stream carries them per window).
+  std::size_t would_trigger_count() const noexcept {
+    return would_trigger_.load(std::memory_order_relaxed);
+  }
+
+  /// Copy of the LoadMap report behind the latest observe-only decision.
+  obs::LoadMap::HotVaultReport last_report() const;
+
  private:
   void tick();
+  void tick_observe();
+  /// Split key for a would-trigger decision: midpoint of the hottest key
+  /// range if the LoadMap saw one inside the hot vault's span, else the
+  /// midpoint of the hot vault's widest partition.
+  std::uint64_t suggest_split(const obs::LoadMap::HotVaultReport& rep,
+                              std::size_t hot) const;
 
   PimSkipList& list_;
   Options options_;
   std::vector<std::uint64_t> last_requests_;
   std::atomic<bool> stop_{false};
   std::atomic<std::size_t> migrations_{0};
+  std::atomic<std::size_t> would_trigger_{0};
+  mutable std::mutex report_mu_;
+  obs::LoadMap::HotVaultReport last_report_;
   std::thread thread_;
   bool started_ = false;
 };

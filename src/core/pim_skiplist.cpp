@@ -24,6 +24,16 @@ std::vector<SentinelDirectory::Entry> initial_partitions(
   return entries;
 }
 
+obs::LoadMap::Options loadmap_options(const PimSkipList::Options& options,
+                                      std::size_t vaults) {
+  obs::LoadMap::Options lm;
+  lm.num_vaults = vaults;
+  lm.key_min = options.key_min;
+  lm.key_max = options.key_max;
+  lm.registry_prefix = "skiplist";
+  return lm;
+}
+
 }  // namespace
 
 PimSkipList::PimSkipList(runtime::PimSystem& system)
@@ -32,7 +42,8 @@ PimSkipList::PimSkipList(runtime::PimSystem& system)
 PimSkipList::PimSkipList(runtime::PimSystem& system, Options options)
     : system_(system),
       options_(options),
-      directory_(initial_partitions(options, system.num_vaults())) {
+      directory_(initial_partitions(options, system.num_vaults())),
+      loadmap_(loadmap_options(options, system.num_vaults())) {
   for (std::size_t v = 0; v < system_.num_vaults(); ++v) {
     auto state = std::make_unique<VaultState>();
     // Every vault's local sentinel is the GLOBAL minimum (key_min - 1), not
@@ -198,6 +209,7 @@ void PimSkipList::handle_op(PimCoreApi& api, const Message& m,
                             bool forwarded) {
   VaultState& vs = *vaults_[api.vault_id()];
   vs.requests.value.fetch_add(1, std::memory_order_relaxed);
+  loadmap_.record(api.vault_id(), m.key);
   if (forwarded) {
     // The source only forwards keys it has already handed over, and the
     // per-channel FIFO guarantees the kMigNode carrying them arrived first.

@@ -20,6 +20,7 @@
 #include "common/cacheline.hpp"
 #include "core/local_skiplist.hpp"
 #include "core/sentinel_directory.hpp"
+#include "obs/loadmap.hpp"
 #include "runtime/system.hpp"
 
 namespace pimds::core {
@@ -66,6 +67,11 @@ class PimSkipList {
   std::vector<SentinelDirectory::Entry> partitions() const {
     return directory_.snapshot();
   }
+
+  /// Per-vault / per-key-range load accounting fed from the vault service
+  /// path ("skiplist.vault<k>.ops" in the registry); report() answers
+  /// hot-vault questions for the rebalancer's observe-only mode.
+  obs::LoadMap& loadmap() noexcept { return loadmap_; }
 
   std::size_t size() const noexcept;
 
@@ -136,6 +142,7 @@ class PimSkipList {
   runtime::PimSystem& system_;
   Options options_;
   SentinelDirectory directory_;
+  obs::LoadMap loadmap_;
   std::vector<std::unique_ptr<VaultState>> vaults_;
   CachePadded<std::atomic<bool>> migration_busy_{false};
 };

@@ -12,6 +12,18 @@ unsigned thread_index() noexcept {
   return idx;
 }
 
+const char* gauge_merge_name(GaugeMerge m) noexcept {
+  switch (m) {
+    case GaugeMerge::kMax:
+      return "max";
+    case GaugeMerge::kSum:
+      return "sum";
+    case GaugeMerge::kLast:
+      return "last";
+  }
+  return "?";
+}
+
 double HistogramData::percentile(double q) const noexcept {
   if (count == 0) return 0.0;
   if (q < 0.0) q = 0.0;
@@ -143,11 +155,14 @@ Counter& Registry::counter(const std::string& name) {
   return *slot;
 }
 
-Gauge& Registry::gauge(const std::string& name) {
+Gauge& Registry::gauge(const std::string& name, GaugeMerge merge) {
   std::lock_guard<std::mutex> lock(mu_);
   auto& slot = gauges_[name];
-  if (!slot) slot = std::make_unique<Gauge>();
-  return *slot;
+  if (!slot.gauge) {
+    slot.gauge = std::make_unique<Gauge>();
+    slot.merge = merge;
+  }
+  return *slot.gauge;
 }
 
 Histogram& Registry::histogram(const std::string& name) {
@@ -177,10 +192,11 @@ Registry::Handle Registry::register_counter(std::string name,
   return Handle(id);
 }
 
-Registry::Handle Registry::register_gauge(std::string name, const Gauge* g) {
+Registry::Handle Registry::register_gauge(std::string name, const Gauge* g,
+                                          GaugeMerge merge) {
   std::lock_guard<std::mutex> lock(mu_);
   const std::uint64_t id = next_external_id_++;
-  external_.push_back(External{id, std::move(name), Kind::kGauge, g});
+  external_.push_back(External{id, std::move(name), Kind::kGauge, g, merge});
   return Handle(id);
 }
 
@@ -193,51 +209,197 @@ Registry::Handle Registry::register_histogram(std::string name,
 }
 
 void Registry::unregister(std::uint64_t id) noexcept {
-  std::lock_guard<std::mutex> lock(mu_);
-  external_.erase(
-      std::remove_if(external_.begin(), external_.end(),
-                     [id](const External& e) { return e.id == id; }),
-      external_.end());
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    external_.erase(
+        std::remove_if(external_.begin(), external_.end(),
+                       [id](const External& e) { return e.id == id; }),
+        external_.end());
+  }
+  // A snapshot that copied the external index before the erase above may
+  // still be merging this metric. Such a merge holds merge_gate_ for its
+  // whole duration (and took it before copying the index), so acquiring it
+  // here waits that merge out; once we return, the owner may destroy the
+  // metric. Merges that take the gate after us see the erased index.
+  std::lock_guard<std::mutex> gate(merge_gate_);
 }
 
 MetricsSnapshot Registry::snapshot() const {
-  std::map<std::string, std::uint64_t> counters;
-  std::map<std::string, std::uint64_t> gauges;
-  std::map<std::string, HistogramData> hists;
+  // Phase 0: the merge gate. Taken before the index copy so unregister()
+  // (which erases under mu_, then waits on this gate) can never let an
+  // external metric die while we still hold a pointer to it.
+  std::lock_guard<std::mutex> gate(merge_gate_);
+
+  // Phase 1 (under the name-lookup mutex): copy the index only — metric
+  // pointers, names, gauge merge modes, derived values. Owned metrics have
+  // process lifetime, externals are pinned by the gate above, so the
+  // pointers stay valid for phase 2.
+  struct CounterRef {
+    const std::string* name;
+    const Counter* c;
+  };
+  struct GaugeRef {
+    const std::string* name;
+    const Gauge* g;
+    GaugeMerge merge;
+  };
+  struct HistRef {
+    const std::string* name;
+    const Histogram* h;
+  };
+  std::vector<CounterRef> counter_refs;
+  std::vector<GaugeRef> gauge_refs;
+  std::vector<HistRef> hist_refs;
+  std::vector<External> externals;
   MetricsSnapshot snap;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    for (const auto& [name, c] : counters_) counters[name] += c->value();
-    for (const auto& [name, g] : gauges_) {
-      gauges[name] = std::max(gauges[name], g->value());
+    counter_refs.reserve(counters_.size());
+    for (const auto& [name, c] : counters_) {
+      counter_refs.push_back({&name, c.get()});
     }
-    for (const auto& [name, h] : histograms_) h->collect(hists[name]);
-    for (const External& e : external_) {
-      switch (e.kind) {
-        case Kind::kCounter:
-          counters[e.name] += static_cast<const Counter*>(e.ptr)->value();
-          break;
-        case Kind::kGauge:
-          gauges[e.name] = std::max(
-              gauges[e.name], static_cast<const Gauge*>(e.ptr)->value());
-          break;
-        case Kind::kHistogram:
-          static_cast<const Histogram*>(e.ptr)->collect(hists[e.name]);
-          break;
-      }
+    gauge_refs.reserve(gauges_.size());
+    for (const auto& [name, slot] : gauges_) {
+      gauge_refs.push_back({&name, slot.gauge.get(), slot.merge});
     }
+    hist_refs.reserve(histograms_.size());
+    for (const auto& [name, h] : histograms_) {
+      hist_refs.push_back({&name, h.get()});
+    }
+    externals = external_;
     for (const auto& [name, v] : derived_) snap.derived.push_back({name, v});
   }
+  // Name pointers into the maps stay valid outside mu_: map nodes are never
+  // erased (owned metrics live forever), and rebalancing does not move
+  // node storage.
+
+  // Phase 2 (no name-lookup lock): the expensive merge — histogram shard
+  // sweeps in particular — runs without stalling hot-path registration.
+  std::map<std::string, std::uint64_t> counters;
+  struct GaugeAcc {
+    std::uint64_t value = 0;
+    GaugeMerge merge = GaugeMerge::kMax;
+    bool seen = false;
+  };
+  std::map<std::string, GaugeAcc> gauges;
+  std::map<std::string, HistogramData> hists;
+  const auto merge_gauge = [&gauges](const std::string& name,
+                                     std::uint64_t v, GaugeMerge mode) {
+    GaugeAcc& acc = gauges[name];
+    if (!acc.seen) {
+      // First registration of a name fixes the combine mode.
+      acc.merge = mode;
+      acc.value = v;
+      acc.seen = true;
+      return;
+    }
+    switch (acc.merge) {
+      case GaugeMerge::kMax:
+        acc.value = std::max(acc.value, v);
+        break;
+      case GaugeMerge::kSum:
+        acc.value += v;
+        break;
+      case GaugeMerge::kLast:
+        acc.value = v;
+        break;
+    }
+  };
+  for (const CounterRef& r : counter_refs) counters[*r.name] += r.c->value();
+  for (const GaugeRef& r : gauge_refs) {
+    merge_gauge(*r.name, r.g->value(), r.merge);
+  }
+  for (const HistRef& r : hist_refs) r.h->collect(hists[*r.name]);
+  for (const External& e : externals) {
+    switch (e.kind) {
+      case Kind::kCounter:
+        counters[e.name] += static_cast<const Counter*>(e.ptr)->value();
+        break;
+      case Kind::kGauge:
+        merge_gauge(e.name, static_cast<const Gauge*>(e.ptr)->value(),
+                    e.gmerge);
+        break;
+      case Kind::kHistogram:
+        static_cast<const Histogram*>(e.ptr)->collect(hists[e.name]);
+        break;
+    }
+  }
   for (const auto& [name, v] : counters) snap.counters.push_back({name, v});
-  for (const auto& [name, v] : gauges) snap.gauges.push_back({name, v});
+  for (const auto& [name, a] : gauges) snap.gauges.push_back({name, a.value});
   for (auto& [name, d] : hists) snap.histograms.push_back({name, d});
   return snap;
+}
+
+MetricsSnapshot diff_snapshots(const MetricsSnapshot& prev,
+                               const MetricsSnapshot& cur) {
+  MetricsSnapshot out;
+  // Both sides are sorted by name (snapshots are built from std::map
+  // iteration), so a two-pointer walk suffices.
+  const auto clamped_delta = [](std::uint64_t was, std::uint64_t now) {
+    // A Registry::reset() inside the window makes `now < was`; report the
+    // post-reset value rather than a wrapped delta.
+    return now >= was ? now - was : now;
+  };
+  {
+    std::size_t j = 0;
+    for (const auto& c : cur.counters) {
+      while (j < prev.counters.size() && prev.counters[j].name < c.name) ++j;
+      const std::uint64_t was =
+          (j < prev.counters.size() && prev.counters[j].name == c.name)
+              ? prev.counters[j].value
+              : 0;
+      out.counters.push_back({c.name, clamped_delta(was, c.value)});
+    }
+  }
+  // Gauges and derived values are point-in-time facts, not accumulations:
+  // the window view is just the current value.
+  out.gauges = cur.gauges;
+  out.derived = cur.derived;
+  {
+    std::size_t j = 0;
+    for (const auto& h : cur.histograms) {
+      while (j < prev.histograms.size() && prev.histograms[j].name < h.name) {
+        ++j;
+      }
+      const HistogramData* was =
+          (j < prev.histograms.size() && prev.histograms[j].name == h.name)
+              ? &prev.histograms[j].data
+              : nullptr;
+      MetricsSnapshot::Hist d;
+      d.name = h.name;
+      unsigned top = 0;
+      for (unsigned b = 0; b < HistogramData::kBuckets; ++b) {
+        const std::uint64_t wasn = was ? was->buckets[b] : 0;
+        const std::uint64_t n = clamped_delta(wasn, h.data.buckets[b]);
+        d.data.buckets[b] = n;
+        d.data.count += n;
+        if (n > 0) top = b;
+      }
+      d.data.sum = clamped_delta(was ? was->sum : 0, h.data.sum);
+      // The true window max is unrecoverable from cumulative shard maxes;
+      // bound it by the highest non-empty diff bucket (<= 25% over).
+      d.data.max =
+          d.data.count == 0
+              ? 0
+              : std::min(h.data.max, Histogram::bucket_upper(top) - 1);
+      out.histograms.push_back(std::move(d));
+    }
+  }
+  return out;
+}
+
+MetricsSnapshot Registry::delta_snapshot(DeltaBaseline& baseline) const {
+  MetricsSnapshot cur = snapshot();
+  MetricsSnapshot delta = diff_snapshots(baseline.last, cur);
+  baseline.last = std::move(cur);
+  baseline.windows += 1;
+  return delta;
 }
 
 void Registry::reset() {
   std::lock_guard<std::mutex> lock(mu_);
   for (auto& [name, c] : counters_) c->reset();
-  for (auto& [name, g] : gauges_) g->reset();
+  for (auto& [name, slot] : gauges_) slot.gauge->reset();
   for (auto& [name, h] : histograms_) h->reset();
   derived_.clear();
 }

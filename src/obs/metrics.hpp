@@ -22,7 +22,10 @@
 // objects owned by some other structure (e.g. a Mailbox's per-instance
 // counters) can be registered externally with an RAII handle that
 // unregisters on destruction. snapshot() merges both populations by name:
-// counters sum, gauges max, histograms merge bucket-wise.
+// counters sum, gauges combine per their GaugeMerge mode (max by default),
+// histograms merge bucket-wise. delta_snapshot() answers windowed
+// questions (per-interval rates and percentiles) by diffing against a
+// caller-retained DeltaBaseline.
 #pragma once
 
 #include <array>
@@ -89,14 +92,33 @@ class Counter {
   CachePadded<std::atomic<std::uint64_t>> shards_[kShards];
 };
 
-/// Single-slot gauge: set() for last-value semantics, record_max() for
-/// high-water marks. record_max is compare-first, so it only writes (CAS)
-/// when the watermark actually rises.
+/// How same-named gauges combine in a snapshot. kMax (the default) suits
+/// high-water marks; kSum suits per-lane/per-shard level gauges (e.g. queue
+/// depths) whose aggregate is the total; kLast is last-writer-wins for
+/// point-in-time facts where any one observation is representative.
+enum class GaugeMerge : std::uint8_t { kMax, kSum, kLast };
+
+const char* gauge_merge_name(GaugeMerge m) noexcept;
+
+/// Single-slot gauge: set() for last-value semantics, add()/sub() for level
+/// tracking (queue depths), record_max() for high-water marks. record_max
+/// is compare-first, so it only writes (CAS) when the watermark actually
+/// rises.
 class Gauge {
  public:
   void set(std::uint64_t v) noexcept {
     if (!metrics_enabled()) return;
     slot_.value.store(v, std::memory_order_relaxed);
+  }
+
+  void add(std::uint64_t n = 1) noexcept {
+    if (!metrics_enabled()) return;
+    slot_.value.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  void sub(std::uint64_t n = 1) noexcept {
+    if (!metrics_enabled()) return;
+    slot_.value.fetch_sub(n, std::memory_order_relaxed);
   }
 
   void record_max(std::uint64_t v) noexcept {
@@ -259,6 +281,25 @@ struct MetricsSnapshot {
   std::string to_json(int indent = 0) const;
 };
 
+/// Retained state for windowed (delta) snapshots: the cumulative snapshot
+/// at the previous delta_snapshot() call plus a window sequence number.
+/// One baseline per consumer (e.g. the telemetry Sampler keeps its own, so
+/// concurrent consumers never steal each other's windows).
+struct DeltaBaseline {
+  MetricsSnapshot last;
+  std::uint64_t windows = 0;
+};
+
+/// Window view of `cur` relative to `prev`: counters and histogram buckets
+/// diff (clamped at zero — a Registry::reset() mid-window restarts the
+/// counter, in which case the delta is the post-reset value); gauges and
+/// derived values pass through as point-in-time facts. The window max of a
+/// histogram is approximated by the upper bound of its highest non-empty
+/// diff bucket (<= 25% over the true window max, same error bound as the
+/// percentiles).
+MetricsSnapshot diff_snapshots(const MetricsSnapshot& prev,
+                               const MetricsSnapshot& cur);
+
 class Registry {
  public:
   static Registry& instance() noexcept;
@@ -268,8 +309,11 @@ class Registry {
 
   /// Find-or-create an owned metric. The returned reference is valid for
   /// the life of the process. Takes a lock — cache the reference.
+  /// For gauges, `merge` selects how same-named gauges combine in
+  /// snapshots; the mode given at first creation/registration of a name
+  /// wins for that name.
   Counter& counter(const std::string& name);
-  Gauge& gauge(const std::string& name);
+  Gauge& gauge(const std::string& name, GaugeMerge merge = GaugeMerge::kMax);
   Histogram& histogram(const std::string& name);
 
   /// Computed facts with no hot path (e.g. a combining ratio): last set
@@ -302,12 +346,27 @@ class Registry {
   };
 
   Handle register_counter(std::string name, const Counter* c);
-  Handle register_gauge(std::string name, const Gauge* g);
+  Handle register_gauge(std::string name, const Gauge* g,
+                        GaugeMerge merge = GaugeMerge::kMax);
   Handle register_histogram(std::string name, const Histogram* h);
 
   /// Merged view; duplicate names (e.g. two live PimSystems with the same
-  /// vault ids) aggregate: counters sum, gauges max, histograms merge.
+  /// vault ids) aggregate: counters sum, gauges per their GaugeMerge mode
+  /// (max by default), histograms merge bucket-wise.
+  ///
+  /// Locking: the name-lookup mutex is held only long enough to copy the
+  /// metric index (pointers); the expensive merge of histogram shards runs
+  /// outside it, so hot-path find-or-create registration never stalls
+  /// behind a snapshot. A separate gate serializes the merge against
+  /// external-metric unregistration (Handle release blocks until any
+  /// in-flight merge that may still read the metric has finished).
   MetricsSnapshot snapshot() const;
+
+  /// Windowed snapshot: cumulative snapshot() diffed against `baseline`
+  /// (see diff_snapshots), then the baseline advances to the new cumulative
+  /// state. First call on a fresh baseline diffs against empty, i.e.
+  /// returns the cumulative values.
+  MetricsSnapshot delta_snapshot(DeltaBaseline& baseline) const;
   std::string to_json(int indent = 0) const { return snapshot().to_json(indent); }
 
   /// Zero every owned metric and drop derived values (externally registered
@@ -324,13 +383,27 @@ class Registry {
     std::string name;
     Kind kind;
     const void* ptr;
+    GaugeMerge gmerge = GaugeMerge::kMax;
+  };
+  struct GaugeSlot {
+    std::unique_ptr<Gauge> gauge;
+    GaugeMerge merge = GaugeMerge::kMax;
   };
 
   void unregister(std::uint64_t id) noexcept;
 
+  /// Name-lookup mutex: protects the maps, external_ vector and derived_.
+  /// Held only for index copies during snapshots.
   mutable std::mutex mu_;
+  /// Merge gate: held across the whole (lock-free-index) merge phase of a
+  /// snapshot; unregister() acquires it after removing an entry so the
+  /// owner cannot destroy an external metric a merge is still reading.
+  /// Never held together with mu_ by the same acquisition order twice:
+  /// snapshot takes merge_gate_ -> mu_, unregister takes mu_, releases,
+  /// then merge_gate_.
+  mutable std::mutex merge_gate_;
   std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, GaugeSlot> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>> histograms_;
   std::map<std::string, double> derived_;
   std::vector<External> external_;

@@ -1,9 +1,13 @@
 // Umbrella header for the observability layer: metrics (counters, gauges,
-// HDR-style histograms, registry + JSON snapshot) and structured event
-// tracing (Chrome/Perfetto trace_event export). See docs/OBSERVABILITY.md
-// for the metric catalogue and event schema.
+// HDR-style histograms, registry + JSON snapshot), structured event
+// tracing (Chrome/Perfetto trace_event export), the live telemetry plane
+// (windowed JSONL sampler + flight recorder) and per-vault load
+// accounting. See docs/OBSERVABILITY.md for the metric catalogue, event
+// schema and telemetry JSONL schema.
 #pragma once
 
-#include "obs/metrics.hpp"  // IWYU pragma: export
-#include "obs/phase.hpp"    // IWYU pragma: export
-#include "obs/trace.hpp"    // IWYU pragma: export
+#include "obs/loadmap.hpp"    // IWYU pragma: export
+#include "obs/metrics.hpp"    // IWYU pragma: export
+#include "obs/phase.hpp"      // IWYU pragma: export
+#include "obs/telemetry.hpp"  // IWYU pragma: export
+#include "obs/trace.hpp"      // IWYU pragma: export

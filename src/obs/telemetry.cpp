@@ -1,0 +1,238 @@
+#include "obs/telemetry.hpp"
+
+#include <csignal>
+#include <cstdio>
+#include <utility>
+
+#include "common/timing.hpp"
+#include "obs/trace.hpp"
+
+namespace pimds::obs {
+
+namespace {
+
+// SIGUSR1 sets a flag the sampler thread polls each tick; the handler body
+// must stay async-signal-safe (one relaxed store).
+std::atomic<int> g_flight_dump_pending{0};
+
+void on_sigusr1(int) { g_flight_dump_pending.store(1, std::memory_order_relaxed); }
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    if (c == '\n') {
+      out += "\\n";
+      continue;
+    }
+    out.push_back(c);
+  }
+  return out;
+}
+
+std::string fmt_double(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+}  // namespace
+
+FlightRecorder::FlightRecorder(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {
+  ring_.reserve(capacity_);
+}
+
+void FlightRecorder::push(std::string line) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(line));
+  } else {
+    ring_[next_] = std::move(line);
+    next_ = (next_ + 1) % capacity_;
+  }
+  ++total_;
+}
+
+std::size_t FlightRecorder::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ring_.size();
+}
+
+std::size_t FlightRecorder::total() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_;
+}
+
+bool FlightRecorder::dump(const std::string& path) const {
+  std::vector<std::string> lines;
+  std::size_t dropped = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    lines.reserve(ring_.size());
+    // Oldest-first: when the ring has wrapped, next_ points at the oldest.
+    for (std::size_t i = 0; i < ring_.size(); ++i) {
+      lines.push_back(ring_[(next_ + i) % ring_.size()]);
+    }
+    dropped = total_ - ring_.size();
+  }
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "[telemetry] cannot open flight dump %s\n",
+                 path.c_str());
+    return false;
+  }
+  std::fprintf(f, "{\n  \"schema\": \"pimds.flight.v1\",\n");
+  std::fprintf(f, "  \"dropped\": %zu,\n  \"samples\": [\n", dropped);
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    std::fprintf(f, "    %s%s\n", lines[i].c_str(),
+                 i + 1 == lines.size() ? "" : ",");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  return true;
+}
+
+std::string telemetry_line(const MetricsSnapshot& delta, std::uint64_t seq,
+                           std::uint64_t t_wall_ns,
+                           std::uint64_t interval_ns) {
+  std::string out;
+  out.reserve(2048);
+  out += "{\"schema\":\"pimds.telemetry.v1\",\"seq\":" + std::to_string(seq);
+  out += ",\"t_wall_ns\":" + std::to_string(t_wall_ns);
+  out += ",\"interval_ns\":" + std::to_string(interval_ns);
+  out += ",\"counters\":{";
+  for (std::size_t i = 0; i < delta.counters.size(); ++i) {
+    if (i != 0) out += ',';
+    out += '"' + json_escape(delta.counters[i].name) +
+           "\":" + std::to_string(delta.counters[i].value);
+  }
+  out += "},\"gauges\":{";
+  for (std::size_t i = 0; i < delta.gauges.size(); ++i) {
+    if (i != 0) out += ',';
+    out += '"' + json_escape(delta.gauges[i].name) +
+           "\":" + std::to_string(delta.gauges[i].value);
+  }
+  out += "},\"histograms\":{";
+  bool first = true;
+  for (const auto& h : delta.histograms) {
+    if (h.data.count == 0) continue;  // absence == empty window
+    if (!first) out += ',';
+    first = false;
+    out += '"' + json_escape(h.name) + "\":{";
+    out += "\"count\":" + std::to_string(h.data.count);
+    out += ",\"mean\":" + fmt_double(h.data.mean());
+    out += ",\"p50\":" + fmt_double(h.data.percentile(0.50));
+    out += ",\"p90\":" + fmt_double(h.data.percentile(0.90));
+    out += ",\"p99\":" + fmt_double(h.data.percentile(0.99));
+    out += ",\"p999\":" + fmt_double(h.data.percentile(0.999));
+    out += ",\"max\":" + std::to_string(h.data.max);
+    out += '}';
+  }
+  out += "}}";
+  return out;
+}
+
+Sampler::Sampler(TelemetryOptions opts)
+    : opts_(std::move(opts)), flight_(opts_.flight_capacity) {
+  if (opts_.interval_ms == 0) opts_.interval_ms = 1;
+}
+
+Sampler::~Sampler() { stop(); }
+
+void Sampler::start() {
+  if (started_) return;
+  if (!opts_.path.empty()) {
+    out_ = std::fopen(opts_.path.c_str(), "w");
+    if (out_ == nullptr) {
+      std::fprintf(stderr, "[telemetry] cannot open %s\n", opts_.path.c_str());
+      ok_ = false;
+      return;
+    }
+  }
+  if (!opts_.flight_dump_path.empty()) {
+    std::signal(SIGUSR1, &on_sigusr1);
+  }
+  // Prime the baseline so the first emitted window is a true delta, not the
+  // whole-process cumulative state.
+  (void)Registry::instance().delta_snapshot(baseline_);
+  last_sample_ns_ = now_ns();
+  started_ = true;
+  stopping_ = false;
+  thread_ = std::thread([this] { run(); });
+}
+
+void Sampler::stop() {
+  if (!started_) {
+    if (out_ != nullptr) {
+      std::fclose(out_);
+      out_ = nullptr;
+    }
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+  // Final partial window so short runs (< one interval) still emit data.
+  sample_once();
+  if (out_ != nullptr) {
+    std::fclose(out_);
+    out_ = nullptr;
+  }
+  if (!opts_.flight_dump_path.empty()) {
+    flight_.dump(opts_.flight_dump_path);
+  }
+  started_ = false;
+}
+
+void Sampler::run() {
+  name_this_thread("telemetry-sampler");
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    const bool stopped = cv_.wait_for(
+        lock, std::chrono::milliseconds(opts_.interval_ms),
+        [this] { return stopping_; });
+    if (stopped) return;
+    lock.unlock();
+    sample_once();
+    if (g_flight_dump_pending.exchange(0, std::memory_order_relaxed) != 0 &&
+        !opts_.flight_dump_path.empty()) {
+      flight_.dump(opts_.flight_dump_path);
+    }
+    lock.lock();
+  }
+}
+
+void Sampler::sample_once() {
+  static Counter* samples_counter = nullptr;
+  static Histogram* sample_hist = nullptr;
+  // Self-metering metrics are owned by the registry (process lifetime);
+  // resolve once, the pointers stay valid.
+  if (samples_counter == nullptr) {
+    Registry& r = Registry::instance();
+    samples_counter = &r.counter("telemetry.samples");
+    sample_hist = &r.histogram("telemetry.sample_ns");
+  }
+  const std::uint64_t t0 = now_ns();
+  const MetricsSnapshot delta = Registry::instance().delta_snapshot(baseline_);
+  const std::uint64_t interval_ns =
+      t0 >= last_sample_ns_ ? t0 - last_sample_ns_ : 0;
+  last_sample_ns_ = t0;
+  const std::string line = telemetry_line(delta, seq_++, t0, interval_ns);
+  if (out_ != nullptr) {
+    std::fputs(line.c_str(), out_);
+    std::fputc('\n', out_);
+    std::fflush(out_);
+  }
+  flight_.push(line);
+  samples_.fetch_add(1, std::memory_order_relaxed);
+  // Recorded after the write, so each tick's cost shows in the next window.
+  sample_hist->record(now_ns() - t0);
+  samples_counter->add(1);
+}
+
+}  // namespace pimds::obs

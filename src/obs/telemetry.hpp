@@ -1,0 +1,134 @@
+// Live telemetry plane (observability layer, part 3 — metrics are
+// src/obs/metrics.hpp, tracing src/obs/trace.hpp).
+//
+// Two pieces:
+//  - Sampler: a background thread that takes Registry::delta_snapshot()
+//    every `interval_ms` and appends one schema-stable JSONL line per
+//    window ("pimds.telemetry.v1": seq, wall timestamp, actual interval,
+//    counter deltas, gauge values, windowed histogram percentiles). The
+//    sampler meters itself: each tick's cost lands in the
+//    `telemetry.sample_ns` histogram and `telemetry.samples` counter, so
+//    the telemetry stream carries its own overhead.
+//  - FlightRecorder: a bounded ring of the most recent JSONL lines, kept
+//    even when no output file is configured. Dumped as a single JSON
+//    document on SIGUSR1 (checked at each tick) or at Sampler::stop() when
+//    a dump path is configured (benches wire the PIMDS_FLIGHT_DUMP env
+//    var), for post-mortem of soaks and gated runs.
+//
+// Usage (bench_util.hpp does all of this behind --telemetry <file>):
+//   obs::TelemetryOptions opts;
+//   opts.path = "run.telemetry.jsonl";
+//   obs::Sampler sampler(opts);
+//   sampler.start();
+//   ... workload ...
+//   sampler.stop();  // final partial window, then flight dump if configured
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace pimds::obs {
+
+/// Bounded ring of serialized telemetry lines. push() is cheap (one mutex,
+/// sampler-thread cadence, not a hot path); dump() writes the surviving
+/// window as one JSON document: {"schema": ..., "dropped": N,
+/// "samples": [ {...}, ... ]} oldest-first.
+class FlightRecorder {
+ public:
+  explicit FlightRecorder(std::size_t capacity);
+
+  void push(std::string line);
+
+  /// Number of samples currently retained (<= capacity).
+  std::size_t size() const;
+
+  /// Total pushes ever; total - size = dropped (overwritten) samples.
+  std::size_t total() const;
+
+  /// Write the ring to `path`. Returns false on I/O failure.
+  bool dump(const std::string& path) const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<std::string> ring_;
+  std::size_t capacity_;
+  std::size_t next_ = 0;
+  std::size_t total_ = 0;
+};
+
+struct TelemetryOptions {
+  /// JSONL output path; empty = memory-only (flight recorder still runs).
+  std::string path;
+  std::uint64_t interval_ms = 100;
+  /// Ring depth of the flight recorder (most recent windows kept).
+  std::size_t flight_capacity = 256;
+  /// When non-empty: dump the flight ring here at stop(), and install a
+  /// SIGUSR1 handler that triggers a dump at the next tick.
+  std::string flight_dump_path;
+};
+
+/// Serialize one delta window as a single JSONL line (no trailing newline).
+/// Counters always appear (schema-stable across lines); histograms only
+/// when the window saw samples (readers treat absence as empty).
+std::string telemetry_line(const MetricsSnapshot& delta, std::uint64_t seq,
+                           std::uint64_t t_wall_ns,
+                           std::uint64_t interval_ns);
+
+class Sampler {
+ public:
+  explicit Sampler(TelemetryOptions opts);
+  ~Sampler();
+
+  Sampler(const Sampler&) = delete;
+  Sampler& operator=(const Sampler&) = delete;
+
+  /// Capture the baseline and launch the sampling thread. No-op if the
+  /// output file cannot be opened (ok() reports it).
+  void start();
+
+  /// Take one final (partial) window, stop the thread, close the file and
+  /// dump the flight ring if a dump path is configured. Idempotent.
+  void stop();
+
+  /// False when a path was configured but could not be opened.
+  bool ok() const { return ok_; }
+
+  /// Windows emitted so far.
+  std::size_t samples() const { return samples_.load(std::memory_order_relaxed); }
+
+  const TelemetryOptions& options() const { return opts_; }
+  const FlightRecorder& flight() const { return flight_; }
+
+  /// Dump the flight ring on demand (also triggered by SIGUSR1/stop()).
+  bool dump_flight(const std::string& path) const { return flight_.dump(path); }
+
+ private:
+  void run();
+  void sample_once();
+
+  TelemetryOptions opts_;
+  FlightRecorder flight_;
+  DeltaBaseline baseline_;
+  std::FILE* out_ = nullptr;
+  bool ok_ = true;
+  std::uint64_t seq_ = 0;
+  std::uint64_t last_sample_ns_ = 0;
+  std::atomic<std::size_t> samples_{0};
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+  bool started_ = false;
+  std::thread thread_;
+};
+
+}  // namespace pimds::obs

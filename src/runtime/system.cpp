@@ -17,6 +17,7 @@ PimSystem::Core::Core(std::size_t id, const Config& config)
   const std::string prefix = "runtime.vault" + std::to_string(id);
   auto& registry = obs::Registry::instance();
   messages = &registry.counter(prefix + ".messages");
+  busy_ns = &registry.counter(prefix + ".busy_ns");
   obs_handles.push_back(registry.register_counter(
       prefix + ".mailbox.send_full_spins", &mailbox.send_full_spins_counter()));
   obs_handles.push_back(registry.register_gauge(
@@ -224,6 +225,9 @@ void PimSystem::dispatch(PimCoreApi& api, Core& core, const Message* msgs,
     for (std::size_t i = 0; i < total_ops; ++i) {
       obs::record_runtime_phase(obs::Phase::kVaultService, window);
     }
+    // Busy-time accumulator: windowed deltas of busy_ns over wall time give
+    // per-vault utilization in the telemetry stream.
+    core.busy_ns->add(window);
     if (obs::trace_enabled()) {
       obs::trace_complete_here("vault_service", "runtime", t_dispatch,
                                {"n", static_cast<std::uint64_t>(n)});

@@ -176,9 +176,12 @@ class PimSystem {
     IdleHandler idle_handler;
     std::thread thread;
     CachePadded<std::atomic<std::uint64_t>> processed{0};
-    /// Registry-owned per-vault message counter (`runtime.vault<k>.messages`);
-    /// cached so dispatch() does not re-look-up by name.
+    /// Registry-owned per-vault counters (`runtime.vault<k>.messages`,
+    /// `.busy_ns` — handler wall time, whose windowed delta over wall time
+    /// is this vault's utilization); cached so dispatch() does not
+    /// re-look-up by name.
     obs::Counter* messages = nullptr;
+    obs::Counter* busy_ns = nullptr;
     /// Keeps this mailbox's instance-owned metrics visible in the registry
     /// for exactly the Core's lifetime.
     std::vector<obs::Registry::Handle> obs_handles;

@@ -1,7 +1,9 @@
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "common/zipf.hpp"
 #include "obs/obs.hpp"
 #include "sim/ds/skiplist_common.hpp"
 #include "sim/ds/skiplists.hpp"
@@ -106,6 +108,13 @@ RunResult run_pim_skiplist(const SkipListConfig& cfg, std::size_t partitions) {
     });
   }
 
+  // Optional skew (telemetry scenario): Zipf ranks map rank 0 -> key 1, so
+  // the hot mass lands in partition 0 and per-vault counter imbalance is
+  // the expected signal. Shared across CPU actors: next() is const and the
+  // fibers are cooperatively scheduled on one thread.
+  std::optional<ZipfGenerator> zipf;
+  if (cfg.zipf_theta > 0.0) zipf.emplace(cfg.key_range, cfg.zipf_theta);
+
   std::uint64_t total_ops = 0;
   for (std::size_t i = 0; i < cfg.num_cpus; ++i) {
     engine.spawn("cpu" + std::to_string(i), [&, i](Context& ctx) {
@@ -115,7 +124,9 @@ RunResult run_pim_skiplist(const SkipListConfig& cfg, std::size_t partitions) {
       SimSlot<bool> reply;
       while (ctx.now() < cfg.duration_ns) {
         const SetOp op = pick_op(ctx.rng(), cfg.mix);
-        const std::uint64_t key = ctx.rng().next_in(1, cfg.key_range);
+        const std::uint64_t key = zipf.has_value()
+                                      ? zipf->next(ctx.rng()) + 1
+                                      : ctx.rng().next_in(1, cfg.key_range);
         const Time issued = ctx.now();
         const std::uint64_t rid =
             obs::trace_enabled() ? obs::next_request_id() : 0;

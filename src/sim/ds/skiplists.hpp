@@ -26,6 +26,11 @@ struct SkipListConfig : SimConfig {
   /// CAS costs (the paper notes actual lock-free performance "could be even
   /// worse"); the realism ablation (bench A4) turns this on.
   bool charge_cas = false;
+  /// > 0: draw keys Zipf(theta) instead of uniform (rank 0 -> key 1, so
+  /// partition 0 is the hot vault). Used by the --skew telemetry scenario
+  /// on the table2/fig4 paths; 0 keeps the paper's uniform workload and
+  /// the committed baselines bit-identical.
+  double zipf_theta = 0.0;
 };
 
 /// Partition index of `key` among k equal ranges of [1, N].

@@ -487,6 +487,157 @@ TEST(DisabledMode, UpdatesAreDroppedAndAllocationFree) {
   EXPECT_EQ(g.value(), 0u);
 }
 
+TEST(Gauge, AddSubTrackALevel) {
+  Gauge g;
+  g.add(5);
+  g.add(3);
+  EXPECT_EQ(g.value(), 8u);
+  g.sub(2);
+  EXPECT_EQ(g.value(), 6u);
+  g.set(0);
+  g.add();  // default increment of 1
+  EXPECT_EQ(g.value(), 1u);
+}
+
+TEST(Gauge, MergeSemanticsSelectHowSnapshotsCombine) {
+  auto& r = Registry::instance();
+  // kMax (default): the snapshot keeps the high-water mark across sources.
+  Gauge ext_max;
+  ext_max.set(10);
+  r.gauge("test_obs.gmax", GaugeMerge::kMax).set(4);
+  {
+    Registry::Handle h = r.register_gauge("test_obs.gmax", &ext_max);
+    const MetricsSnapshot snap = r.snapshot();
+    const auto* s = snap.find_gauge("test_obs.gmax");
+    ASSERT_NE(s, nullptr);
+    EXPECT_EQ(s->value, 10u);
+  }
+  // kSum: levels add up (e.g. per-shard queue depths -> total depth).
+  Gauge ext_sum;
+  ext_sum.set(10);
+  r.gauge("test_obs.gsum", GaugeMerge::kSum).set(4);
+  {
+    Registry::Handle h = r.register_gauge("test_obs.gsum", &ext_sum,
+                                          GaugeMerge::kSum);
+    const MetricsSnapshot snap = r.snapshot();
+    const auto* s = snap.find_gauge("test_obs.gsum");
+    ASSERT_NE(s, nullptr);
+    EXPECT_EQ(s->value, 14u);
+  }
+  // kLast: the most recently registered source wins (config-style gauges).
+  Gauge ext_last;
+  ext_last.set(10);
+  r.gauge("test_obs.glast", GaugeMerge::kLast).set(4);
+  {
+    Registry::Handle h = r.register_gauge("test_obs.glast", &ext_last,
+                                          GaugeMerge::kLast);
+    const MetricsSnapshot snap = r.snapshot();
+    const auto* s = snap.find_gauge("test_obs.glast");
+    ASSERT_NE(s, nullptr);
+    EXPECT_EQ(s->value, 10u);
+  }
+  // The first registration of a name fixes the mode: re-requesting with a
+  // different mode reuses the existing slot (documented, not an error).
+  Gauge& again = r.gauge("test_obs.gsum", GaugeMerge::kMax);
+  EXPECT_EQ(&again, &r.gauge("test_obs.gsum"));
+  EXPECT_STREQ(gauge_merge_name(GaugeMerge::kMax), "max");
+  EXPECT_STREQ(gauge_merge_name(GaugeMerge::kSum), "sum");
+  EXPECT_STREQ(gauge_merge_name(GaugeMerge::kLast), "last");
+}
+
+TEST(Registry, DeltaSnapshotYieldsPerWindowCounterDeltas) {
+  auto& r = Registry::instance();
+  Counter& c = r.counter("test_obs.delta_counter");
+  Histogram& h = r.histogram("test_obs.delta_hist");
+  DeltaBaseline baseline;
+  (void)r.delta_snapshot(baseline);  // prime: absorbs all history
+  EXPECT_EQ(baseline.windows, 1u);
+
+  c.add(7);
+  h.record(100);
+  h.record(200);
+  MetricsSnapshot w1 = r.delta_snapshot(baseline);
+  const auto* dc = w1.find_counter("test_obs.delta_counter");
+  ASSERT_NE(dc, nullptr);
+  EXPECT_EQ(dc->value, 7u);
+  const auto* dh = w1.find_histogram("test_obs.delta_hist");
+  ASSERT_NE(dh, nullptr);
+  EXPECT_EQ(dh->data.count, 2u);
+  // Window max is approximated from the highest nonzero diff bucket: it
+  // must cover the true max by no more than the 25% bucket width.
+  EXPECT_GE(dh->data.max, 200u);
+  EXPECT_LE(dh->data.max, 250u);
+
+  // An idle window reports zero deltas, not cumulative totals.
+  MetricsSnapshot w2 = r.delta_snapshot(baseline);
+  dc = w2.find_counter("test_obs.delta_counter");
+  ASSERT_NE(dc, nullptr);
+  EXPECT_EQ(dc->value, 0u);
+  dh = w2.find_histogram("test_obs.delta_hist");
+  ASSERT_NE(dh, nullptr);
+  EXPECT_EQ(dh->data.count, 0u);
+  EXPECT_EQ(dh->data.max, 0u);
+  EXPECT_EQ(baseline.windows, 3u);
+}
+
+TEST(Registry, DeltaSnapshotSurvivesResetWithoutUnderflow) {
+  auto& r = Registry::instance();
+  Counter& c = r.counter("test_obs.delta_reset");
+  c.add(100);
+  DeltaBaseline baseline;
+  (void)r.delta_snapshot(baseline);
+  c.reset();
+  c.add(3);
+  // now(3) < was(100): the clamped delta reports the post-reset count
+  // instead of wrapping to ~2^64.
+  const MetricsSnapshot w = r.delta_snapshot(baseline);
+  const auto* dc = w.find_counter("test_obs.delta_reset");
+  ASSERT_NE(dc, nullptr);
+  EXPECT_EQ(dc->value, 3u);
+}
+
+TEST(Registry, ConcurrentSnapshotsVsExternalRegistration) {
+  // The ISSUE-8 locking fix: snapshot() copies the name index under mu_
+  // but merges shards outside it, pinning external metrics with
+  // merge_gate_ so unregister() cannot free them mid-merge. Run
+  // register/unregister churn against continuous snapshots; TSan (tier1's
+  // -DPIMDS_SANITIZE=thread leg) would flag the old use-after-free /
+  // locked-merge race.
+  auto& r = Registry::instance();
+  std::atomic<bool> stop{false};
+  std::thread churn([&] {
+    int i = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      Counter ext;
+      ext.add(static_cast<std::uint64_t>(i) + 1);
+      Gauge gext;
+      gext.set(static_cast<std::uint64_t>(i));
+      Histogram hext;
+      hext.record(static_cast<std::uint64_t>(i & 1023));
+      Registry::Handle h1 = r.register_counter(
+          "test_obs.churn_c" + std::to_string(i & 7), &ext);
+      Registry::Handle h2 = r.register_gauge(
+          "test_obs.churn_g" + std::to_string(i & 7), &gext);
+      Registry::Handle h3 = r.register_histogram(
+          "test_obs.churn_h" + std::to_string(i & 7), &hext);
+      ++i;
+    }
+  });
+  std::thread writer([&] {
+    Counter& c = r.counter("test_obs.churn_live");
+    while (!stop.load(std::memory_order_relaxed)) c.add(1);
+  });
+  DeltaBaseline baseline;
+  for (int i = 0; i < 300; ++i) {
+    const MetricsSnapshot snap =
+        (i & 1) != 0 ? r.snapshot() : r.delta_snapshot(baseline);
+    ASSERT_FALSE(snap.counters.empty());
+  }
+  stop.store(true);
+  churn.join();
+  writer.join();
+}
+
 TEST(PimSystemObs, MailboxMetricsVisibleThroughRegistryAndAccessors) {
   runtime::PimSystem::Config cfg;
   cfg.num_vaults = 2;

@@ -4,6 +4,7 @@
 
 #include <algorithm>
 #include <array>
+#include <cmath>
 #include <set>
 #include <vector>
 
@@ -117,6 +118,66 @@ TEST(Zipf, SkewPutsMassOnHeadRanks) {
   EXPECT_GT(counts[0], counts[500] * 20);
   // And the head outweighs its immediate successor.
   EXPECT_GT(counts[0], counts[1]);
+}
+
+TEST(Zipf, EmpiricalFrequenciesAreMonotoneNonIncreasing) {
+  // Rank r must never be (statistically) hotter than rank r-1. Bucket
+  // adjacent ranks in powers of two so the comparison is between large
+  // counts, immune to per-rank noise.
+  Xoshiro256 g(11);
+  ZipfGenerator zipf(1 << 10, 0.99);
+  std::vector<std::uint64_t> counts(1 << 10, 0);
+  for (int i = 0; i < 200000; ++i) ++counts[zipf.next(g)];
+  std::uint64_t prev_bucket = ~std::uint64_t{0};
+  for (std::size_t lo = 1; lo < counts.size(); lo *= 2) {
+    std::uint64_t bucket = 0;
+    for (std::size_t r = lo; r < 2 * lo && r < counts.size(); ++r) {
+      bucket += counts[r];
+    }
+    // Mean per-rank mass of [lo, 2lo) <= mean of the previous dyadic block.
+    EXPECT_LE(bucket / lo, prev_bucket) << "block starting at rank " << lo;
+    prev_bucket = std::max<std::uint64_t>(1, bucket / lo);
+  }
+  // And the head ranks themselves are ordered (large-count comparison).
+  EXPECT_GE(counts[0], counts[1]);
+  EXPECT_GE(counts[1], counts[3]);
+}
+
+TEST(Zipf, HeadMassMatchesTheoryForTheta099) {
+  // P(rank < k) = H_k(theta) / H_n(theta). Check the top-16 head mass of a
+  // 64K keyspace against the exact harmonic sums within sampling noise.
+  constexpr std::uint64_t kN = 1 << 16;
+  constexpr double kTheta = 0.99;
+  constexpr int kDraws = 200000;
+  constexpr std::uint64_t kHead = 16;
+  double h_head = 0.0, h_all = 0.0;
+  for (std::uint64_t r = 1; r <= kN; ++r) {
+    const double term = 1.0 / std::pow(static_cast<double>(r), kTheta);
+    h_all += term;
+    if (r <= kHead) h_head += term;
+  }
+  const double expected = h_head / h_all;
+  Xoshiro256 g(12);
+  ZipfGenerator zipf(kN, kTheta);
+  int head_hits = 0;
+  for (int i = 0; i < kDraws; ++i) head_hits += zipf.next(g) < kHead;
+  const double observed = static_cast<double>(head_hits) / kDraws;
+  // ~3% absolute tolerance: > 5 sigma for a Bernoulli(~0.37) at 200K draws.
+  EXPECT_NEAR(observed, expected, 0.03);
+  EXPECT_GT(observed, 0.2) << "theta=0.99 must concentrate mass on the head";
+}
+
+TEST(Zipf, DeterministicUnderFixedSeed) {
+  ZipfGenerator zipf(1 << 12, 0.99);
+  Xoshiro256 a(99), b(99);
+  for (int i = 0; i < 2000; ++i) {
+    EXPECT_EQ(zipf.next(a), zipf.next(b)) << "draw " << i;
+  }
+  // Two generator instances with identical parameters draw identically.
+  ZipfGenerator other(1 << 12, 0.99);
+  Xoshiro256 c(99);
+  Xoshiro256 d(99);
+  for (int i = 0; i < 500; ++i) EXPECT_EQ(zipf.next(c), other.next(d));
 }
 
 TEST(Zipf, LowThetaIsNearlyUniform) {
