@@ -6,8 +6,15 @@
 // static partitions, observe the imbalance, then split the hot partition
 // with the non-blocking migration protocol — while the workload keeps
 // running — and measure throughput before and after.
+// `--active` swaps the manual operator split for the closed loop: the
+// AutoRebalancer's ACTIVE mode (with contention-adaptive combining) watches
+// the LoadMap and drives the same migration protocol itself. Run with
+// --telemetry and check the stream with
+// scripts/telemetry_report.py --assert-rebalance-settles: the windows must
+// go hot -> migrated -> settled.
 #include <atomic>
 #include <cstdio>
+#include <cstring>
 #include <algorithm>
 #include <thread>
 #include <vector>
@@ -24,8 +31,14 @@ int main(int argc, char** argv) {
   using namespace pimds::bench;
 
   JsonReporter json(argc, argv, "ablation_rebalance");
-  banner("Ablation A5: PIM skip-list rebalancing under Zipf skew "
-         "(real threads)");
+  bool active = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--active") == 0) active = true;
+  }
+  banner(active ? "Ablation A5: PIM skip-list ACTIVE auto-rebalancing "
+                  "under Zipf skew (real threads)"
+                : "Ablation A5: PIM skip-list rebalancing under Zipf skew "
+                  "(real threads)");
   constexpr std::uint64_t kKeyMax = 1 << 16;
   constexpr std::size_t kVaults = 4;
   constexpr int kCpuThreads = 2;  // the host has 2 cores
@@ -94,6 +107,38 @@ int main(int argc, char** argv) {
     return tput;
   };
 
+  double before = 0.0;
+  double after = 0.0;
+  if (active) {
+    // Closed loop: measure the hot phase with NO intervention (the
+    // telemetry stream needs the hot windows on record), then hand the
+    // list to the active policy and measure again once it has settled.
+    before = measure("static partitions (skewed)", 1.0);
+    core::AutoRebalancer::Options act_opts;
+    act_opts.period = std::chrono::milliseconds(100);
+    act_opts.imbalance_ratio = 1.5;
+    act_opts.imbalance_exit = 1.3;
+    act_opts.cooldown_periods = 1;
+    act_opts.min_window_ops = 200;
+    act_opts.adaptive_combining = true;
+    core::AutoRebalancer rebalancer(list, act_opts);
+    rebalancer.start();
+    spin_for_ns(1'500'000'000);  // a dozen policy windows to act
+    after = measure("active rebalancer (settled)", 1.0);
+    rebalancer.stop();
+    while (list.migration_active()) std::this_thread::yield();
+    std::printf("active rebalancer: %zu migrations; partitions now:\n",
+                rebalancer.migrations_triggered());
+    for (const auto& e : list.partitions()) {
+      std::printf("  [%lu, ...) -> vault %zu\n",
+                  static_cast<unsigned long>(e.sentinel), e.vault);
+    }
+    json.note("active_migrations",
+              static_cast<double>(rebalancer.migrations_triggered()));
+    json.note("combined_batches",
+              static_cast<double>(list.combined_batches()));
+    json.note("combined_ops", static_cast<double>(list.combined_ops()));
+  } else {
   // Observe-only rebalancer during the skewed phase: it consumes the
   // skip-list LoadMap's HotVaultReport and logs would-trigger decisions
   // (no migration — the manual quartile split below stays the ablation's
@@ -106,7 +151,7 @@ int main(int argc, char** argv) {
   core::AutoRebalancer observer(list, obs_opts);
   observer.start();
 
-  const double before = measure("static partitions (skewed)", 1.0);
+  before = measure("static partitions (skewed)", 1.0);
 
   observer.stop();
   const auto hot_report = observer.last_report();
@@ -147,7 +192,8 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long>(e.sentinel), e.vault);
   }
 
-  const double after = measure("after rebalancing", 1.0);
+  after = measure("after rebalancing", 1.0);
+  }
 
   stop.store(true);
   for (auto& t : cpus) t.join();

@@ -51,6 +51,13 @@ BENCHES = [
     ("fig4_skiplists", "fig4_skiplists", [], False),
     ("table1_linked_lists", "table1_linked_lists", [], False),
     ("table2_skiplists", "table2_skiplists", [], False),
+    # The same bench again under Zipf skew: the extra PIM row plus the
+    # uniform records land in their own baseline file, so the skewed
+    # workload is held by the gate independently of the paper tables.
+    ("table2_skiplists", "table2_skiplists_skew", ["--skew", "0.99"], False),
+    # Active-rebalancer acceptance scenario (virtual time): carries the
+    # imbalance_cut / active_vs_uniform_tput notes perf_gate.py floors.
+    ("ablation_rebalance_sim", "ablation_rebalance_sim", [], False),
 ]
 
 

@@ -38,6 +38,22 @@ GATES = {
     "fig4_skiplists": {"rel_tol": 0.10, "coverage": ("sim", 90.0, 110.0)},
     "table1_linked_lists": {"rel_tol": 0.10},
     "table2_skiplists": {"rel_tol": 0.10, "coverage": ("sim", 90.0, 110.0)},
+    # Zipf-skewed twin of table2 (--skew 0.99): holds the skewed-workload
+    # throughput the rebalancing work is judged against.
+    "table2_skiplists_skew": {"rel_tol": 0.10, "coverage": ("sim", 90.0, 110.0)},
+    # Active-rebalancer acceptance scenario (virtual time, deterministic):
+    # rel_tol holds the per-record throughput; notes_min holds the issue's
+    # bar -- the active policy must cut the final-third peak vault imbalance
+    # >= 2x vs observe-only AND keep throughput >= 95% of the uniform-key
+    # baseline (and lose no keys doing it).
+    "ablation_rebalance_sim": {
+        "rel_tol": 0.10,
+        "notes_min": {
+            "imbalance_cut": 2.0,
+            "active_vs_uniform_tput": 0.95,
+            "active_size_consistent": 1.0,
+        },
+    },
     # Real threads: hold only the within-run speedup of the batched path
     # over the seed path (>= min_speedup) -- host-speed independent. The
     # runtime attribution section is additionally gated on coverage (the
@@ -119,6 +135,25 @@ def gate_bench(name, policy, baseline, fresh_docs):
                 f"{name}: speedup {best:.2f}x below the "
                 f"{policy['min_speedup']:.2f}x floor"
             )
+
+    if "notes_min" in policy:
+        # Doc-level scalar notes (JsonReporter::note) with a hard floor.
+        # Best-of-N like the speedup check: the note must clear its floor
+        # in at least one fresh run.
+        for note, floor in sorted(policy["notes_min"].items()):
+            vals = [
+                doc[note]
+                for doc in fresh_docs
+                if isinstance(doc.get(note), (int, float))
+            ]
+            n_checked += 1
+            if not vals:
+                problem(f"{name}: note {note!r} missing from every fresh run")
+            elif max(vals) < floor:
+                problem(
+                    f"{name}: note {note} = {max(vals):.3f} "
+                    f"(best of {len(vals)}) below the {floor:.2f} floor"
+                )
 
     if "coverage" in policy:
         domain, lo, hi = policy["coverage"]

@@ -29,6 +29,14 @@ ratio >= threshold (using the MAX over eligible windows, not the aggregate
 fewer than --min-window-ops total ops are ignored as noise. With
 --expect-vault, the hottest vault of the peak window must be that vault.
 
+  telemetry_report.py RUN.telemetry.jsonl --assert-rebalance-settles \\
+      [--threshold 1.5] [--settle-threshold 1.5] [--min-window-ops 100]
+
+The INVERTED assertion for active-rebalancer runs: the stream must show a
+hot spot early (peak imbalance >= threshold), at least one
+rebalancer.triggered migration, and a settled tail -- the final third's
+eligible windows must all stay below --settle-threshold.
+
 Also understands flight-recorder dumps ("pimds.flight.v1": a single JSON
 object with a "samples" list of telemetry lines) -- pass the dump path and
 the same validation/summary runs over the embedded samples.
@@ -135,11 +143,16 @@ def vault_families(windows):
     return fams
 
 
-def pick_ops_family(fams):
-    """The 'ops'-like family with the largest total traffic."""
+def pick_ops_family(fams, family_prefix=None):
+    """The 'ops'-like family with the largest total traffic. With
+    family_prefix, only families whose prefix starts with it are considered
+    (e.g. --family skiplist picks served ops over runtime message counts,
+    which also include migration streams and deflate under combining)."""
     best, best_total = None, -1
     for key, per_vault in fams.items():
         if key[1] in ("busy_ns",):
+            continue
+        if family_prefix and not key[0].startswith(family_prefix):
             continue
         total = sum(sum(deltas) for deltas in per_vault.values())
         if total > best_total:
@@ -163,7 +176,7 @@ def window_imbalances(per_vault, n_windows, min_window_ops):
     return out
 
 
-def summarize(windows, path, min_window_ops):
+def summarize(windows, path, min_window_ops, family_prefix=None):
     wall = windows[-1]["t_wall_ns"] - windows[0]["t_wall_ns"] + \
         windows[0]["interval_ns"]
     n_counters = len({k for w in windows for k in w["counters"]})
@@ -177,7 +190,7 @@ def summarize(windows, path, min_window_ops):
               f"worst window p99 = {worst_p99 / 1e3:.1f}us")
 
     fams = vault_families(windows)
-    key = pick_ops_family(fams)
+    key = pick_ops_family(fams, family_prefix)
     if key is None:
         print("  no per-vault counter families -- nothing to attribute")
         return
@@ -227,6 +240,46 @@ def assert_hot_vault(windows, fams, key, threshold, expect_vault,
           f"ratio {ratio:.2f} >= {threshold:.2f} ({total} ops)")
 
 
+def assert_rebalance_settles(windows, fams, key, threshold, settle_threshold,
+                             min_window_ops):
+    """The INVERTED skew assertion for active-rebalancer runs: the stream
+    must show a real hot spot early (peak imbalance >= threshold), at least
+    one rebalancer.triggered migration, and a settled tail -- every eligible
+    window in the final third must stay BELOW settle_threshold. A stream
+    that stays hot to the end means the control loop never closed."""
+    if key is None:
+        fail("--assert-rebalance-settles: no per-vault counter family")
+    triggered = sum(w["counters"].get("rebalancer.triggered", 0)
+                    for w in windows)
+    if triggered == 0:
+        fail("--assert-rebalance-settles: rebalancer.triggered never "
+             "incremented -- no migration ran")
+    imb = window_imbalances(fams[key], len(windows), min_window_ops)
+    if len(imb) < 3:
+        fail(f"--assert-rebalance-settles: only {len(imb)} eligible "
+             f"window(s) at >= {min_window_ops} ops -- need at least 3")
+    cutoff = windows[-1]["t_wall_ns"] - \
+        (windows[-1]["t_wall_ns"] - windows[0]["t_wall_ns"]) // 3
+    head = [t for t in imb if windows[t[0]]["t_wall_ns"] < cutoff]
+    tail = [t for t in imb if windows[t[0]]["t_wall_ns"] >= cutoff]
+    if not head or not tail:
+        fail("--assert-rebalance-settles: eligible windows do not span "
+             "both the head and the final third of the run")
+    peak_head = max(t[3] for t in head)
+    peak_tail = max(t[3] for t in tail)
+    if peak_head < threshold:
+        fail(f"--assert-rebalance-settles: early peak imbalance "
+             f"{peak_head:.2f} below {threshold:.2f} -- the workload "
+             f"never produced the hot spot the scenario is about")
+    if peak_tail >= settle_threshold:
+        fail(f"--assert-rebalance-settles: final-third peak imbalance "
+             f"{peak_tail:.2f} did not settle below {settle_threshold:.2f} "
+             f"(early peak {peak_head:.2f}, {triggered} migrations)")
+    print(f"  rebalance-settles assertion OK: early peak {peak_head:.2f} "
+          f">= {threshold:.2f}, final-third peak {peak_tail:.2f} < "
+          f"{settle_threshold:.2f}, {triggered} migration(s)")
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("file", help="telemetry JSONL (or a flight dump JSON)")
@@ -234,6 +287,19 @@ def main():
         "--assert-hot-vault",
         action="store_true",
         help="fail (exit 2) unless some window shows imbalance >= threshold",
+    )
+    ap.add_argument(
+        "--assert-rebalance-settles",
+        action="store_true",
+        help="inverted assertion for active-rebalancer runs: early peak "
+        "imbalance >= threshold, >= 1 rebalancer.triggered migration, and "
+        "every eligible final-third window < --settle-threshold",
+    )
+    ap.add_argument(
+        "--settle-threshold",
+        type=float,
+        default=1.5,
+        help="final-third windows must stay below this ratio (default 1.5)",
     )
     ap.add_argument(
         "--threshold",
@@ -253,13 +319,23 @@ def main():
         default=100,
         help="ignore windows with fewer total family ops than this",
     )
+    ap.add_argument(
+        "--family",
+        default=None,
+        help="restrict the per-vault family to prefixes starting with this "
+        "(e.g. 'skiplist' to judge served ops instead of raw messages)",
+    )
     args = ap.parse_args()
     windows = validate(load_windows(args.file), args.file)
-    key = summarize(windows, args.file, args.min_window_ops)
+    key = summarize(windows, args.file, args.min_window_ops, args.family)
     if args.assert_hot_vault:
         assert_hot_vault(windows, vault_families(windows), key,
                          args.threshold, args.expect_vault,
                          args.min_window_ops)
+    if args.assert_rebalance_settles:
+        assert_rebalance_settles(windows, vault_families(windows), key,
+                                 args.threshold, args.settle_threshold,
+                                 args.min_window_ops)
 
 
 if __name__ == "__main__":

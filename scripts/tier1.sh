@@ -46,6 +46,25 @@ python3 scripts/trace_report.py --check-bench "$telemetry_dir/table2.json"
 rm -rf "$telemetry_dir"
 echo "telemetry-smoke: OK"
 
+echo "== tier-1: active-rebalance smoke (closed loop must settle) =="
+# The INVERTED assertion: the real-thread ablation with --active lets the
+# AutoRebalancer drive migrations itself; the telemetry stream must show
+# the Zipf hot spot early (peak imbalance >= 2.5 on served ops), at least
+# one triggered migration, and a settled final third (every eligible
+# window < 2.0). The --family filter judges skiplist.vault<k>.ops — the
+# runtime message counters also carry migration streams and fat batches.
+active_dir="$(mktemp -d)"
+./build/bench/ablation_rebalance --active \
+  --json "$active_dir/active.json" \
+  --telemetry "$active_dir/active.telemetry.jsonl" \
+  --telemetry-interval-ms 100 > /dev/null
+python3 scripts/telemetry_report.py "$active_dir/active.telemetry.jsonl" \
+  --assert-rebalance-settles --family skiplist \
+  --threshold 2.5 --settle-threshold 2.0 --min-window-ops 200
+python3 scripts/trace_report.py --check-bench "$active_dir/active.json"
+rm -rf "$active_dir"
+echo "active-rebalance-smoke: OK"
+
 echo "== tier-1: -DPIMDS_OBS=OFF configuration =="
 # Compiling test_obs in this configuration checks the layout static
 # asserts (FatEntry must drop to 32 bytes and Message to 112 with the
@@ -62,7 +81,8 @@ if [[ "$skip_tsan" == 0 ]]; then
   echo "== tier-1: runtime tests under ThreadSanitizer =="
   cmake --preset tsan > /dev/null
   cmake --build build-tsan -j --target \
-    test_runtime test_mailbox_batch test_spsc_ring test_obs test_telemetry
+    test_runtime test_mailbox_batch test_spsc_ring test_obs test_telemetry \
+    test_sentinel_refresh test_extensions
   # No suppressions: the runtime message path must be genuinely race-free.
   TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_runtime
   TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_mailbox_batch
@@ -75,6 +95,11 @@ if [[ "$skip_tsan" == 0 ]]; then
   # Telemetry plane: snapshot-merge vs external-registration churn, the
   # sampler thread, and the LoadMap's single-writer sketch under readers.
   TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_telemetry
+  # Live migration races: client threads vs the Section 4.2.1 hand-over,
+  # including the ACTIVE AutoRebalancer choosing splits itself, and the
+  # adaptive-combining flips racing the send path.
+  TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_sentinel_refresh
+  TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_extensions
   # Reclamation seam: the protect/retire race and the policy-parameterized
   # baseline matrix are the TSan targets for the HP publish/scan fences.
   cmake --build build-tsan -j --target test_reclaim test_baselines \

@@ -7,8 +7,44 @@
 
 namespace pimds::core {
 
+namespace {
+
+obs::Counter& triggered_counter() {
+  static obs::Counter& c =
+      obs::Registry::instance().counter("rebalancer.triggered");
+  return c;
+}
+
+obs::Counter& migrated_keys_counter() {
+  static obs::Counter& c =
+      obs::Registry::instance().counter("rebalancer.migrated_keys");
+  return c;
+}
+
+obs::Counter& would_trigger_counter() {
+  static obs::Counter& c =
+      obs::Registry::instance().counter("rebalancer.would_trigger");
+  return c;
+}
+
+obs::Counter& combine_flips_counter() {
+  static obs::Counter& c =
+      obs::Registry::instance().counter("rebalancer.combine_flips");
+  return c;
+}
+
+obs::Gauge& settled_gauge() {
+  static obs::Gauge& g = obs::Registry::instance().gauge(
+      "rebalancer.settled", obs::GaugeMerge::kLast);
+  return g;
+}
+
+}  // namespace
+
 AutoRebalancer::AutoRebalancer(PimSkipList& list, Options options)
-    : list_(list), options_(options) {}
+    : list_(list),
+      options_(options),
+      combining_on_(list.loadmap().options().num_ranges, 0) {}
 
 AutoRebalancer::AutoRebalancer(PimSkipList& list)
     : AutoRebalancer(list, Options{}) {}
@@ -17,13 +53,11 @@ void AutoRebalancer::start() {
   if (started_) return;
   stop_.store(false, std::memory_order_relaxed);
   started_ = true;
+  last_migrated_keys_ = list_.migrated_keys();
   thread_ = std::thread([this] {
     while (!stop_.load(std::memory_order_acquire)) {
       std::this_thread::sleep_for(options_.period);
-      if (migrations_.load(std::memory_order_relaxed) <
-          options_.max_migrations) {
-        tick();
-      }
+      tick();
     }
   });
 }
@@ -33,6 +67,7 @@ void AutoRebalancer::stop() {
   stop_.store(true, std::memory_order_release);
   if (thread_.joinable()) thread_.join();
   started_ = false;
+  account_migrated_keys();  // attribute keys from the final migration
 }
 
 obs::LoadMap::HotVaultReport AutoRebalancer::last_report() const {
@@ -40,41 +75,117 @@ obs::LoadMap::HotVaultReport AutoRebalancer::last_report() const {
   return last_report_;
 }
 
-std::uint64_t AutoRebalancer::suggest_split(
-    const obs::LoadMap::HotVaultReport& rep, std::size_t hot) const {
-  // Prefer the LoadMap's hottest key range that falls inside a partition
-  // the hot vault owns: splitting just below the hot spot moves it, where
-  // the blind widest-partition midpoint may leave it in place.
+bool AutoRebalancer::partition_span(std::uint64_t key, std::uint64_t& lo,
+                                    std::uint64_t& hi,
+                                    std::size_t& vault) const {
   const auto partitions = list_.partitions();
-  const auto owned_by_hot = [&](std::uint64_t key) {
-    for (std::size_t i = 0; i < partitions.size(); ++i) {
-      const std::uint64_t lo = partitions[i].sentinel;
-      const std::uint64_t hi = i + 1 < partitions.size()
+  for (std::size_t i = 0; i < partitions.size(); ++i) {
+    const std::uint64_t p_lo = partitions[i].sentinel;
+    const std::uint64_t p_hi = i + 1 < partitions.size()
                                    ? partitions[i + 1].sentinel
                                    : list_.options().key_max + 1;
-      if (key >= lo && key < hi) return partitions[i].vault == hot;
+    if (key >= p_lo && key < p_hi) {
+      lo = p_lo;
+      hi = p_hi;
+      vault = partitions[i].vault;
+      return true;
     }
-    return false;
-  };
+  }
+  return false;
+}
+
+std::uint64_t AutoRebalancer::suggest_split(
+    const obs::LoadMap::HotVaultReport& rep, std::size_t hot) const {
+  std::uint64_t lo = 0;
+  std::uint64_t hi = 0;
+  std::size_t owner = 0;
+  // 1) Single dominant hot key: when the sketch's top entry holds at least
+  // half the tracked mass, the hot "range" is really one key. A midpoint
+  // split relocates or keeps the whole spot; splitting at the key's
+  // SUCCESSOR keeps only the hot key on the source and sheds everything
+  // above it, which is the best a suffix migration can do.
+  if (!rep.hot_keys.empty()) {
+    std::uint64_t mass = 0;
+    for (const auto& k : rep.hot_keys) mass += k.count;
+    const auto& top = rep.hot_keys[0];
+    if (mass > 0 && top.count * 2 >= mass &&
+        partition_span(top.key, lo, hi, owner) && owner == hot &&
+        top.key + 1 < hi && top.key + 1 <= list_.options().key_max) {
+      return top.key + 1;
+    }
+  }
+  // 2) Midpoint of the hottest key range that falls inside a partition the
+  // hot vault owns: splitting just below the hot spot moves it, where the
+  // blind widest-partition midpoint may leave it in place.
   for (const auto& r : rep.hot_ranges) {
     const std::uint64_t mid = r.lo + (r.hi - r.lo) / 2;
-    if (owned_by_hot(mid)) return mid;
+    if (partition_span(mid, lo, hi, owner) && owner == hot && mid > lo) {
+      return mid;
+    }
   }
-  // Fallback: midpoint of the hot vault's widest partition.
+  // 3) Fallback: midpoint of the hot vault's widest partition.
+  const auto partitions = list_.partitions();
   std::uint64_t best_lo = 0;
   std::uint64_t best_hi = 0;
   for (std::size_t i = 0; i < partitions.size(); ++i) {
     if (partitions[i].vault != hot) continue;
-    const std::uint64_t lo = partitions[i].sentinel;
-    const std::uint64_t hi = i + 1 < partitions.size()
-                                 ? partitions[i + 1].sentinel
-                                 : list_.options().key_max + 1;
-    if (hi - lo > best_hi - best_lo) {
-      best_lo = lo;
-      best_hi = hi;
+    const std::uint64_t p_lo = partitions[i].sentinel;
+    const std::uint64_t p_hi = i + 1 < partitions.size()
+                                   ? partitions[i + 1].sentinel
+                                   : list_.options().key_max + 1;
+    if (p_hi - p_lo > best_hi - best_lo) {
+      best_lo = p_lo;
+      best_hi = p_hi;
     }
   }
   return best_lo + (best_hi - best_lo) / 2;
+}
+
+void AutoRebalancer::update_combining(
+    const obs::LoadMap::HotVaultReport& rep) {
+  if (rep.window_ops == 0) return;
+  const double total = static_cast<double>(rep.window_ops);
+  // Window share per range on the LoadMap grid; a range absent from the
+  // top-k hot_ranges is treated as share 0 (it is at most as hot as the
+  // coldest reported range — good enough for the OFF decision, and the
+  // enter/exit band absorbs the approximation).
+  std::vector<double> share(combining_on_.size(), 0.0);
+  obs::LoadMap& lm = list_.loadmap();
+  for (const auto& r : rep.hot_ranges) {
+    share[lm.range_of(r.lo)] = static_cast<double>(r.ops) / total;
+  }
+  for (std::size_t i = 0; i < combining_on_.size(); ++i) {
+    const bool on = combining_on_[i] != 0;
+    if (!on && share[i] >= options_.combine_enter_share) {
+      combining_on_[i] = 1;
+      list_.set_range_combining(i, true);
+      combine_flips_counter().add(1);
+      if (options_.log_decisions) {
+        std::fprintf(stderr,
+                     "[auto_rebalancer] combining ON for range %zu "
+                     "(share %.2f >= %.2f)\n",
+                     i, share[i], options_.combine_enter_share);
+      }
+    } else if (on && share[i] < options_.combine_exit_share) {
+      combining_on_[i] = 0;
+      list_.set_range_combining(i, false);
+      combine_flips_counter().add(1);
+      if (options_.log_decisions) {
+        std::fprintf(stderr,
+                     "[auto_rebalancer] combining OFF for range %zu "
+                     "(share %.2f < %.2f)\n",
+                     i, share[i], options_.combine_exit_share);
+      }
+    }
+  }
+}
+
+void AutoRebalancer::account_migrated_keys() {
+  const std::uint64_t cur = list_.migrated_keys();
+  if (cur > last_migrated_keys_) {
+    migrated_keys_counter().add(cur - last_migrated_keys_);
+    last_migrated_keys_ = cur;
+  }
 }
 
 void AutoRebalancer::tick_observe() {
@@ -88,9 +199,7 @@ void AutoRebalancer::tick_observe() {
   }
   if (!trigger) return;
   would_trigger_.fetch_add(1, std::memory_order_relaxed);
-  static obs::Counter& would_trigger_counter =
-      obs::Registry::instance().counter("rebalancer.would_trigger");
-  would_trigger_counter.add(1);
+  would_trigger_counter().add(1);
   if (options_.log_decisions) {
     const std::uint64_t split = suggest_split(rep, rep.hottest);
     std::fprintf(stderr,
@@ -102,59 +211,64 @@ void AutoRebalancer::tick_observe() {
   }
 }
 
+void AutoRebalancer::tick_active() {
+  obs::LoadMap::HotVaultReport rep = list_.loadmap().report();
+  {
+    std::lock_guard<std::mutex> lock(report_mu_);
+    last_report_ = rep;
+  }
+  if (cooldown_.size() != rep.per_vault_ops.size()) {
+    cooldown_.assign(rep.per_vault_ops.size(), 0);
+  }
+  for (auto& c : cooldown_) {
+    if (c > 0) --c;
+  }
+  account_migrated_keys();
+  if (options_.adaptive_combining) update_combining(rep);
+  if (rep.window_ops < options_.min_window_ops) return;  // noise floor
+  const bool settled = rep.imbalance_ratio < options_.imbalance_exit;
+  settled_.store(settled, std::memory_order_relaxed);
+  settled_gauge().set(settled ? 1 : 0);
+  if (rep.hottest == rep.coldest) return;
+  if (rep.imbalance_ratio < options_.imbalance_ratio) return;  // below ENTER
+  if (cooldown_[rep.hottest] > 0) return;  // recent source is cooling down
+  if (list_.migration_active()) return;    // one migration at a time
+  if (migrations_.load(std::memory_order_relaxed) >=
+      options_.max_migrations) {
+    return;
+  }
+  const std::uint64_t split = suggest_split(rep, rep.hottest);
+  std::uint64_t lo = 0;
+  std::uint64_t hi = 0;
+  std::size_t owner = 0;
+  if (!partition_span(split, lo, hi, owner) || owner != rep.hottest ||
+      split <= lo) {
+    // A split at (or below) the partition's own sentinel would move the
+    // WHOLE partition — relocating the hot spot instead of dividing it,
+    // which is the thrash shape. Nothing splittable this window.
+    return;
+  }
+  if (list_.migrate(split, rep.coldest)) {
+    migrations_.fetch_add(1, std::memory_order_relaxed);
+    triggered_counter().add(1);
+    cooldown_[rep.hottest] = options_.cooldown_periods;
+    if (options_.log_decisions) {
+      std::fprintf(stderr,
+                   "[auto_rebalancer] trigger: %s; migrating [%llu, %llu) "
+                   "vault %zu -> vault %zu\n",
+                   rep.summary().c_str(),
+                   static_cast<unsigned long long>(split),
+                   static_cast<unsigned long long>(hi), rep.hottest,
+                   rep.coldest);
+    }
+  }
+}
+
 void AutoRebalancer::tick() {
   if (options_.observe_only) {
     tick_observe();
-    return;
-  }
-  const auto stats = list_.vault_stats();
-  if (last_requests_.size() != stats.size()) {
-    last_requests_.assign(stats.size(), 0);
-    for (std::size_t v = 0; v < stats.size(); ++v) {
-      last_requests_[v] = stats[v].requests;
-    }
-    return;  // first observation: establish the baseline
-  }
-  // Request rate per vault during the last period.
-  std::vector<std::uint64_t> delta(stats.size());
-  std::uint64_t total = 0;
-  for (std::size_t v = 0; v < stats.size(); ++v) {
-    delta[v] = stats[v].requests - last_requests_[v];
-    last_requests_[v] = stats[v].requests;
-    total += delta[v];
-  }
-  if (total < options_.min_window_ops) return;  // too little traffic to judge
-  const std::size_t hot = static_cast<std::size_t>(
-      std::max_element(delta.begin(), delta.end()) - delta.begin());
-  const std::size_t cold = static_cast<std::size_t>(
-      std::min_element(delta.begin(), delta.end()) - delta.begin());
-  const double mean =
-      static_cast<double>(total) / static_cast<double>(stats.size());
-  if (hot == cold ||
-      static_cast<double>(delta[hot]) < options_.imbalance_ratio * mean) {
-    return;
-  }
-  // Split the hot vault's widest partition at its midpoint and hand the
-  // upper half to the coldest vault. Without a key histogram the midpoint
-  // is the best range-only guess; repeated ticks home in on the hot spot.
-  const auto partitions = list_.partitions();
-  std::uint64_t best_lo = 0;
-  std::uint64_t best_hi = 0;
-  for (std::size_t i = 0; i < partitions.size(); ++i) {
-    if (partitions[i].vault != hot) continue;
-    const std::uint64_t lo = partitions[i].sentinel;
-    const std::uint64_t hi = i + 1 < partitions.size()
-                                 ? partitions[i + 1].sentinel
-                                 : list_.options().key_max + 1;
-    if (hi - lo > best_hi - best_lo) {
-      best_lo = lo;
-      best_hi = hi;
-    }
-  }
-  if (best_hi - best_lo < 2) return;  // nothing splittable
-  const std::uint64_t mid = best_lo + (best_hi - best_lo) / 2;
-  if (list_.migrate(mid, cold)) {
-    migrations_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    tick_active();
   }
 }
 

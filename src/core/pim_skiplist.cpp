@@ -44,6 +44,16 @@ PimSkipList::PimSkipList(runtime::PimSystem& system, Options options)
       options_(options),
       directory_(initial_partitions(options, system.num_vaults())),
       loadmap_(loadmap_options(options, system.num_vaults())) {
+  combiners_.reserve(system_.num_vaults());
+  for (std::size_t v = 0; v < system_.num_vaults(); ++v) {
+    combiners_.push_back(std::make_unique<runtime::RequestCombiner>());
+  }
+  const std::size_t num_ranges = loadmap_.options().num_ranges;
+  combine_range_ =
+      std::make_unique<std::atomic<std::uint8_t>[]>(num_ranges);
+  for (std::size_t i = 0; i < num_ranges; ++i) {
+    combine_range_[i].store(0, std::memory_order_relaxed);
+  }
   for (std::size_t v = 0; v < system_.num_vaults(); ++v) {
     auto state = std::make_unique<VaultState>();
     // Every vault's local sentinel is the GLOBAL minimum (key_min - 1), not
@@ -90,16 +100,42 @@ bool PimSkipList::submit(Kind kind, std::uint64_t key) {
          "key outside the configured range");
   ResponseSlot<OpReply> slot;
   for (;;) {
-    Message m;
-    m.kind = kind;
-    m.key = key;
-    m.slot = &slot;
-    system_.send(directory_.route(key), m);
+    const std::size_t vault = directory_.route(key);
+    if (range_combining(key)) {
+      runtime::RequestCombiner::Entry entry{};
+      entry.kind = kind;
+      entry.key = key;
+      entry.slot = &slot;
+      combiners_[vault]->submit(entry, [this, vault](Message& m) {
+        m.kind = kOpBatch;
+        system_.send(vault, m);
+      });
+    } else {
+      Message m;
+      m.kind = kind;
+      m.key = key;
+      m.slot = &slot;
+      system_.send(vault, m);
+    }
     const OpReply r = slot.await();
     if (r.accepted) return r.result;
     // Stale routing: the partition moved; the directory has (or will have)
-    // the new owner.
+    // the new owner. A combined entry routed on a stale read is rejected
+    // per-op by the vault's owned-ranges gate, so the retry here re-routes
+    // it exactly like a direct send.
   }
+}
+
+std::uint64_t PimSkipList::combined_batches() const noexcept {
+  std::uint64_t n = 0;
+  for (const auto& c : combiners_) n += c->batches_sent();
+  return n;
+}
+
+std::uint64_t PimSkipList::combined_ops() const noexcept {
+  std::uint64_t n = 0;
+  for (const auto& c : combiners_) n += c->requests_combined();
+  return n;
 }
 
 bool PimSkipList::add(std::uint64_t key) { return submit(kAdd, key); }
@@ -196,6 +232,7 @@ bool PimSkipList::step_migration(PimCoreApi& api) {
     vs.list->extract_first_at_least(mig.cursor, &steps);
     api.charge_local_access(steps);
     vs.keys.value.fetch_sub(1, std::memory_order_relaxed);
+    migrated_keys_.value.fetch_add(1, std::memory_order_relaxed);
     Message node;
     node.kind = kMigNode;
     node.key = *key;
@@ -264,6 +301,26 @@ void PimSkipList::handle(PimCoreApi& api, const Message& m) {
       Message op = m;
       op.kind = m.kind - 7;  // back to kAdd / kRemove / kContains
       handle_op(api, op, /*forwarded=*/true);
+      break;
+    }
+    case kOpBatch: {
+      // Combined direct ops: decode each fat entry into a plain op message
+      // and run it through the normal gate. The migration semantics hold
+      // per entry (execute / forward / defer / reject individually); a
+      // deferred entry is copied into the deferred queue by value, so the
+      // fat payload can be released as soon as the loop is done.
+      const runtime::FatEntry* entries = runtime::fat_entries(m);
+      for (std::uint16_t j = 0; j < m.fat_count; ++j) {
+        Message op;
+        op.kind = entries[j].kind;
+        op.key = entries[j].key;
+        op.slot = entries[j].slot;
+#ifndef PIMDS_OBS_DISABLED
+        op.req_id = entries[j].req_id;
+#endif
+        handle_op(api, op, /*forwarded=*/false);
+      }
+      runtime::release_fat_payload(m);
       break;
     }
     case kMigStart: {

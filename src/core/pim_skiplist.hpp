@@ -21,6 +21,7 @@
 #include "core/local_skiplist.hpp"
 #include "core/sentinel_directory.hpp"
 #include "obs/loadmap.hpp"
+#include "runtime/combiner.hpp"
 #include "runtime/system.hpp"
 
 namespace pimds::core {
@@ -73,6 +74,42 @@ class PimSkipList {
   /// hot-vault questions for the rebalancer's observe-only mode.
   obs::LoadMap& loadmap() noexcept { return loadmap_; }
 
+  /// Cumulative keys handed over by migrations (one per kMigNode sent).
+  /// The auto-rebalancer exports the windowed delta as
+  /// `rebalancer.migrated_keys`.
+  std::uint64_t migrated_keys() const noexcept {
+    return migrated_keys_.value.load(std::memory_order_relaxed);
+  }
+
+  /// Contention-adaptive combining (keyed off the same LoadMap grid the
+  /// rebalancer reads): ops whose key falls in a flagged range bucket are
+  /// published to the owning vault's RequestCombiner and travel as one fat
+  /// kOpBatch message; unflagged ranges keep the one-message-per-op direct
+  /// path. The vault decodes each batch entry back into a plain op and runs
+  /// it through the normal execute/forward/defer/reject gate, so migration
+  /// semantics (and the CPU's reject-retry loop) are unchanged — a batch
+  /// routed on a stale directory read simply gets its member ops rejected
+  /// individually.
+  void set_range_combining(std::size_t range_idx, bool on) noexcept {
+    if (range_idx < loadmap_.options().num_ranges) {
+      combine_range_[range_idx].store(on ? 1 : 0, std::memory_order_relaxed);
+    }
+  }
+  bool range_combining(std::uint64_t key) const noexcept {
+    return combine_range_[loadmap_.range_of(key)].load(
+               std::memory_order_relaxed) != 0;
+  }
+  std::size_t combining_ranges() const noexcept {
+    std::size_t n = 0;
+    for (std::size_t i = 0; i < loadmap_.options().num_ranges; ++i) {
+      n += combine_range_[i].load(std::memory_order_relaxed) != 0;
+    }
+    return n;
+  }
+  /// Fat batches shipped / ops carried by them, summed over vault combiners.
+  std::uint64_t combined_batches() const noexcept;
+  std::uint64_t combined_ops() const noexcept;
+
   std::size_t size() const noexcept;
 
   const Options& options() const noexcept { return options_; }
@@ -89,6 +126,7 @@ class PimSkipList {
     kFwdAdd = 8,    ///< source -> target: forwarded operations
     kFwdRemove = 9,
     kFwdContains = 10,
+    kOpBatch = 11,  ///< CPU -> vault: combined fat batch of direct ops
   };
 
   struct OpReply {
@@ -144,6 +182,12 @@ class PimSkipList {
   SentinelDirectory directory_;
   obs::LoadMap loadmap_;
   std::vector<std::unique_ptr<VaultState>> vaults_;
+  /// One combiner per destination vault (combining is per crossbar link).
+  std::vector<std::unique_ptr<runtime::RequestCombiner>> combiners_;
+  /// LoadMap range grid -> combine flag; written by the rebalancer thread,
+  /// read on every submit().
+  std::unique_ptr<std::atomic<std::uint8_t>[]> combine_range_;
+  CachePadded<std::atomic<std::uint64_t>> migrated_keys_{0};
   CachePadded<std::atomic<bool>> migration_busy_{false};
 };
 

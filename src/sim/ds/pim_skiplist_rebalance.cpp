@@ -95,6 +95,7 @@ struct Directory {
 };
 
 struct SimVault {
+  std::size_t id = 0;
   std::unique_ptr<SimSkipList> list;
   Mailbox<Msg> inbox;
   Migration mig;
@@ -111,6 +112,57 @@ struct SimVault {
   std::uint64_t requests = 0;
 };
 
+/// Deterministic in-sim load accounting for the kActiveLoadMap policy —
+/// the sim twin of obs::LoadMap (global key-range grid + per-vault
+/// SpaceSaving hot-key sketch), kept independent of the metrics registry
+/// so schedule exploration stays deterministic with observability off.
+struct SimLoad {
+  static constexpr std::size_t kRanges = 64;
+  static constexpr std::size_t kSketch = 8;
+
+  struct HotKey {
+    std::uint64_t key = 0;
+    std::uint64_t count = 0;
+  };
+
+  std::uint64_t key_range = 1;
+  std::vector<std::uint64_t> range_ops;            // cumulative, global
+  std::vector<std::array<HotKey, kSketch>> sketch;  // per vault, cumulative
+
+  SimLoad(std::uint64_t range, std::size_t vaults)
+      : key_range(range), range_ops(kRanges, 0), sketch(vaults) {}
+
+  std::size_t range_of(std::uint64_t key) const noexcept {
+    if (key <= 1) return 0;
+    const std::size_t idx =
+        static_cast<std::size_t>((key - 1) * kRanges / key_range);
+    return idx >= kRanges ? kRanges - 1 : idx;
+  }
+  std::uint64_t range_lo(std::size_t idx) const noexcept {
+    return 1 + idx * key_range / kRanges;
+  }
+  std::uint64_t range_hi(std::size_t idx) const noexcept {
+    return idx + 1 < kRanges ? (idx + 1) * key_range / kRanges : key_range;
+  }
+
+  void record(std::size_t vault, std::uint64_t key) {
+    ++range_ops[range_of(key)];
+    auto& entries = sketch[vault];
+    std::size_t min_i = 0;
+    for (std::size_t i = 0; i < kSketch; ++i) {
+      if (entries[i].key == key || entries[i].count == 0) {
+        entries[i].key = key;
+        ++entries[i].count;
+        return;
+      }
+      if (entries[i].count < entries[min_i].count) min_i = i;
+    }
+    // SpaceSaving eviction: the new key inherits the victim's count.
+    entries[min_i].key = key;
+    ++entries[min_i].count;
+  }
+};
+
 }  // namespace
 
 RebalanceResult run_pim_skiplist_rebalance(const RebalanceConfig& cfg) {
@@ -121,10 +173,12 @@ RebalanceResult run_pim_skiplist_rebalance(const RebalanceConfig& cfg) {
   RebalanceResult result;
 
   Directory dir;
+  SimLoad load(cfg.key_range, k);
   std::vector<std::unique_ptr<SimVault>> vaults;
   for (std::size_t v = 0; v < k; ++v) {
     dir.entries.push_back({1 + v * cfg.key_range / k, v});
     auto vault = std::make_unique<SimVault>();
+    vault->id = v;
     // Global-minimum sentinel: migrations may hand any vault any range.
     vault->list = std::make_unique<SimSkipList>(0);
     vaults.push_back(std::move(vault));
@@ -165,6 +219,7 @@ RebalanceResult run_pim_skiplist_rebalance(const RebalanceConfig& cfg) {
   const auto execute_and_reply = [&](Context& ctx, SimVault& vault,
                                      const Msg& m) {
     ++vault.requests;
+    load.record(vault.id, m.key);
     const bool r = vault.list->execute(ctx, m.op, m.key, MemClass::kPimLocal);
     if (r && m.op == SetOp::kAdd) ++net_adds;
     if (r && m.op == SetOp::kRemove) --net_adds;
@@ -214,8 +269,8 @@ RebalanceResult run_pim_skiplist_rebalance(const RebalanceConfig& cfg) {
     engine.spawn("pim-core" + std::to_string(v), [&, v](Context& ctx) {
       SimVault& vault = *vaults[v];
       std::size_t stopped = 0;
-      // One extra stop comes from the rebalancer actor.
-      while (stopped < total_cpus + 1) {
+      // Two extra stops: the rebalancer actor and the window monitor.
+      while (stopped < total_cpus + 2) {
         Msg m;
         if (vault.mig.active && vault.mig.outgoing) {
           // Keep the migration moving even while requests arrive.
@@ -231,6 +286,21 @@ RebalanceResult run_pim_skiplist_rebalance(const RebalanceConfig& cfg) {
         switch (m.kind) {
           case Msg::Kind::kOp: {
             const Migration& mig = vault.mig;
+            // RebalanceFault::kDirectoryBeforeGrant: the execute/reject gate
+            // consults the SHARED directory instead of the vault-local owned
+            // view. Combined with the early directory publish below (the
+            // runtime's per-sender lanes let a direct request overtake the
+            // source's kMigBegin/kMigNode/kMigEnd stream; the early publish
+            // recreates that overtake under this sim's in-order delivery),
+            // the target answers direct requests from a list missing the
+            // in-flight nodes — the historical runtime bug the
+            // linearizability oracle caught under TSan. MUST be flagged by
+            // the checker.
+            if (cfg.fault == RebalanceFault::kDirectoryBeforeGrant &&
+                dir.route(m.key) == v) {
+              execute_and_reply(ctx, vault, m);
+              break;
+            }
             if (mig.active && m.key >= mig.lo && m.key < mig.hi) {
               if (mig.outgoing) {
                 // RebalanceFault::kStaleServe: the buggy source never
@@ -291,6 +361,12 @@ RebalanceResult run_pim_skiplist_rebalance(const RebalanceConfig& cfg) {
               // update (at completion, just before kMigEnd) the FIFO mailbox
               // guarantees no direct request can overtake the final node,
               // which would leave part 2 below unreachable.
+              dir.move_range(m.key, m.peer);
+            }
+            if (cfg.fault == RebalanceFault::kDirectoryBeforeGrant) {
+              // The directory says the target owns the range while the
+              // granting node stream is still in flight; the broken gate
+              // above turns that stale answer into wrong executions.
               dir.move_range(m.key, m.peer);
             }
             Msg begin;
@@ -374,10 +450,191 @@ RebalanceResult run_pim_skiplist_rebalance(const RebalanceConfig& cfg) {
     });
   }
 
+  // Window monitor: samples the per-vault load series every
+  // policy_period_ns for every policy (including no-rebalance controls),
+  // the basis of the windowed-imbalance assertions.
+  engine.spawn("monitor", [&](Context& ctx) {
+    std::vector<std::uint64_t> last(k, 0);
+    while (ctx.now() < cfg.duration_ns) {
+      ctx.advance(static_cast<double>(cfg.policy_period_ns));
+      ctx.sync();
+      RebalanceWindow w;
+      w.t_end = ctx.now();
+      std::uint64_t peak = 0;
+      for (std::size_t v = 0; v < k; ++v) {
+        const std::uint64_t d = vaults[v]->requests - last[v];
+        last[v] = vaults[v]->requests;
+        w.ops += d;
+        if (d > peak) {
+          peak = d;
+          w.hottest = v;
+        }
+      }
+      if (w.ops > 0) {
+        w.imbalance = static_cast<double>(peak) * static_cast<double>(k) /
+                      static_cast<double>(w.ops);
+      }
+      result.windows.push_back(w);
+    }
+    for (std::size_t v = 0; v < k; ++v) {
+      Msg stop;
+      stop.kind = Msg::Kind::kStop;
+      vaults[v]->inbox.send(ctx, stop);
+    }
+  });
+
+  // The active policy: the sim twin of core/auto_rebalancer::tick_active.
+  // Windowed per-vault deltas -> hysteresis gates (enter threshold,
+  // per-vault cooldown, noise floor, one migration at a time) -> split-key
+  // preference (dominant top key's successor, else hottest-range midpoint,
+  // else widest-partition midpoint) -> kMigStart to the hottest vault.
+  const auto active_policy = [&](Context& ctx) {
+    std::vector<std::uint64_t> last(k, 0);
+    std::vector<std::size_t> cooldown(k, 0);
+    std::vector<std::uint64_t> last_range(SimLoad::kRanges, 0);
+    const bool thrash = cfg.fault == RebalanceFault::kThrash;
+    SimSlot<Reply> reply;
+    // Partition lower bound of `key` in the CPU-visible directory.
+    const auto partition_lo = [&](std::uint64_t key) {
+      auto it = std::upper_bound(
+          dir.entries.begin(), dir.entries.end(), key,
+          [](std::uint64_t kk, const auto& e) { return kk < e.first; });
+      return (it - 1)->first;
+    };
+    while (ctx.now() < cfg.duration_ns) {
+      ctx.advance(static_cast<double>(cfg.policy_period_ns));
+      ctx.sync();
+      std::uint64_t total = 0;
+      std::uint64_t peak = 0;
+      std::size_t hot = 0;
+      std::size_t cold = 0;
+      std::uint64_t cold_ops = ~std::uint64_t{0};
+      for (std::size_t v = 0; v < k; ++v) {
+        const std::uint64_t d = vaults[v]->requests - last[v];
+        last[v] = vaults[v]->requests;
+        total += d;
+        if (d > peak) {
+          peak = d;
+          hot = v;
+        }
+        if (d < cold_ops) {
+          cold_ops = d;
+          cold = v;
+        }
+      }
+      std::vector<std::uint64_t> rdelta(SimLoad::kRanges);
+      for (std::size_t i = 0; i < SimLoad::kRanges; ++i) {
+        rdelta[i] = load.range_ops[i] - last_range[i];
+        last_range[i] = load.range_ops[i];
+      }
+      for (auto& c : cooldown) {
+        if (c > 0) --c;
+      }
+      if (total < cfg.min_window_ops) continue;  // noise floor
+      const double imbalance = static_cast<double>(peak) *
+                               static_cast<double>(k) /
+                               static_cast<double>(total);
+      if (hot == cold) continue;
+      if (!thrash && imbalance < cfg.imbalance_enter) continue;
+      if (!thrash && cooldown[hot] > 0) continue;
+      if (migration_busy) continue;  // one migration at a time
+      if (result.migrations >= cfg.max_migrations) continue;
+      // --- split-key selection (mirrors AutoRebalancer::suggest_split) ---
+      std::uint64_t split = 0;
+      const auto& entries = load.sketch[hot];
+      std::uint64_t mass = 0;
+      std::size_t top = 0;
+      for (std::size_t i = 0; i < SimLoad::kSketch; ++i) {
+        mass += entries[i].count;
+        if (entries[i].count > entries[top].count) top = i;
+      }
+      if (mass > 0 && entries[top].count * 2 >= mass &&
+          dir.route(entries[top].key) == hot) {
+        // One key dominates the sketch: isolate it by splitting at its
+        // successor (kSplitOffByOne splits at the key itself, so the hot
+        // key rides along with the migrated suffix — the mutation).
+        const std::uint64_t cand =
+            cfg.fault == RebalanceFault::kSplitOffByOne
+                ? entries[top].key
+                : entries[top].key + 1;
+        const bool in_span = cand < dir.end_of(entries[top].key) &&
+                             cand <= cfg.key_range;
+        const bool strict_suffix =
+            cfg.fault == RebalanceFault::kSplitOffByOne ||
+            cand > partition_lo(entries[top].key);
+        if (in_span && strict_suffix) split = cand;
+      }
+      if (split == 0) {
+        // Hottest window range whose midpoint the hot vault owns.
+        std::size_t best = SimLoad::kRanges;
+        for (std::size_t i = 0; i < SimLoad::kRanges; ++i) {
+          if (rdelta[i] == 0) continue;
+          const std::uint64_t lo = load.range_lo(i);
+          const std::uint64_t mid = lo + (load.range_hi(i) - lo) / 2;
+          if (dir.route(mid) != hot || mid <= partition_lo(mid)) continue;
+          if (best == SimLoad::kRanges || rdelta[i] > rdelta[best]) best = i;
+        }
+        if (best < SimLoad::kRanges) {
+          const std::uint64_t lo = load.range_lo(best);
+          split = lo + (load.range_hi(best) - lo) / 2;
+        }
+      }
+      if (split == 0) {
+        // Widest partition of the hot vault, split at its midpoint.
+        std::uint64_t best_lo = 0;
+        std::uint64_t best_hi = 0;
+        for (std::size_t i = 0; i < dir.entries.size(); ++i) {
+          if (dir.entries[i].second != hot) continue;
+          const std::uint64_t lo = dir.entries[i].first;
+          const std::uint64_t hi = i + 1 < dir.entries.size()
+                                       ? dir.entries[i + 1].first
+                                       : cfg.key_range + 1;
+          if (hi - lo > best_hi - best_lo) {
+            best_lo = lo;
+            best_hi = hi;
+          }
+        }
+        if (best_hi - best_lo >= 2) {
+          split = best_lo + (best_hi - best_lo) / 2;
+        }
+      }
+      if (split == 0) continue;  // nothing splittable this window
+      const std::size_t source = dir.route(split);
+      if (source != hot || source == cold) continue;
+      migration_busy = true;
+      Msg m;
+      m.kind = Msg::Kind::kMigStart;
+      m.key = split;
+      m.hi = dir.end_of(split);
+      m.peer = cold;
+      m.reply = &reply;
+      vaults[source]->inbox.send(ctx, m);
+      if (!reply.await(ctx).accepted) {
+        migration_busy = false;
+        continue;
+      }
+      ++result.migrations;
+      if (ctx.now() >= 2 * third) ++result.migrations_late;
+      if (!thrash) cooldown[hot] = cfg.cooldown_periods;
+    }
+    // Drain an in-flight migration before stopping the vaults: the stops
+    // below would otherwise overtake the tail of the kMigNode stream in
+    // the target's FIFO inbox, and the extracted-but-not-yet-inserted keys
+    // would be lost with the run's teardown (the guard is cleared by the
+    // target when it processes kMigEnd, so waiting on it is exact).
+    while (migration_busy) {
+      ctx.advance(50'000);
+      ctx.sync();
+    }
+  };
+
   // The rebalancer: at t = duration/3, split the workload's quartiles off
   // the hot range, one migration at a time (the Section 4.2.1 guard).
   engine.spawn("rebalancer", [&](Context& ctx) {
-    if (cfg.rebalance && k > 1) {
+    if (cfg.rebalance && k > 1 &&
+        cfg.policy == RebalancePolicy::kActiveLoadMap) {
+      active_policy(ctx);
+    } else if (cfg.rebalance && k > 1) {
       ctx.advance(static_cast<double>(third));
       // Quantile estimate of the Zipf mass (operator-side knowledge).
       Xoshiro256 rng(cfg.seed ^ 0x9a17ULL);
@@ -415,7 +672,11 @@ RebalanceResult run_pim_skiplist_rebalance(const RebalanceConfig& cfg) {
           m.peer = target;
           m.reply = &reply;
           vaults[source]->inbox.send(ctx, m);
-          if (reply.await(ctx).accepted) break;
+          if (reply.await(ctx).accepted) {
+            ++result.migrations;
+            if (ctx.now() >= 2 * third) ++result.migrations_late;
+            break;
+          }
           migration_busy = false;
           ctx.advance(50'000);
         }

@@ -73,6 +73,44 @@ enum class RebalanceFault : std::uint8_t {
   /// breaks; with the correct completion-time update the FIFO mailbox means
   /// no direct request can ever overtake the final migrated node.)
   kNoDefer,
+  /// Active-policy mutation: no cooldown, no enter threshold — the policy
+  /// fires a migration on EVERY eligible window. Linearizability holds
+  /// (the protocol is intact), but the policy never converges: it keeps
+  /// migrating to the end of the run. The harness flags it by the
+  /// stability assertion (no migrations in the final third once the
+  /// layout has settled).
+  kThrash,
+  /// Active-policy mutation: when a single hot key dominates the sketch,
+  /// split at the hot key itself instead of its successor — the hot key
+  /// travels WITH the migrated suffix, so every migration relocates the
+  /// hot spot wholesale instead of dividing the load. Flagged by the
+  /// imbalance-must-fall / stability assertions, not the checker.
+  kSplitOffByOne,
+  /// The execute/reject gate consults the SHARED directory instead of the
+  /// vault-local owned-ranges view — the historical bug the
+  /// linearizability oracle caught in the runtime twin: the source
+  /// publishes the new owner in the directory before the target has
+  /// processed the granting kMigBegin/kMigNode/kMigEnd stream (in the
+  /// runtime, per-sender lanes let a direct request overtake that stream;
+  /// the fault publishes at migration start to recreate the overtake under
+  /// the sim's in-order delivery), so a direct request passes the broken
+  /// gate and is answered from a list missing the in-flight nodes.
+  /// MUST be flagged by the checker.
+  kDirectoryBeforeGrant,
+};
+
+/// Who drives migrations in run_pim_skiplist_rebalance.
+enum class RebalancePolicy : std::uint8_t {
+  /// Operator actor with workload-quantile knowledge splits the hot range
+  /// at t = duration/3 (the historical scripted scenario).
+  kOracle,
+  /// The sim twin of core/auto_rebalancer's active mode: a policy actor
+  /// samples windowed per-vault loads + a per-vault hot-key sketch every
+  /// policy_period_ns and drives kMigStart with hysteresis (enter
+  /// threshold, per-vault cooldown, min_window_ops floor) and the same
+  /// split-key preference (dominant top key's successor, else hottest
+  /// range midpoint, else widest partition midpoint).
+  kActiveLoadMap,
 };
 
 struct RebalanceConfig {
@@ -90,11 +128,32 @@ struct RebalanceConfig {
   bool rebalance = true;
   std::size_t migrate_chunk = 32;
   RebalanceFault fault = RebalanceFault::kNone;  ///< mutation testing only
+  RebalancePolicy policy = RebalancePolicy::kOracle;
+  /// Active-policy window length (virtual ns); also the sampling period of
+  /// the per-window imbalance series in RebalanceResult::windows.
+  Time policy_period_ns = 1'500'000;
+  /// Trigger threshold: hottest vault >= enter x mean over a window.
+  double imbalance_enter = 2.0;
+  /// Windows a vault is barred as a migration source after sourcing one.
+  std::size_t cooldown_periods = 2;
+  /// Windows below this many total ops are noise, never judged.
+  std::uint64_t min_window_ops = 200;
+  /// Safety valve on active-policy migrations.
+  std::size_t max_migrations = ~std::size_t{0};
   /// Schedule perturbation for adversarial exploration (check/explore.hpp).
   Engine::Perturbation perturb{};
   /// Optional history recording (check/): CPU i -> log(i), setup inserts ->
   /// log(num_cpus); pass a recorder with num_cpus + 1 logs.
   check::HistoryRecorder* recorder = nullptr;
+};
+
+/// One sampled window of the per-vault load series (every policy_period_ns,
+/// for every policy — also the basis of the imbalance assertions).
+struct RebalanceWindow {
+  Time t_end = 0;            ///< window end (virtual ns)
+  std::uint64_t ops = 0;     ///< total requests served in the window
+  std::size_t hottest = 0;   ///< vault with the largest window share
+  double imbalance = 0.0;    ///< hottest / mean (0 for an empty window)
 };
 
 struct RebalanceResult {
@@ -105,7 +164,24 @@ struct RebalanceResult {
   std::uint64_t rejections = 0;
   std::uint64_t forwarded = 0;
   std::uint64_t deferred = 0;
+  std::uint64_t migrations = 0;       ///< accepted kMigStart count
+  std::uint64_t migrations_late = 0;  ///< ...of those, started in the last third
+  std::vector<RebalanceWindow> windows;
   bool size_consistent = false;  ///< final size == successful adds - removes
+
+  /// Peak windowed imbalance over windows ending in [from, to) with at
+  /// least min_ops total ops (noise floor, mirrors telemetry_report.py).
+  double peak_imbalance(Time from, Time to,
+                        std::uint64_t min_ops = 1) const noexcept {
+    double peak = 0.0;
+    for (const RebalanceWindow& w : windows) {
+      if (w.t_end >= from && w.t_end < to && w.ops >= min_ops &&
+          w.imbalance > peak) {
+        peak = w.imbalance;
+      }
+    }
+    return peak;
+  }
 };
 
 RebalanceResult run_pim_skiplist_rebalance(const RebalanceConfig& cfg);

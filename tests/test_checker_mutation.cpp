@@ -128,5 +128,16 @@ TEST(RebalanceMutation, NoDeferIsCaught) {
                       /*num_seeds=*/3, "missing defer during migration");
 }
 
+TEST(RebalanceMutation, DirectoryBeforeGrantIsCaught) {
+  // The execute/reject gate trusts the shared directory, which the source
+  // publishes before the target owns the granting node stream: requests
+  // are answered from a list missing the in-flight keys. This is the
+  // historical runtime bug the oracle caught under TSan, re-seeded.
+  expect_fault_caught(run_rebalance_once,
+                      sim::RebalanceFault::kDirectoryBeforeGrant,
+                      sim::RebalanceFault::kNone, /*first_seed=*/1,
+                      /*num_seeds=*/3, "directory updated before grant");
+}
+
 }  // namespace
 }  // namespace pimds

@@ -149,6 +149,112 @@ TEST(AutoRebalancer, StaysQuietUnderUniformLoad) {
       << "uniform load must not trigger migrations";
 }
 
+TEST(AutoRebalancer, AdaptiveCombiningEngagesOnAHotRange) {
+  // Contention-adaptive switching (per key range) between direct sends and
+  // CPU-side combining: a range whose window share crosses
+  // combine_enter_share must flip to combining, ops must start traveling
+  // as fat kOpBatch messages, and results must stay correct.
+  runtime::PimSystem::Config config;
+  config.num_vaults = 4;
+  runtime::PimSystem system(config);
+  core::PimSkipList::Options options;
+  options.key_max = 1 << 16;
+  core::PimSkipList list(system, options);
+  core::AutoRebalancer::Options rb_options;
+  rb_options.period = std::chrono::milliseconds(10);
+  rb_options.max_migrations = 0;  // isolate combining from migrations
+  rb_options.adaptive_combining = true;
+  rb_options.combine_enter_share = 0.30;
+  rb_options.combine_exit_share = 0.10;
+  rb_options.min_window_ops = 50;
+  rb_options.log_decisions = false;
+  core::AutoRebalancer rebalancer(list, rb_options);
+  system.start();
+  rebalancer.start();
+
+  // All traffic lands in one LoadMap range (share ~1.0 >> enter share).
+  const obs::LoadMap& lm = list.loadmap();
+  const std::uint64_t hot_lo = lm.range_lo(5);
+  const std::uint64_t hot_hi = lm.range_hi(5);
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> workers;
+  std::atomic<std::uint64_t> adds_ok{0};
+  std::atomic<std::uint64_t> removes_ok{0};
+  for (int t = 0; t < 2; ++t) {
+    workers.emplace_back([&, t] {
+      Xoshiro256 rng(40 + static_cast<std::uint64_t>(t));
+      while (!stop.load(std::memory_order_relaxed)) {
+        const std::uint64_t key = rng.next_in(hot_lo + 1, hot_hi);
+        if (rng.next() % 2) {
+          adds_ok.fetch_add(list.add(key), std::memory_order_relaxed);
+        } else {
+          removes_ok.fetch_add(list.remove(key), std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  stop.store(true);
+  for (auto& w : workers) w.join();
+  const bool was_combining = list.range_combining(hot_lo + 1);
+  rebalancer.stop();
+  system.stop();
+
+  EXPECT_TRUE(was_combining)
+      << "a range carrying ~100% of the window must flip to combining";
+  EXPECT_GT(list.combined_batches(), 0u) << "no fat batch ever shipped";
+  EXPECT_GE(list.combined_ops(), list.combined_batches())
+      << "batches must carry at least one op each";
+  EXPECT_EQ(rebalancer.migrations_triggered(), 0u)
+      << "max_migrations = 0 must hold migrations back";
+  EXPECT_EQ(list.size(), adds_ok.load() - removes_ok.load())
+      << "combined ops must apply exactly once";
+}
+
+TEST(AutoRebalancer, SuggestSplitIsolatesADominantTopKey) {
+  // Regression for the observe-only suggestion: when ONE key dominates the
+  // sketch, the split must be that key's SUCCESSOR (isolating the hot key),
+  // not a midpoint that relocates or keeps the entire hot spot. The mutant
+  // that splits AT the hot key is kSplitOffByOne in the sim twin.
+  runtime::PimSystem::Config config;
+  config.num_vaults = 4;
+  runtime::PimSystem system(config);
+  core::PimSkipList::Options options;
+  options.key_max = 1 << 16;
+  core::PimSkipList list(system, options);
+  core::AutoRebalancer rebalancer(list);
+
+  // Vault 0 owns [0, 1<<14) under the default 4-way split.
+  obs::LoadMap::HotVaultReport rep;
+  rep.window_ops = 1000;
+  rep.hottest = 0;
+  rep.coldest = 3;
+  rep.hot_keys = {{/*key=*/777, /*count=*/600},
+                  {/*key=*/778, /*count=*/200},
+                  {/*key=*/12, /*count=*/100}};
+  rep.hot_ranges = {{/*lo=*/512, /*hi=*/1023, /*ops=*/900}};
+  EXPECT_EQ(rebalancer.suggest_split(rep, /*hot=*/0), 778u)
+      << "dominant top key (600 >= half of 900 tracked) -> successor split";
+
+  // No dominance (top key holds < half the tracked mass): fall back to the
+  // hottest owned range's midpoint.
+  rep.hot_keys = {{777, 300}, {5000, 290}, {12, 280}};
+  EXPECT_EQ(rebalancer.suggest_split(rep, 0), 512u + (1023u - 512u) / 2)
+      << "no dominant key -> hottest-range midpoint";
+
+  // Dominant key owned by ANOTHER vault: rule 1 must not fire for vault 0;
+  // with the hot range also outside vault 0, fall through to the widest
+  // partition midpoint.
+  rep.hot_keys = {{/*key=*/(1u << 15) + 9, /*count=*/600}, {778, 200}};
+  rep.hot_ranges = {{/*lo=*/1u << 15, /*hi=*/(1u << 15) + 1023, /*ops=*/900}};
+  const auto parts = list.partitions();
+  ASSERT_GE(parts.size(), 2u);
+  const std::uint64_t p_lo = parts[0].sentinel;  // vault 0's only partition
+  const std::uint64_t p_hi = parts[1].sentinel;
+  EXPECT_EQ(rebalancer.suggest_split(rep, 0), p_lo + (p_hi - p_lo) / 2)
+      << "foreign hot key/range -> widest owned partition midpoint";
+}
+
 TEST(RuntimeFatNodes, QueueStaysFifoWithEnqueueCombining) {
   runtime::PimSystem::Config config;
   config.num_vaults = 4;

@@ -75,6 +75,42 @@ check::Trial rebalance_trial(sim::RebalanceFault fault) {
   };
 }
 
+/// One migration trial with the ACTIVE LoadMap policy driving migrations
+/// instead of the scripted operator: every explored schedule must contain
+/// at least one policy-triggered migration (a schedule with none exercises
+/// nothing and is reported as a failure, so the sweep cannot silently
+/// degenerate), keep the add/remove size accounting intact, and linearize.
+check::Trial active_rebalance_trial(sim::RebalanceFault fault) {
+  return [fault](std::uint64_t seed,
+                 const sim::Engine::Perturbation& perturb) -> std::string {
+    sim::RebalanceConfig cfg;
+    cfg.seed = seed;
+    cfg.perturb = perturb;
+    cfg.num_cpus = 6;
+    cfg.partitions = 4;
+    cfg.key_range = 1 << 10;
+    cfg.initial_size = 1 << 9;
+    cfg.duration_ns = 2'000'000;
+    cfg.migrate_chunk = 4;
+    cfg.policy = sim::RebalancePolicy::kActiveLoadMap;
+    cfg.policy_period_ns = 200'000;
+    cfg.imbalance_enter = 1.2;
+    cfg.cooldown_periods = 1;
+    cfg.min_window_ops = 50;
+    cfg.fault = fault;
+    check::HistoryRecorder recorder(cfg.num_cpus + 1);
+    cfg.recorder = &recorder;
+    const auto r = sim::run_pim_skiplist_rebalance(cfg);
+    if (r.migrations == 0) {
+      return "no active migration fired: the schedule exercised nothing";
+    }
+    if (fault == sim::RebalanceFault::kNone && !r.size_consistent) {
+      return "size accounting broke across active migrations";
+    }
+    return check::check_set_history(recorder.collect()).error;
+  };
+}
+
 TEST(ScheduleExplore, CleanQueueSweepFindsNoViolation) {
   // Default: a short sweep suitable for every ctest run. CI's
   // schedule-explore job stretches it via PIMDS_EXPLORE_SEEDS=1000.
@@ -100,6 +136,45 @@ TEST(ScheduleExplore, CleanMigrationSweepFindsNoViolation) {
       "./tests/test_schedule_explore "
       "--gtest_filter=ScheduleExplore.CleanMigrationSweepFindsNoViolation");
   EXPECT_TRUE(result.ok()) << result.report("(see test)");
+}
+
+TEST(ScheduleExplore, ActiveRebalanceSweepLinearizesWithLiveMigrations) {
+  // Adversarial coverage for the CLOSED control loop: perturbed schedules,
+  // policy-chosen split keys, and the trial itself enforces that every
+  // schedule contains a live migration. CI stretches this to 1000 seeds
+  // via PIMDS_EXPLORE_SEEDS (>= 200 is the acceptance floor).
+  check::ExploreConfig cfg;
+  cfg.num_seeds = 6;
+  cfg.perturbations_per_seed = 2;
+  cfg = cfg.with_env_overrides();
+  const auto result = check::explore(
+      cfg, active_rebalance_trial(sim::RebalanceFault::kNone),
+      "./tests/test_schedule_explore "
+      "--gtest_filter="
+      "ScheduleExplore.ActiveRebalanceSweepLinearizesWithLiveMigrations");
+  EXPECT_TRUE(result.ok()) << result.report("(see test)");
+  EXPECT_GE(result.runs, cfg.num_seeds);
+}
+
+TEST(ScheduleExplore, ActiveRebalanceSweepCatchesDirectoryBeforeGrant) {
+  // The ownership-gate mutation must surface under the ACTIVE policy's
+  // perturbed sweep too — and replay bit-exactly from the recorded pair,
+  // same as the queue fault below.
+  check::ExploreConfig cfg;
+  cfg.first_seed = 1;
+  cfg.num_seeds = 8;
+  cfg.perturbations_per_seed = 1;
+  cfg.max_failures = 1;
+  const auto trial =
+      active_rebalance_trial(sim::RebalanceFault::kDirectoryBeforeGrant);
+  const auto result = check::explore(cfg, trial, "replay-hint");
+  ASSERT_FALSE(result.ok())
+      << "directory-before-grant must be flagged within 8 seeds";
+  const check::ExploreFailure& f = result.failures.front();
+  EXPECT_FALSE(f.error.empty());
+  sim::Engine::Perturbation perturb = cfg.perturb;
+  perturb.seed = f.perturb_seed;
+  EXPECT_EQ(trial(f.seed, perturb), f.error);
 }
 
 TEST(ScheduleExplore, FaultySweepFindsAFailureAndReplaysItExactly) {

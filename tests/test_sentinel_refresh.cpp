@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <random>
 #include <thread>
@@ -14,6 +15,8 @@
 
 #include "check/history.hpp"
 #include "check/linearizability.hpp"
+#include "common/zipf.hpp"
+#include "core/auto_rebalancer.hpp"
 #include "core/pim_skiplist.hpp"
 #include "core/sentinel_directory.hpp"
 
@@ -177,6 +180,82 @@ TEST(SentinelRefresh, OperationsStayLinearizableAcrossFastMigrations) {
   // the directory-update race rather than forwarding.
   run_migration_race(/*migrate_chunk=*/64, /*num_threads=*/4,
                      /*ops_per_thread=*/800);
+}
+
+TEST(SentinelRefresh, LinearizableUnderActiveRebalancerWithCombining) {
+  // The closed loop end to end on real threads: no scripted migrate()
+  // calls — an ACTIVE AutoRebalancer watches the LoadMap and drives the
+  // Section 4.2.1 protocol itself, with contention-adaptive combining
+  // flipping the hot ranges to CPU-side batched sends mid-run. Every
+  // client operation is recorded and the merged history must linearize
+  // across policy-chosen hand-overs and combined batches alike.
+  MigrationRig rig(/*migrate_chunk=*/8);
+  constexpr std::uint64_t kLo = 500;
+  constexpr std::uint64_t kRange = 64;  // dense keys -> real contention
+  constexpr int kThreads = 4;
+  check::HistoryRecorder recorder(kThreads + 1);
+  for (std::uint64_t key = kLo; key < kLo + kRange; key += 2) {
+    ASSERT_TRUE(rig.list->add(key));
+    recorder.log(kThreads).complete(check::kAdd, key, check::kRetTrue, 0, 0);
+  }
+
+  AutoRebalancer::Options ropts;
+  ropts.period = std::chrono::milliseconds(5);
+  ropts.imbalance_ratio = 1.5;
+  ropts.imbalance_exit = 1.2;
+  ropts.cooldown_periods = 1;
+  ropts.min_window_ops = 50;
+  ropts.adaptive_combining = true;
+  ropts.combine_enter_share = 0.30;
+  ropts.combine_exit_share = 0.05;
+  ropts.log_decisions = false;  // keep ctest output quiet
+  AutoRebalancer rebalancer(*rig.list, ropts);
+  rebalancer.start();
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      check::ThreadLog& log = recorder.log(static_cast<std::size_t>(t));
+      Xoshiro256 rng(0xbee5 + static_cast<std::uint64_t>(t));
+      // Zipf within the racing window: a dominant top key steers the
+      // policy's successor-split rule, and the window's LoadMap ranges
+      // cross the combining enter share.
+      ZipfGenerator zipf(kRange, 0.99);
+      for (std::uint64_t i = 0; i < 800; ++i) {
+        const std::uint64_t key = kLo + zipf.next(rng);
+        const std::uint64_t dice = rng.next() % 10;
+        if (dice < 3) {
+          log.begin(check::kAdd, key);
+          log.end(rig.list->add(key) ? check::kRetTrue : check::kRetFalse);
+        } else if (dice < 6) {
+          log.begin(check::kRemove, key);
+          log.end(rig.list->remove(key) ? check::kRetTrue : check::kRetFalse);
+        } else {
+          log.begin(check::kContains, key);
+          log.end(rig.list->contains(key) ? check::kRetTrue
+                                          : check::kRetFalse);
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  rebalancer.stop();
+  // Let an in-flight migration hand over before judging the final state.
+  while (rig.list->migration_active()) std::this_thread::yield();
+
+  EXPECT_GT(rebalancer.migrations_triggered(), 0u)
+      << "the concentrated window must trip the active policy";
+
+  const auto r = check::check_set_history(recorder.collect());
+  EXPECT_TRUE(r.ok()) << r.error;
+
+  // Quiesced coherence across every policy-driven hand-over: add(k) must
+  // succeed exactly when contains(k) said the key was absent.
+  for (std::uint64_t key = kLo; key < kLo + kRange; ++key) {
+    const bool present = rig.list->contains(key);
+    EXPECT_EQ(rig.list->add(key), !present)
+        << "post-rebalance state incoherent at key " << key;
+  }
 }
 
 TEST(SentinelRefresh, DirectoryAndStatsConvergeAfterMigration) {
