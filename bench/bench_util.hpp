@@ -153,6 +153,19 @@ class JsonReporter {
     records_.push_back(std::move(r));
   }
 
+  /// Record with an attached `"latency"` object (pre-rendered JSON, e.g.
+  /// from an open-loop rate point: percentile ladder, backlog accounting,
+  /// per-phase p99). `latency_json` must be a complete JSON value.
+  void record_with_latency(const std::string& name, const Params& params,
+                           double ops_per_sec,
+                           const std::string& latency_json) {
+    if (!enabled()) return;
+    record(name, params, ops_per_sec);
+    std::string& r = records_.back();
+    r.pop_back();  // strip the closing '}'
+    r += ", \"latency\": " + latency_json + "}";
+  }
+
   /// Model-conformance row: analytic prediction vs. the measured number for
   /// one named config. Accumulated rows land in the JSON's "conformance"
   /// section (emitted even when empty, so consumers can rely on the key).
@@ -161,6 +174,13 @@ class JsonReporter {
     if (!enabled()) return;
     conformance_.push_back(
         {name, predicted_ops_per_sec, measured_ops_per_sec});
+  }
+
+  /// Latency-conformance row (predicted vs measured sojourn, M/D/1): lands
+  /// in the "conformance" section's "latency" array.
+  void conformance_latency(model::LatencyConformanceRow row) {
+    if (!enabled()) return;
+    latency_conformance_.push_back(std::move(row));
   }
 
   /// Extra top-level numeric fact (e.g. a speedup ratio).
@@ -210,7 +230,10 @@ class JsonReporter {
                    path_.c_str());
       return;
     }
+    // v2: records may carry a "latency" object and conformance a "latency"
+    // array (both optional, so v1 consumers keep working).
     std::fprintf(f, "{\n  \"bench\": \"%s\",\n", escape(bench_).c_str());
+    std::fprintf(f, "  \"schema\": \"pimds.bench.v2\",\n");
     for (const auto& n : notes_) std::fprintf(f, "%s,\n", n.c_str());
     if (sampler_ != nullptr && !sampler_->options().path.empty()) {
       std::fprintf(f,
@@ -222,7 +245,8 @@ class JsonReporter {
                    sampler_->samples());
     }
     std::fprintf(f, "  \"conformance\": %s,\n",
-                 model::conformance_json(conformance_, 2).c_str());
+                 model::conformance_json(conformance_, latency_conformance_, 2)
+                     .c_str());
     if (attribution_.empty()) capture_attribution();
     std::fprintf(f, "  \"attribution\": %s,\n", attribution_.c_str());
     std::fprintf(f, "  \"metrics\": %s,\n",
@@ -260,6 +284,7 @@ class JsonReporter {
   std::vector<std::string> notes_;
   std::string attribution_;
   std::vector<model::ConformanceRow> conformance_;
+  std::vector<model::LatencyConformanceRow> latency_conformance_;
   bool flushed_ = false;
 };
 

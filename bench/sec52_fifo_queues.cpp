@@ -37,6 +37,9 @@ int main(int argc, char** argv) {
   std::uint64_t comb_enq_ops = 0;
   std::uint64_t comb_enq_batches = 0;
   double last_faa = 0.0, last_fc = 0.0, last_pim = 0.0;
+  // Closed-loop capacities at p = 24, reused to size the open-loop latency
+  // table's offered rate below.
+  double cap24_faa = 0.0, cap24_fc = 0.0, cap24_pim = 0.0;
   for (std::size_t p : {2, 4, 8, 12, 16, 24, 32, 48}) {
     sim::QueueConfig cfg;
     cfg.enqueuers = p / 2;
@@ -55,6 +58,11 @@ int main(int argc, char** argv) {
     last_faa = faa;
     last_fc = fc;
     last_pim = pim;
+    if (p == 24) {
+      cap24_faa = faa;
+      cap24_fc = fc;
+      cap24_pim = pim;
+    }
     table.print_row({std::to_string(p), mops(ms), mops(faa), mops(fc),
                      mops(pim), mops(comb.run.ops_per_sec()), ratio(pim, fc),
                      ratio(pim, faa)});
@@ -88,16 +96,31 @@ int main(int argc, char** argv) {
       "The MS(CAS) column is an extra baseline: CAS retries degrade with\n"
       "threads, which is why the paper picked the F&A queue to beat.\n");
 
-  banner("Per-operation latency at p = 24 (virtual ns)");
+  banner("Per-operation latency at p = 24, open loop at 0.7x capacity "
+         "(virtual ns)");
   {
+    // The old closed-loop table suffered coordinated omission: each actor
+    // could only issue as fast as the queue completed, so at saturation
+    // every sample equalled the steady-state cycle time and p50 == p99
+    // (degenerate rows: F&A 7.2/7.2 us). Now each actor injects on a
+    // Poisson schedule at 70% of the structure's own measured closed-loop
+    // capacity and latency runs intended-start -> completion, so queueing
+    // delay — including delay behind a late injector — is charged to the
+    // operation and the percentiles separate.
     Table table({"queue", "p50", "p90", "p99", "p999", "mean"}, 14);
     table.print_header();
-    const auto row = [&](const char* name, auto runner) {
+    const auto row = [&](const char* name, double capacity, auto runner) {
       std::vector<double> lat;
       sim::QueueConfig cfg;
       cfg.enqueuers = cfg.dequeuers = 12;
       cfg.duration_ns = 10'000'000;
       cfg.latency_sink_ns = &lat;
+      cfg.arrival = sim::ArrivalSchedule::kPoisson;
+      // Aggregate offered rate = 0.7 * capacity split across 24 actors:
+      // per-actor mean inter-arrival = actors / (0.7 * capacity_per_ns).
+      cfg.arrival_period_ns =
+          static_cast<double>(cfg.enqueuers + cfg.dequeuers) /
+          (0.7 * capacity * 1e-9);
       runner(cfg);
       const Summary s = Summary::of(std::move(lat));
       char p50[32], p90[32], p99[32], p999[32], mean[32];
@@ -108,15 +131,19 @@ int main(int argc, char** argv) {
       std::snprintf(mean, sizeof(mean), "%.0f", s.mean);
       table.print_row({name, p50, p90, p99, p999, mean});
     };
-    row("F&A", [](const sim::QueueConfig& c) { return sim::run_faa_queue(c); });
-    row("FC", [](const sim::QueueConfig& c) { return sim::run_fc_queue(c); });
-    row("PIM", [](const sim::QueueConfig& c) {
+    row("F&A", cap24_faa,
+        [](const sim::QueueConfig& c) { return sim::run_faa_queue(c); });
+    row("FC", cap24_fc,
+        [](const sim::QueueConfig& c) { return sim::run_fc_queue(c); });
+    row("PIM", cap24_pim, [](const sim::QueueConfig& c) {
       return sim::run_pim_queue(c, sim::PimQueueOptions{}).run;
     });
     std::printf(
-        "(closed system: latency ~= threads-per-side / throughput-per-side\n"
-        "by Little's law, so the PIM queue wins BOTH axes at saturation —\n"
-        "its two message legs are cheaper than the others' serialization)\n");
+        "(open system at 0.7x each queue's closed-loop capacity: the\n"
+        "percentiles now include queueing delay — coordinated-omission-free\n"
+        "— so the tails separate instead of collapsing onto the cycle time;\n"
+        "the PIM queue's two message legs still undercut the others'\n"
+        "serialization at equal offered load)\n");
   }
   return 0;
 }

@@ -10,8 +10,12 @@ runs each bench in BENCHES with --json, names the output BENCH_<bench>.json
 ablation_batch_drain binary reports "batch_drain"), and validates every
 file with trace_report.py --check-bench before returning. The sim-backed
 benches (sec52, fig4, table1, table2) are deterministic in virtual time, so
-their JSON is bit-stable across hosts up to float formatting; only
-batch_drain measures real threads. scripts/perf_gate.py compares a fresh
+their JSON is bit-stable across hosts up to float formatting; batch_drain
+and openloop_latency measure real threads (openloop_latency's sim
+conformance section is virtual-time deterministic). All files carry the
+pimds.bench.v2 schema: records may attach a "latency" percentile object
+and conformance may carry a "latency" row list, both validated by
+trace_report.py --check-bench. scripts/perf_gate.py compares a fresh
 --out-dir against the committed baselines.
 
 Exit codes: 0 ok, 1 a bench failed to run or produced invalid JSON.
@@ -47,6 +51,14 @@ BENCHES = [
         ["--threads", "18", "--ops", "600", "--gather-ns", "4000"],
         True,
     ),
+    # Open-loop tail-latency sweep: real threads again (injector clocks are
+    # wall time), so it runs right after batch_drain while the machine is
+    # quiet. Binary defaults (400 ms/leg, 16 injectors, Lpim 10 us) are the
+    # gated configuration; the committed baseline carries the below-knee
+    # gated points that perf_gate's latency_bounds policy bands, plus the
+    # virtual-time sim conformance rows that carry the tight M/D/1 gates.
+    # Telemetry ON so the baseline also exercises the windowed latency block.
+    ("openloop_latency", "openloop_latency", [], True),
     ("sec52_fifo_queues", "sec52_fifo_queues", [], False),
     ("fig4_skiplists", "fig4_skiplists", [], False),
     ("table1_linked_lists", "table1_linked_lists", [], False),

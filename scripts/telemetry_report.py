@@ -37,6 +37,20 @@ hot spot early (peak imbalance >= threshold), at least one
 rebalancer.triggered migration, and a settled tail -- the final third's
 eligible windows must all stay below --settle-threshold.
 
+  telemetry_report.py RUN.telemetry.jsonl --assert-latency \\
+      [--latency-family total_ns] [--min-window-count 50] \\
+      [--max-p99-ns N] [--min-latency-windows 1]
+
+Tail-latency acceptance for open-loop runs: the optional per-window
+"latency" section (interpolated percentiles for every latency.* histogram,
+emitted by obs::LatencyRecorder families) must be present in enough
+windows. Every matching entry with count >= --min-window-count must carry
+a monotone percentile ladder (p50 <= p90 <= p99 <= p999 <= max), at least
+--min-latency-windows such windows must exist, and with --max-p99-ns no
+eligible window's p99 may exceed the bound. --latency-family is a
+substring filter over histogram names (default "total_ns": judge
+end-to-end sojourn, not the sched_lag/service components).
+
 Also understands flight-recorder dumps ("pimds.flight.v1": a single JSON
 object with a "samples" list of telemetry lines) -- pass the dump path and
 the same validation/summary runs over the embedded samples.
@@ -129,6 +143,18 @@ def validate(windows, path):
             for key in ("count", "mean", "p50", "p90", "p99", "p999", "max"):
                 if key not in h:
                     fail(f"{where} histogram {name!r} missing {key!r}")
+        lat = w.get("latency")
+        if lat is not None:
+            if not isinstance(lat, dict):
+                fail(f'{where} "latency" must be an object')
+            for name, h in lat.items():
+                if not name.startswith("latency."):
+                    fail(f'{where} latency entry {name!r} outside the '
+                         f'"latency." namespace')
+                for key in ("count", "mean", "p50", "p90", "p99", "p999",
+                            "max"):
+                    if key not in h:
+                        fail(f"{where} latency {name!r} missing {key!r}")
     return windows
 
 
@@ -280,6 +306,61 @@ def assert_rebalance_settles(windows, fams, key, threshold, settle_threshold,
           f"{settle_threshold:.2f}, {triggered} migration(s)")
 
 
+def assert_latency(windows, family, min_count, max_p99_ns, min_windows):
+    """Tail-latency acceptance over the per-window "latency" section.
+
+    Judges only the interpolated entries (the sharper 12.5% percentile
+    bound); the plain histograms block keeps midpoint percentiles for the
+    existing consumers. Windows below min_count are skipped as noise, not
+    failed -- a stalled injector legitimately produces thin windows."""
+    eligible = 0
+    worst_p99 = 0.0
+    worst_at = None
+    names = set()
+    any_section = False
+    for i, w in enumerate(windows):
+        lat = w.get("latency")
+        if lat is None:
+            continue
+        any_section = True
+        for name, h in lat.items():
+            if family and family not in name:
+                continue
+            names.add(name)
+            ladder = [h["p50"], h["p90"], h["p99"], h["p999"], h["max"]]
+            # Percentiles are serialized at 6 significant digits while max
+            # is an exact integer, so a clamped p999 can PRINT up to 5e-6
+            # above max; only violations past that rounding are real.
+            for lo, hi in zip(ladder, ladder[1:]):
+                if lo > hi * (1 + 1e-5):
+                    fail(f"--assert-latency: window[{i}] {name!r} "
+                         f"percentile ladder not monotone: {ladder}")
+            if h["count"] < min_count:
+                continue
+            eligible += 1
+            if h["p99"] > worst_p99:
+                worst_p99, worst_at = h["p99"], (i, name)
+    if not any_section:
+        fail('--assert-latency: no window carries a "latency" section '
+             "(stream predates pimds.telemetry latency blocks, or no "
+             "LatencyRecorder family was live)")
+    if not names:
+        fail(f"--assert-latency: no latency histogram matches "
+             f"family filter {family!r}")
+    if eligible < min_windows:
+        fail(f"--assert-latency: only {eligible} window entr(ies) matched "
+             f"{family!r} with count >= {min_count}; need {min_windows}")
+    if max_p99_ns is not None and worst_p99 > max_p99_ns:
+        i, name = worst_at
+        fail(f"--assert-latency: window[{i}] {name!r} p99 "
+             f"{worst_p99:.0f}ns exceeds bound {max_p99_ns:.0f}ns")
+    bound = (f", worst p99 {worst_p99 / 1e3:.1f}us <= "
+             f"{max_p99_ns / 1e3:.1f}us" if max_p99_ns is not None
+             else f", worst p99 {worst_p99 / 1e3:.1f}us (unbounded)")
+    print(f"  latency assertion OK: {eligible} eligible window entries "
+          f"across {len(names)} famil(ies){bound}")
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("file", help="telemetry JSONL (or a flight dump JSON)")
@@ -320,6 +401,37 @@ def main():
         help="ignore windows with fewer total family ops than this",
     )
     ap.add_argument(
+        "--assert-latency",
+        action="store_true",
+        help="fail (exit 2) unless the per-window latency section carries "
+        "enough eligible entries with monotone percentile ladders",
+    )
+    ap.add_argument(
+        "--latency-family",
+        default="total_ns",
+        help="substring filter over latency histogram names "
+        "(default 'total_ns': end-to-end sojourn)",
+    )
+    ap.add_argument(
+        "--min-window-count",
+        type=int,
+        default=50,
+        help="latency entries with fewer samples than this are skipped "
+        "(default 50)",
+    )
+    ap.add_argument(
+        "--max-p99-ns",
+        type=float,
+        default=None,
+        help="no eligible latency window's p99 may exceed this (ns)",
+    )
+    ap.add_argument(
+        "--min-latency-windows",
+        type=int,
+        default=1,
+        help="minimum eligible latency window entries (default 1)",
+    )
+    ap.add_argument(
         "--family",
         default=None,
         help="restrict the per-vault family to prefixes starting with this "
@@ -336,6 +448,9 @@ def main():
         assert_rebalance_settles(windows, vault_families(windows), key,
                                  args.threshold, args.settle_threshold,
                                  args.min_window_ops)
+    if args.assert_latency:
+        assert_latency(windows, args.latency_family, args.min_window_count,
+                       args.max_p99_ns, args.min_latency_windows)
 
 
 if __name__ == "__main__":

@@ -65,6 +65,37 @@ python3 scripts/trace_report.py --check-bench "$active_dir/active.json"
 rm -rf "$active_dir"
 echo "active-rebalance-smoke: OK"
 
+echo "== tier-1: latency-smoke (open-loop sweep, CO-free recorder, M/D/1) =="
+# Open-loop tail-latency acceptance: two full queue sweeps at the baseline
+# configuration (best-of-2, same shape perf_gate expects), then
+#   * telemetry_report --assert-latency: every window's interpolated
+#     percentile ladder must be monotone and enough windows must carry the
+#     end-to-end sojourn family;
+#   * trace_report --check-bench: the pimds.bench.v2 latency blocks and
+#     conformance.latency rows must validate;
+#   * perf_gate --only openloop_latency: the virtual-time sim rows must sit
+#     inside the M/D/1 divergence bands, the below-knee gated p99s must not
+#     regress past the committed baseline's band, and the 1.1x row must
+#     still show the saturation signature.
+latency_dir="$(mktemp -d)"
+mkdir -p "$latency_dir/run1" "$latency_dir/run2"
+for run in run1 run2; do
+  ./build/bench/openloop_latency --structure queue \
+    --json "$latency_dir/$run/BENCH_openloop_latency.json" \
+    --telemetry "$latency_dir/$run/openloop.telemetry.jsonl" \
+    --telemetry-interval-ms 50 > /dev/null
+done
+python3 scripts/telemetry_report.py \
+  "$latency_dir/run1/openloop.telemetry.jsonl" \
+  --assert-latency --latency-family total_ns --min-window-count 50
+python3 scripts/trace_report.py --check-bench \
+  "$latency_dir/run1/BENCH_openloop_latency.json"
+python3 scripts/perf_gate.py --baseline-dir . \
+  --fresh-dir "$latency_dir/run1" --fresh-dir "$latency_dir/run2" \
+  --only openloop_latency
+rm -rf "$latency_dir"
+echo "latency-smoke: OK"
+
 echo "== tier-1: -DPIMDS_OBS=OFF configuration =="
 # Compiling test_obs in this configuration checks the layout static
 # asserts (FatEntry must drop to 32 bytes and Message to 112 with the

@@ -53,15 +53,47 @@ def load_json(path):
         fail(f"{path} is not valid JSON: {e}")
 
 
+def check_latency_block(lat, where):
+    """Validate one record-level "latency" percentile object (pimds.bench.v2).
+
+    Percentile ladder must be present, numeric, and monotone non-decreasing
+    p50 <= p90 <= p99 <= p999 <= max; the model fields (md1_*/mm1_*) are
+    optional because off-knee and deterministic-arrival rows omit them.
+    """
+    if not isinstance(lat, dict):
+        fail(f"{where}: latency must be an object")
+    for key in ("schedule", "rate_frac", "ops", "rho", "mean_ns",
+                "p50_ns", "p90_ns", "p99_ns", "p999_ns", "max_ns", "gated"):
+        if key not in lat:
+            fail(f"{where}: latency missing {key!r}")
+    ladder = [lat["p50_ns"], lat["p90_ns"], lat["p99_ns"],
+              lat["p999_ns"], lat["max_ns"]]
+    for v in ladder:
+        if not isinstance(v, (int, float)) or isinstance(v, bool):
+            fail(f"{where}: latency percentile is not numeric")
+    # The ladder is serialized at 6 significant digits, so equal adjacent
+    # quantiles can print up to ~1e-5 apart; only violations past that
+    # rounding are real.
+    for lo, hi in zip(ladder, ladder[1:]):
+        if lo > hi * (1 + 1e-5):
+            fail(f"{where}: latency percentile ladder not monotone: {ladder}")
+    if not isinstance(lat["gated"], bool):
+        fail(f'{where}: latency "gated" must be a bool')
+
+
 def check_bench(path):
     doc = load_json(path)
     if not isinstance(doc, dict):
         fail("bench JSON top level must be an object")
     if "bench" not in doc:
         fail('bench JSON missing "bench" name field')
+    schema = doc.get("schema")
+    if schema is not None and schema != "pimds.bench.v2":
+        fail(f'unknown bench schema {schema!r} (expected "pimds.bench.v2")')
     records = doc.get("records")
     if not isinstance(records, list) or not records:
         fail('bench JSON missing a non-empty "records" list')
+    n_latency = 0
     for i, rec in enumerate(records):
         if not isinstance(rec, dict):
             fail(f"records[{i}] is not an object")
@@ -71,6 +103,9 @@ def check_bench(path):
             fail(f"records[{i}] ({rec.get('name')}) has no ops_per_sec")
         if not isinstance(rec["ops_per_sec"], (int, float)):
             fail(f"records[{i}] ops_per_sec is not numeric")
+        if "latency" in rec:
+            n_latency += 1
+            check_latency_block(rec["latency"], f"records[{i}] ({rec['name']})")
     conformance = doc.get("conformance")
     if not isinstance(conformance, dict) or "rows" not in conformance:
         fail('bench JSON missing the "conformance" section with "rows"')
@@ -87,6 +122,29 @@ def check_bench(path):
         ):
             if key not in row:
                 fail(f"conformance.rows[{i}] missing {key!r}")
+    lat_rows = conformance.get("latency", [])
+    if not isinstance(lat_rows, list):
+        fail('"conformance.latency" must be a list when present')
+    for i, row in enumerate(lat_rows):
+        if not isinstance(row, dict):
+            fail(f"conformance.latency[{i}] is not an object")
+        for key in (
+            "name",
+            "rho",
+            "predicted_mean_ns",
+            "measured_mean_ns",
+            "mean_divergence_pct",
+            "predicted_p99_ns",
+            "measured_p99_ns",
+            "p99_divergence_pct",
+        ):
+            if key not in row:
+                fail(f"conformance.latency[{i}] missing {key!r}")
+            if key != "name" and (
+                not isinstance(row[key], (int, float))
+                or isinstance(row[key], bool)
+            ):
+                fail(f"conformance.latency[{i}] {key!r} is not numeric")
     if not isinstance(doc.get("attribution"), dict):
         fail('bench JSON missing the "attribution" object')
     for domain, a in doc["attribution"].items():
@@ -124,7 +182,9 @@ def check_bench(path):
             fail('telemetry "samples" must be a non-negative integer')
     print(
         f"{path}: OK bench={doc['bench']} records={len(records)} "
+        f"latency_records={n_latency} "
         f"conformance_rows={len(conformance['rows'])} "
+        f"conformance_latency_rows={len(lat_rows)} "
         f"attribution_domains={len(doc['attribution'])} "
         f"metrics={'yes' if metrics is not None else 'no'} "
         f"histograms={n_hist} "

@@ -34,7 +34,23 @@ double ConformanceRow::divergence_pct() const noexcept {
          predicted_ops_per_sec;
 }
 
+double LatencyConformanceRow::mean_divergence_pct() const noexcept {
+  if (predicted_mean_ns == 0.0) return 0.0;
+  return 100.0 * (measured_mean_ns - predicted_mean_ns) / predicted_mean_ns;
+}
+
+double LatencyConformanceRow::p99_divergence_pct() const noexcept {
+  if (predicted_p99_ns == 0.0) return 0.0;
+  return 100.0 * (measured_p99_ns - predicted_p99_ns) / predicted_p99_ns;
+}
+
 std::string conformance_json(const std::vector<ConformanceRow>& rows,
+                             int indent) {
+  return conformance_json(rows, {}, indent);
+}
+
+std::string conformance_json(const std::vector<ConformanceRow>& rows,
+                             const std::vector<LatencyConformanceRow>& latency,
                              int indent) {
   const std::string pad(static_cast<std::size_t>(indent), ' ');
   const std::string in1 = pad + "  ";
@@ -49,6 +65,24 @@ std::string conformance_json(const std::vector<ConformanceRow>& rows,
            ", \"divergence_pct\": " + fmt_double(r.divergence_pct()) + "}";
   }
   out += rows.empty() ? "]" : "\n" + in1 + "]";
+  if (!latency.empty()) {
+    out += ",\n" + in1 + "\"latency\": [";
+    for (std::size_t i = 0; i < latency.size(); ++i) {
+      const LatencyConformanceRow& r = latency[i];
+      out += i == 0 ? "\n" : ",\n";
+      out += in2 + "{\"name\": \"" + escape(r.name) + "\"" +
+             ", \"rho\": " + fmt_double(r.rho) +
+             ", \"predicted_mean_ns\": " + fmt_double(r.predicted_mean_ns) +
+             ", \"measured_mean_ns\": " + fmt_double(r.measured_mean_ns) +
+             ", \"mean_divergence_pct\": " +
+             fmt_double(r.mean_divergence_pct()) +
+             ", \"predicted_p99_ns\": " + fmt_double(r.predicted_p99_ns) +
+             ", \"measured_p99_ns\": " + fmt_double(r.measured_p99_ns) +
+             ", \"p99_divergence_pct\": " + fmt_double(r.p99_divergence_pct()) +
+             "}";
+    }
+    out += "\n" + in1 + "]";
+  }
   out += "\n" + pad + "}";
   return out;
 }

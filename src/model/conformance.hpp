@@ -25,11 +25,38 @@ struct ConformanceRow {
   double divergence_pct() const noexcept;
 };
 
+/// Latency conformance: measured sojourn (coordinated-omission-free, from
+/// an open-loop sweep) vs the M/D/1 prediction for the vault mailbox
+/// (src/model/latency_model.hpp). Divergence is signed like the throughput
+/// rows: positive = measured slower than predicted.
+struct LatencyConformanceRow {
+  std::string name;  ///< e.g. "openloop.queue.rate0.40"
+  double rho = 0.0;  ///< measured utilization at this rate point
+  double predicted_mean_ns = 0.0;
+  double measured_mean_ns = 0.0;
+  double predicted_p99_ns = 0.0;
+  double measured_p99_ns = 0.0;
+
+  /// 100 * (measured - predicted) / predicted; 0 when predicted == 0.
+  double mean_divergence_pct() const noexcept;
+  double p99_divergence_pct() const noexcept;
+};
+
 /// JSON object {"rows": [{"name", "predicted_ops_per_sec",
 /// "measured_ops_per_sec", "divergence_pct"}, ...]}. `indent` follows the
 /// MetricsSnapshot::to_json convention (spaces before the closing brace's
 /// line; inner lines one level deeper).
 std::string conformance_json(const std::vector<ConformanceRow>& rows,
+                             int indent = 0);
+
+/// Same, plus a sibling "latency" array:
+/// {"rows": [...], "latency": [{"name", "rho", "predicted_mean_ns",
+/// "measured_mean_ns", "mean_divergence_pct", "predicted_p99_ns",
+/// "measured_p99_ns", "p99_divergence_pct"}, ...]}. The "latency" key is
+/// emitted only by benches that produce such rows; validators treat it as
+/// optional.
+std::string conformance_json(const std::vector<ConformanceRow>& rows,
+                             const std::vector<LatencyConformanceRow>& latency,
                              int indent = 0);
 
 }  // namespace pimds::model

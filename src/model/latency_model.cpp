@@ -1,0 +1,84 @@
+#include "model/latency_model.hpp"
+
+#include <cmath>
+
+namespace pimds::model {
+
+namespace {
+
+/// Waiting-time quantile from the geometric tail P(wait > t) = rho *
+/// e^(-theta t): zero while the quantile falls inside the atom at 0
+/// (probability 1 - rho of not waiting at all).
+double tail_quantile(double rho, double theta, double q) {
+  if (theta <= 0.0) return 0.0;
+  const double excess = rho / (1.0 - q);
+  return excess <= 1.0 ? 0.0 : std::log(excess) / theta;
+}
+
+}  // namespace
+
+double mdl_tail_decay(double arrival_per_ns, double service_ns) {
+  if (arrival_per_ns <= 0.0 || service_ns <= 0.0) return 0.0;
+  const double lambda = arrival_per_ns;
+  const double s = service_ns;
+  const double rho = lambda * s;
+  if (rho >= 1.0) return 0.0;
+  // f(theta) = lambda (e^(theta s) - 1) - theta is convex with f(0) = 0
+  // and f'(0) = rho - 1 < 0, so it has one positive root. Seeding from
+  // the quadratic truncation's root theta0 = 2 (1 - rho) / (rho s) lands
+  // ABOVE the true root (the truncation under-counts f), from where
+  // Newton on a convex function descends monotonically.
+  double theta = 2.0 * (1.0 - rho) / (rho * s);
+  for (int i = 0; i < 64; ++i) {
+    const double e = std::exp(theta * s);
+    const double f = lambda * (e - 1.0) - theta;
+    const double fp = lambda * s * e - 1.0;
+    if (fp <= 0.0) break;  // left of the minimum: seed failed, bail
+    const double next = theta - f / fp;
+    if (next <= 0.0) break;
+    if (std::abs(next - theta) <= 1e-12 * theta) {
+      theta = next;
+      break;
+    }
+    theta = next;
+  }
+  return theta;
+}
+
+LatencyPrediction mdl_sojourn(double arrival_per_ns, double service_ns) {
+  LatencyPrediction p;
+  if (service_ns <= 0.0) return p;
+  const double s = service_ns;
+  const double lambda = arrival_per_ns > 0.0 ? arrival_per_ns : 0.0;
+  p.rho = lambda * s;
+  if (p.rho >= 1.0) return p;  // unstable: no finite prediction
+  p.stable = true;
+  // Pollaczek-Khinchine with deterministic service (C_s^2 = 0).
+  p.mean_ns = s * (1.0 + p.rho / (2.0 * (1.0 - p.rho)));
+  const double theta = mdl_tail_decay(lambda, s);
+  p.p50_ns = s + tail_quantile(p.rho, theta, 0.50);
+  p.p90_ns = s + tail_quantile(p.rho, theta, 0.90);
+  p.p99_ns = s + tail_quantile(p.rho, theta, 0.99);
+  p.p999_ns = s + tail_quantile(p.rho, theta, 0.999);
+  return p;
+}
+
+LatencyPrediction mm1_sojourn(double arrival_per_ns, double service_ns) {
+  LatencyPrediction p;
+  if (service_ns <= 0.0) return p;
+  const double s = service_ns;
+  const double lambda = arrival_per_ns > 0.0 ? arrival_per_ns : 0.0;
+  p.rho = lambda * s;
+  if (p.rho >= 1.0) return p;
+  p.stable = true;
+  // Sojourn time in M/M/1 is exactly Exp(mu - lambda).
+  const double rate = (1.0 - p.rho) / s;  // mu - lambda
+  p.mean_ns = 1.0 / rate;
+  p.p50_ns = -std::log(1.0 - 0.50) / rate;
+  p.p90_ns = -std::log(1.0 - 0.90) / rate;
+  p.p99_ns = -std::log(1.0 - 0.99) / rate;
+  p.p999_ns = -std::log(1.0 - 0.999) / rate;
+  return p;
+}
+
+}  // namespace pimds::model

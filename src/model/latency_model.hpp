@@ -1,0 +1,52 @@
+// Closed-form queueing predictions for the vault mailbox.
+//
+// A PIM vault core drains one mailbox and serves each request in (nearly)
+// deterministic time — the Section 3 cost model makes the per-op service
+// time r3 * Lpim plus handler overhead, with no client-dependent variance.
+// Under Poisson arrivals the mailbox is therefore an M/D/1 queue, and its
+// sojourn time (wait + service) has a closed form:
+//
+//   rho  = lambda * s                    (utilization)
+//   W    = s * (1 + rho / (2 (1 - rho))) (Pollaczek-Khinchine, D service)
+//
+// The tail decays geometrically: P(wait > t) ~ rho * e^(-theta t), where
+// theta is the unique positive root of the Cramer-Lundberg equation
+// lambda (e^(theta s) - 1) = theta. For exponential service the same
+// equation gives theta = mu - lambda exactly (the M/M/1 result), which is
+// how the Newton solver is validated in tests. Quantiles follow by
+// inverting the tail: wait_q = max(0, ln(rho / (1-q)) / theta).
+//
+// M/M/1 (exponential service at the same mean) is also provided as the
+// pessimistic envelope: real service has SOME variance, so measured tails
+// should land between the M/D/1 prediction and the M/M/1 bound.
+//
+// Units: rates are per-nanosecond, times are nanoseconds, matching the
+// rest of src/model.
+#pragma once
+
+namespace pimds::model {
+
+struct LatencyPrediction {
+  bool stable = false;  ///< rho < 1; when false the time fields are 0
+  double rho = 0.0;     ///< lambda * s
+  double mean_ns = 0.0; ///< mean sojourn (wait + service)
+  double p50_ns = 0.0;
+  double p90_ns = 0.0;
+  double p99_ns = 0.0;
+  double p999_ns = 0.0;
+};
+
+/// M/D/1 sojourn prediction from Poisson arrival rate `arrival_per_ns`
+/// and deterministic service time `service_ns`.
+LatencyPrediction mdl_sojourn(double arrival_per_ns, double service_ns);
+
+/// M/M/1 sojourn (exponential service, same mean): the variance-pessimistic
+/// envelope. Sojourn is exactly Exp(mu - lambda).
+LatencyPrediction mm1_sojourn(double arrival_per_ns, double service_ns);
+
+/// The waiting-time tail decay rate theta: unique positive root of
+/// lambda (e^(theta s) - 1) = theta (Newton). Exposed for tests;
+/// returns 0 when rho >= 1 or inputs are degenerate.
+double mdl_tail_decay(double arrival_per_ns, double service_ns);
+
+}  // namespace pimds::model

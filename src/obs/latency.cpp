@@ -1,0 +1,66 @@
+#include "obs/latency.hpp"
+
+#include <cstdio>
+
+namespace pimds::obs {
+
+LatencyRecorder::LatencyRecorder(const std::string& name,
+                                 std::uint64_t late_threshold_ns)
+    : name_(name),
+      late_threshold_ns_(late_threshold_ns),
+      total_(Registry::instance().histogram("latency." + name + ".total_ns")),
+      service_(
+          Registry::instance().histogram("latency." + name + ".service_ns")),
+      sched_lag_(
+          Registry::instance().histogram("latency." + name + ".sched_lag_ns")),
+      ops_(Registry::instance().counter("latency." + name + ".ops")),
+      late_(Registry::instance().counter("latency." + name + ".late")) {}
+
+LatencyRecorder::Summary LatencyRecorder::summary() const {
+  Summary s;
+  const HistogramData total = total_.data();
+  const HistogramData service = service_.data();
+  const HistogramData lag = sched_lag_.data();
+  s.ops = ops_.value();
+  s.late = late_.value();
+  s.mean_ns = total.mean();
+  s.p50_ns = total.percentile_interpolated(0.50);
+  s.p90_ns = total.percentile_interpolated(0.90);
+  s.p99_ns = total.percentile_interpolated(0.99);
+  s.p999_ns = total.percentile_interpolated(0.999);
+  s.max_ns = total.max;
+  s.service_mean_ns = service.mean();
+  s.service_p99_ns = service.percentile_interpolated(0.99);
+  s.sched_lag_p99_ns = lag.percentile_interpolated(0.99);
+  s.sched_lag_max_ns = lag.max;
+  return s;
+}
+
+PhaseTail phase_tail(PhaseDomain d, double q) {
+  PhaseTail t;
+  t.q = q;
+  for (std::size_t i = 0; i < kPhaseCount; ++i) {
+    const HistogramData data =
+        phase_histogram(d, static_cast<Phase>(i)).data();
+    t.phase_count[i] = data.count;
+    t.phase_q_ns[i] = data.percentile_interpolated(q);
+  }
+  return t;
+}
+
+std::string phase_tail_json(const PhaseTail& t) {
+  std::string out = "{";
+  bool first = true;
+  for (std::size_t i = 0; i < kPhaseCount; ++i) {
+    if (t.phase_count[i] == 0) continue;
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%s\"%s\": %.6g", first ? "" : ", ",
+                  phase_name(static_cast<Phase>(i)), t.phase_q_ns[i]);
+    out += buf;
+    first = false;
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace pimds::obs

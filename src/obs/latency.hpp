@@ -1,0 +1,131 @@
+// Coordinated-omission-free latency recording (observability layer, part 4).
+//
+// Closed-loop benchmark threads measure latency from the moment the CALL
+// started — but under saturation the call only starts once the previous one
+// finished, so every stall silently deletes the samples that would have
+// landed inside it (coordinated omission). The cure is an injection
+// SCHEDULE: each operation has an intended start time fixed by the arrival
+// process, independent of how the system is doing, and latency is measured
+// from that intended start to completion. A stalled server then shows up as
+// many large samples instead of a gap in the record.
+//
+// LatencyRecorder is the recording half: per family `<name>` it owns three
+// registry histograms and two counters,
+//
+//   latency.<name>.total_ns      intended start -> completion (CO-free)
+//   latency.<name>.service_ns    actual start -> completion (what a
+//                                closed-loop bench would have reported)
+//   latency.<name>.sched_lag_ns  max(0, actual - intended start): how far
+//                                the injector itself fell behind schedule
+//   latency.<name>.ops           completed operations
+//   latency.<name>.late          ops whose sched lag exceeded the
+//                                late-threshold (injector fell behind)
+//
+// The `latency.` name prefix is load-bearing: the telemetry Sampler emits a
+// windowed `latency` block (interpolated p50/p90/p99/p999 per window) for
+// exactly these histograms, so tail drift is visible over a run.
+//
+// The intended-start timestamp NEVER travels inside a Message: it stays on
+// the requester thread across the (synchronous) operation, and the per-op
+// `req_id` trace context already provides cross-thread correlation. With
+// PIMDS_OBS=OFF nothing here changes any message layout.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "obs/phase.hpp"
+
+namespace pimds::obs {
+
+class LatencyRecorder {
+ public:
+  /// Sched lag at/above this marks the op "late": the injector missed its
+  /// slot badly enough that the backlog accounting should know. The
+  /// default tolerates timer-wheel jitter (wait_until_ns spins the last
+  /// ~20us but can overshoot by a few hundred ns under load).
+  static constexpr std::uint64_t kDefaultLateThresholdNs = 1'000;
+
+  /// Metrics register under `latency.<name>.*`. The registry owns them
+  /// (process lifetime), so recorders are cheap to construct per bench leg
+  /// and histograms survive the recorder.
+  explicit LatencyRecorder(
+      const std::string& name,
+      std::uint64_t late_threshold_ns = kDefaultLateThresholdNs);
+
+  /// One completed operation. `intended_ns` is the scheduled start from
+  /// the arrival process, `start_ns` when the requester actually issued,
+  /// `done_ns` when the result was in hand (all on one clock).
+  void record(std::uint64_t intended_ns, std::uint64_t start_ns,
+              std::uint64_t done_ns) noexcept {
+    const std::uint64_t total =
+        done_ns > intended_ns ? done_ns - intended_ns : 0;
+    const std::uint64_t service = done_ns > start_ns ? done_ns - start_ns : 0;
+    const std::uint64_t lag =
+        start_ns > intended_ns ? start_ns - intended_ns : 0;
+    total_.record(total);
+    service_.record(service);
+    sched_lag_.record(lag);
+    ops_.add();
+    if (lag >= late_threshold_ns_) late_.add();
+  }
+
+  /// Point-in-time rollup of everything recorded so far (interpolated
+  /// percentiles; see HistogramData::percentile_interpolated).
+  struct Summary {
+    std::uint64_t ops = 0;
+    std::uint64_t late = 0;  ///< sched lag >= the late threshold
+    double mean_ns = 0.0;
+    double p50_ns = 0.0;
+    double p90_ns = 0.0;
+    double p99_ns = 0.0;
+    double p999_ns = 0.0;
+    std::uint64_t max_ns = 0;
+    double service_mean_ns = 0.0;
+    double service_p99_ns = 0.0;
+    double sched_lag_p99_ns = 0.0;
+    std::uint64_t sched_lag_max_ns = 0;
+
+    double late_share_pct() const noexcept {
+      return ops == 0 ? 0.0
+                      : 100.0 * static_cast<double>(late) /
+                            static_cast<double>(ops);
+    }
+  };
+  Summary summary() const;
+
+  const std::string& name() const noexcept { return name_; }
+  std::uint64_t late_threshold_ns() const noexcept {
+    return late_threshold_ns_;
+  }
+
+ private:
+  std::string name_;
+  std::uint64_t late_threshold_ns_;
+  Histogram& total_;
+  Histogram& service_;
+  Histogram& sched_lag_;
+  Counter& ops_;
+  Counter& late_;
+};
+
+/// Per-phase tail breakdown at quantile `q`, read from the `<domain>.phase.*`
+/// histograms (src/obs/phase.hpp). Answers "which phase owns the p99":
+/// under load the mailbox_queue quantile should grow while vault_service
+/// stays flat. Quantiles of different phases do not add up to the total's
+/// quantile (tails do not compose); this is attribution, not arithmetic.
+struct PhaseTail {
+  double q = 0.0;
+  std::array<double, kPhaseCount> phase_q_ns{};
+  std::array<std::uint64_t, kPhaseCount> phase_count{};
+};
+
+PhaseTail phase_tail(PhaseDomain d, double q);
+
+/// JSON object {"issue": x, "combiner_wait": y, ...} of the per-phase
+/// quantiles (phases with zero samples omitted; "{}" when none recorded).
+std::string phase_tail_json(const PhaseTail& t);
+
+}  // namespace pimds::obs

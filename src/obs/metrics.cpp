@@ -45,6 +45,39 @@ double HistogramData::percentile(double q) const noexcept {
   return static_cast<double>(max);
 }
 
+double HistogramData::percentile_interpolated(double q) const noexcept {
+  if (count == 0) return 0.0;
+  if (count == 1) return static_cast<double>(sum);  // exact: the one sample
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Fractional 0-based rank on the merged bucket counts.
+  const double target = q * static_cast<double>(count - 1);
+  std::uint64_t cum = 0;
+  for (unsigned b = 0; b < kBuckets; ++b) {
+    const std::uint64_t n = buckets[b];
+    if (n == 0) continue;
+    // Bucket b holds ranks [cum, cum + n).
+    if (static_cast<double>(cum + n) > target) {
+      const std::uint64_t lo = Histogram::bucket_lower(b);
+      const std::uint64_t up = Histogram::bucket_upper(b);
+      // Place the rank at the center of its sample's sub-slot, assuming
+      // the n samples are spread uniformly across [lo, up).
+      const double frac =
+          (target - static_cast<double>(cum) + 0.5) / static_cast<double>(n);
+      double v = static_cast<double>(lo) +
+                 frac * static_cast<double>(up - lo);
+      // The recorded max is exact; no quantile can exceed it. (This also
+      // tames the huge saturated overflow bucket.)
+      if (max > 0 && v > static_cast<double>(max)) {
+        v = static_cast<double>(max);
+      }
+      return v;
+    }
+    cum += n;
+  }
+  return static_cast<double>(max);
+}
+
 namespace {
 
 const MetricsSnapshot::Scalar* find_scalar(
@@ -377,11 +410,18 @@ MetricsSnapshot diff_snapshots(const MetricsSnapshot& prev,
       }
       d.data.sum = clamped_delta(was ? was->sum : 0, h.data.sum);
       // The true window max is unrecoverable from cumulative shard maxes;
-      // bound it by the highest non-empty diff bucket (<= 25% over).
-      d.data.max =
-          d.data.count == 0
-              ? 0
-              : std::min(h.data.max, Histogram::bucket_upper(top) - 1);
+      // estimate it as the midpoint of the highest non-empty diff bucket,
+      // clamped to the cumulative max (which bounds it from above). The
+      // true window max lies in [lo, up) of that bucket, so the midpoint
+      // is off by at most half a bucket width (<= 12.5%); exact for unit
+      // buckets.
+      if (d.data.count == 0) {
+        d.data.max = 0;
+      } else {
+        const std::uint64_t lo = Histogram::bucket_lower(top);
+        const std::uint64_t up = Histogram::bucket_upper(top);
+        d.data.max = std::min(h.data.max, lo + (up - lo) / 2);
+      }
       out.histograms.push_back(std::move(d));
     }
   }

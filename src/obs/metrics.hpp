@@ -158,6 +158,15 @@ struct HistogramData {
   /// Approximate quantile: the midpoint of the log-bucket containing the
   /// rank. Error is bounded by the bucket width (<= 25% of the value).
   double percentile(double q) const noexcept;
+
+  /// Bucket-interpolated quantile: positions the rank fractionally inside
+  /// the bucket that contains it (uniform-within-bucket assumption), then
+  /// clamps to the recorded max. Exact for unit buckets and for
+  /// single-sample histograms (returns `sum`); elsewhere the error is
+  /// bounded by half a bucket width (<= 12.5% of the value), half the
+  /// plain percentile() bound. Tail assertions (windowed p99 gates) use
+  /// this form.
+  double percentile_interpolated(double q) const noexcept;
 };
 
 /// HDR-style log-bucketed histogram of non-negative integer samples
@@ -294,9 +303,9 @@ struct DeltaBaseline {
 /// diff (clamped at zero — a Registry::reset() mid-window restarts the
 /// counter, in which case the delta is the post-reset value); gauges and
 /// derived values pass through as point-in-time facts. The window max of a
-/// histogram is approximated by the upper bound of its highest non-empty
-/// diff bucket (<= 25% over the true window max, same error bound as the
-/// percentiles).
+/// histogram is approximated by the midpoint of its highest non-empty diff
+/// bucket, clamped to the cumulative max (|error| <= half a bucket width,
+/// i.e. <= 12.5% of the true window max; exact for unit buckets).
 MetricsSnapshot diff_snapshots(const MetricsSnapshot& prev,
                                const MetricsSnapshot& cur);
 

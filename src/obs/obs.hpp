@@ -6,6 +6,7 @@
 // schema and telemetry JSONL schema.
 #pragma once
 
+#include "obs/latency.hpp"    // IWYU pragma: export
 #include "obs/loadmap.hpp"    // IWYU pragma: export
 #include "obs/metrics.hpp"    // IWYU pragma: export
 #include "obs/phase.hpp"      // IWYU pragma: export

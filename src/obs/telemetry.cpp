@@ -130,6 +130,28 @@ std::string telemetry_line(const MetricsSnapshot& delta, std::uint64_t seq,
     out += ",\"max\":" + std::to_string(h.data.max);
     out += '}';
   }
+  // Tail time series: every `latency.*` histogram (LatencyRecorder families,
+  // src/obs/latency.hpp) gets a second entry with INTERPOLATED percentiles —
+  // the windowed p99 assertions (telemetry_report.py --assert-latency) need
+  // the sharper 12.5% bound, while the plain histograms block keeps the
+  // midpoint form every existing consumer was calibrated against.
+  out += "},\"latency\":{";
+  first = true;
+  for (const auto& h : delta.histograms) {
+    if (h.data.count == 0) continue;
+    if (h.name.rfind("latency.", 0) != 0) continue;
+    if (!first) out += ',';
+    first = false;
+    out += '"' + json_escape(h.name) + "\":{";
+    out += "\"count\":" + std::to_string(h.data.count);
+    out += ",\"mean\":" + fmt_double(h.data.mean());
+    out += ",\"p50\":" + fmt_double(h.data.percentile_interpolated(0.50));
+    out += ",\"p90\":" + fmt_double(h.data.percentile_interpolated(0.90));
+    out += ",\"p99\":" + fmt_double(h.data.percentile_interpolated(0.99));
+    out += ",\"p999\":" + fmt_double(h.data.percentile_interpolated(0.999));
+    out += ",\"max\":" + std::to_string(h.data.max);
+    out += '}';
+  }
   out += "}}";
   return out;
 }

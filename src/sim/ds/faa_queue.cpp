@@ -23,8 +23,11 @@ RunResult run_faa_queue(const QueueConfig& cfg) {
     engine.spawn("enq" + std::to_string(i), [&, i](Context& ctx) {
       check::ThreadLog* log =
           cfg.recorder != nullptr ? &cfg.recorder->log(i) : nullptr;
+      ArrivalPacer pacer(cfg, ctx);
       std::uint64_t ops = 0;
       while (ctx.now() < cfg.duration_ns) {
+        const Time intended = pacer.next(ctx);
+        if (intended >= cfg.duration_ns) break;
         const Time issued = ctx.now();
         const std::uint64_t value =
             log != nullptr
@@ -37,7 +40,7 @@ RunResult run_faa_queue(const QueueConfig& cfg) {
         if (log != nullptr) log->end(check::kRetTrue, ctx.now());
         if (cfg.latency_sink_ns != nullptr) {
           cfg.latency_sink_ns->push_back(
-              static_cast<double>(ctx.now() - issued));
+              static_cast<double>(ctx.now() - intended));
         }
         ++ops;
       }
@@ -50,8 +53,11 @@ RunResult run_faa_queue(const QueueConfig& cfg) {
           cfg.recorder != nullptr
               ? &cfg.recorder->log(cfg.enqueuers + i)
               : nullptr;
+      ArrivalPacer pacer(cfg, ctx);
       std::uint64_t ops = 0;
       while (ctx.now() < cfg.duration_ns) {
+        const Time intended = pacer.next(ctx);
+        if (intended >= cfg.duration_ns) break;
         const Time issued = ctx.now();
         if (log != nullptr) log->begin(check::kDeq, 0, issued);
         deq_line.atomic_rmw(ctx);
@@ -64,7 +70,7 @@ RunResult run_faa_queue(const QueueConfig& cfg) {
         if (log != nullptr) log->end(out, ctx.now());
         if (cfg.latency_sink_ns != nullptr) {
           cfg.latency_sink_ns->push_back(
-              static_cast<double>(ctx.now() - issued));
+              static_cast<double>(ctx.now() - intended));
         }
         ++ops;
       }

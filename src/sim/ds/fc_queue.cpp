@@ -41,8 +41,11 @@ RunResult run_fc_queue(const QueueConfig& cfg, bool single_lock) {
       engine.spawn(std::move(name), [&, is_enq, slot](Context& ctx) {
         check::ThreadLog* log =
             cfg.recorder != nullptr ? &cfg.recorder->log(slot) : nullptr;
+        ArrivalPacer pacer(cfg, ctx);
         std::uint64_t ops = 0;
         while (ctx.now() < cfg.duration_ns) {
+          const Time intended = pacer.next(ctx);
+          if (intended >= cfg.duration_ns) break;
           const Time issued = ctx.now();
           const std::uint64_t value =
               !is_enq ? 0
@@ -61,7 +64,7 @@ RunResult run_fc_queue(const QueueConfig& cfg, bool single_lock) {
           }
           if (cfg.latency_sink_ns != nullptr) {
             cfg.latency_sink_ns->push_back(
-                static_cast<double>(ctx.now() - issued));
+                static_cast<double>(ctx.now() - intended));
           }
           ++ops;
         }
@@ -98,8 +101,11 @@ RunResult run_fc_queue(const QueueConfig& cfg, bool single_lock) {
     engine.spawn("enq" + std::to_string(i), [&, i](Context& ctx) {
       check::ThreadLog* log =
           cfg.recorder != nullptr ? &cfg.recorder->log(i) : nullptr;
+      ArrivalPacer pacer(cfg, ctx);
       std::uint64_t ops = 0;
       while (ctx.now() < cfg.duration_ns) {
+        const Time intended = pacer.next(ctx);
+        if (intended >= cfg.duration_ns) break;
         const Time issued = ctx.now();
         const std::uint64_t value =
             log != nullptr
@@ -118,7 +124,7 @@ RunResult run_fc_queue(const QueueConfig& cfg, bool single_lock) {
         if (log != nullptr) log->end(check::kRetTrue, ctx.now());
         if (cfg.latency_sink_ns != nullptr) {
           cfg.latency_sink_ns->push_back(
-              static_cast<double>(ctx.now() - issued));
+              static_cast<double>(ctx.now() - intended));
         }
         ++ops;
       }
@@ -131,8 +137,11 @@ RunResult run_fc_queue(const QueueConfig& cfg, bool single_lock) {
           cfg.recorder != nullptr
               ? &cfg.recorder->log(cfg.enqueuers + i)
               : nullptr;
+      ArrivalPacer pacer(cfg, ctx);
       std::uint64_t ops = 0;
       while (ctx.now() < cfg.duration_ns) {
+        const Time intended = pacer.next(ctx);
+        if (intended >= cfg.duration_ns) break;
         const Time issued = ctx.now();
         if (log != nullptr) log->begin(check::kDeq, 0, issued);
         const std::optional<std::uint64_t> out = deq_fc.submit(
@@ -151,7 +160,7 @@ RunResult run_fc_queue(const QueueConfig& cfg, bool single_lock) {
         if (log != nullptr) log->end(out.value_or(check::kRetEmpty), ctx.now());
         if (cfg.latency_sink_ns != nullptr) {
           cfg.latency_sink_ns->push_back(
-              static_cast<double>(ctx.now() - issued));
+              static_cast<double>(ctx.now() - intended));
         }
         ++ops;
       }

@@ -335,7 +335,10 @@ PimQueueResult run_pim_queue(const QueueConfig& cfg,
       check::ThreadLog* log =
           cfg.recorder != nullptr ? &cfg.recorder->log(slot) : nullptr;
       SimSlot<Reply> reply;
+      ArrivalPacer pacer(cfg, ctx);
       while (ctx.now() < cfg.duration_ns) {
+        const Time intended = pacer.next(ctx);
+        if (intended >= cfg.duration_ns) break;
         const Time issued = ctx.now();
         const std::uint64_t rid =
             obs::trace_enabled() ? obs::next_request_id() : 0;
@@ -380,8 +383,10 @@ PimQueueResult run_pim_queue(const QueueConfig& cfg,
                              {"enq", is_enq ? 1u : 0u});
         }
         if (cfg.latency_sink_ns != nullptr) {
+          // Open loop: charge from the INTENDED start, so time spent queued
+          // behind a late injector counts against the operation.
           cfg.latency_sink_ns->push_back(
-              static_cast<double>(ctx.now() - issued));
+              static_cast<double>(ctx.now() - intended));
         }
         ++ops;
       }

@@ -12,6 +12,7 @@
 //     response pipelining; per-side throughput approaches 1/Lpim.
 #pragma once
 
+#include <cmath>
 #include <cstddef>
 #include <cstdint>
 #include <vector>
@@ -20,6 +21,27 @@
 #include "sim/workload.hpp"
 
 namespace pimds::sim {
+
+/// Arrival process for each client actor.
+///
+/// kClosedLoop (the default, and the paper's Section 5 setup) issues the
+/// next operation the moment the previous one completes. Right for
+/// throughput; WRONG for latency at saturation — the client can only issue
+/// as fast as the system completes, so every server stall silently deletes
+/// the samples that would have landed inside it (coordinated omission; the
+/// telltale is p50 == p99). The open-loop schedules fix each operation's
+/// intended start from an injection schedule independent of completions,
+/// and latency is measured from that intended start.
+enum class ArrivalSchedule : std::uint8_t {
+  kClosedLoop,
+  /// Fixed inter-arrival `arrival_period_ns` per actor, with a uniform
+  /// per-actor phase stagger so k injectors do not arrive in lockstep.
+  kDeterministic,
+  /// Exponential inter-arrivals with mean `arrival_period_ns` — the
+  /// aggregate over actors is a Poisson process, matching the M/D/1
+  /// conformance model's arrival assumption.
+  kPoisson,
+};
 
 struct QueueConfig {
   LatencyParams params = LatencyParams::paper_defaults();
@@ -37,10 +59,18 @@ struct QueueConfig {
   /// latency of accessing and modifying queue nodes").
   bool charge_node_access = false;
   /// When non-null, every completed operation appends its virtual latency
-  /// (request issue to response consumption, in ns) here. The paper argues
-  /// pipelining buys throughput; the latency distribution shows what each
-  /// design pays per operation to get it.
+  /// here (in ns). Closed loop: request issue to response consumption.
+  /// Open loop: INTENDED start to response consumption (coordinated-
+  /// omission-free — queueing behind a late injector counts against the
+  /// operation). The paper argues pipelining buys throughput; the latency
+  /// distribution shows what each design pays per operation to get it.
   std::vector<double>* latency_sink_ns = nullptr;
+  /// Client arrival process (see ArrivalSchedule). Open-loop schedules
+  /// require arrival_period_ns > 0.
+  ArrivalSchedule arrival = ArrivalSchedule::kClosedLoop;
+  /// Mean per-actor inter-arrival time for the open-loop schedules. The
+  /// aggregate offered rate is (enqueuers + dequeuers) / arrival_period_ns.
+  double arrival_period_ns = 0.0;
   /// Schedule perturbation for adversarial exploration (check/explore.hpp).
   Engine::Perturbation perturb{};
   /// Optional linearizability-history recording (check/). Needs
@@ -50,6 +80,44 @@ struct QueueConfig {
   /// recorded enqueues use values tagged with the producer id so every
   /// value in the history is unique (QueueSpec matches dequeues by value).
   check::HistoryRecorder* recorder = nullptr;
+};
+
+/// Per-actor open-loop injection clock, shared by the three simulated
+/// queues. Each call to next() yields the intended start of the actor's
+/// next operation: if the actor is AHEAD of schedule its virtual clock
+/// jumps forward to the intended time (the sim analogue of a real
+/// injector's wait_until); if it is BEHIND (the previous op overran the
+/// next slot) the intended time is already in the past and the measured
+/// latency absorbs the lag — exactly the accounting coordinated omission
+/// loses. Closed loop degenerates to next() == now().
+class ArrivalPacer {
+ public:
+  ArrivalPacer(const QueueConfig& cfg, Context& ctx)
+      : schedule_(cfg.arrival), period_ns_(cfg.arrival_period_ns) {
+    // Uniform phase stagger so deterministic injectors spread over one
+    // period instead of arriving k-at-a-time.
+    next_intended_ = schedule_ == ArrivalSchedule::kClosedLoop
+                         ? 0.0
+                         : ctx.rng().next_double() * period_ns_;
+  }
+
+  /// Intended start of the next operation (advances the actor clock when
+  /// ahead of schedule).
+  Time next(Context& ctx) noexcept {
+    if (schedule_ == ArrivalSchedule::kClosedLoop) return ctx.now();
+    const Time intended = static_cast<Time>(next_intended_);
+    ctx.set_time(intended);  // no-op when already late
+    next_intended_ +=
+        schedule_ == ArrivalSchedule::kPoisson
+            ? -period_ns_ * std::log(1.0 - ctx.rng().next_double())
+            : period_ns_;
+    return intended;
+  }
+
+ private:
+  ArrivalSchedule schedule_;
+  double period_ns_;
+  double next_intended_ = 0.0;
 };
 
 /// Where a PIM core creates the next enqueue segment (Algorithm 1 line 14

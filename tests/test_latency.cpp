@@ -1,0 +1,385 @@
+// Tests for the tail-latency observability plane: interpolated histogram
+// percentiles (edge cases + error bound), the windowed-max midpoint
+// estimate in diff_snapshots, the coordinated-omission-free LatencyRecorder
+// (including a stalled injector), per-phase tail attribution, the M/D/1 /
+// M/M/1 closed forms, and the telemetry `latency` block.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "model/latency_model.hpp"
+#include "obs/obs.hpp"
+
+namespace pimds {
+namespace {
+
+using obs::Histogram;
+using obs::HistogramData;
+
+// ---------------------------------------------------------------------------
+// percentile_interpolated edge cases.
+
+TEST(InterpolatedPercentile, EmptyHistogramIsZero) {
+  HistogramData d;
+  EXPECT_EQ(d.percentile_interpolated(0.0), 0.0);
+  EXPECT_EQ(d.percentile_interpolated(0.5), 0.0);
+  EXPECT_EQ(d.percentile_interpolated(0.999), 0.0);
+}
+
+TEST(InterpolatedPercentile, SingleSampleIsExact) {
+  // One sample: every quantile IS the sample, recovered exactly from `sum`
+  // even when the bucket is wide.
+  Histogram h;
+  h.record(123457);  // lands in a wide bucket (width ~ 25%)
+  const HistogramData d = h.data();
+  EXPECT_EQ(d.percentile_interpolated(0.5), 123457.0);
+  EXPECT_EQ(d.percentile_interpolated(0.99), 123457.0);
+}
+
+TEST(InterpolatedPercentile, UnitBucketsAreExact) {
+  // Values below kSub get exact unit buckets; the interpolated estimate
+  // must land inside [lower, upper) of the right unit bucket.
+  Histogram h;
+  for (int i = 0; i < 100; ++i) h.record(i % 4);  // values 0..3, 25 each
+  const HistogramData d = h.data();
+  // Ranks 0..24 hold value 0, 25..49 value 1, etc. The interpolated result
+  // is continuous, so just pin the integer part.
+  EXPECT_EQ(std::floor(d.percentile_interpolated(0.1)), 0.0);
+  EXPECT_EQ(std::floor(d.percentile_interpolated(0.30)), 1.0);
+  EXPECT_EQ(std::floor(d.percentile_interpolated(0.60)), 2.0);
+  EXPECT_EQ(std::floor(d.percentile_interpolated(0.90)), 3.0);
+}
+
+TEST(InterpolatedPercentile, ExactBucketBoundarySamples) {
+  // Samples exactly on bucket lower bounds: the estimate for a quantile
+  // inside one bucket's population must stay inside that bucket's range.
+  Histogram h;
+  const unsigned idx = Histogram::bucket_index(1 << 10);
+  for (int i = 0; i < 1000; ++i) h.record(1 << 10);
+  const HistogramData d = h.data();
+  const double p50 = d.percentile_interpolated(0.5);
+  EXPECT_GE(p50, static_cast<double>(Histogram::bucket_lower(idx)));
+  EXPECT_LT(p50, static_cast<double>(Histogram::bucket_upper(idx)));
+  // All samples equal => estimate within the 12.5% relative bound.
+  EXPECT_NEAR(p50, 1024.0, 1024.0 * 0.125);
+}
+
+TEST(InterpolatedPercentile, ClampsToRecordedMax) {
+  // A quantile landing in the top occupied bucket must not exceed the
+  // recorded max even though the bucket extends past it.
+  Histogram h;
+  for (int i = 0; i < 99; ++i) h.record(100);
+  h.record(1'000'000);  // max, alone in a wide bucket
+  const HistogramData d = h.data();
+  EXPECT_LE(d.percentile_interpolated(0.999), 1'000'000.0);
+  EXPECT_GT(d.percentile_interpolated(0.999), 100.0);
+}
+
+TEST(InterpolatedPercentile, ErrorBoundHolds) {
+  // Uniform ramp: the interpolated estimate must be within 12.5% of the
+  // true sample quantile everywhere (half the plain-midpoint bound).
+  Histogram h;
+  std::vector<std::uint64_t> samples;
+  for (std::uint64_t v = 1000; v < 2000; ++v) {
+    h.record(v);
+    samples.push_back(v);
+  }
+  const HistogramData d = h.data();
+  for (const double q : {0.1, 0.5, 0.9, 0.99}) {
+    const double truth = static_cast<double>(
+        samples[static_cast<std::size_t>(q * (samples.size() - 1))]);
+    EXPECT_NEAR(d.percentile_interpolated(q), truth, truth * 0.125)
+        << "q=" << q;
+  }
+}
+
+TEST(InterpolatedPercentile, NoWorseThanMidpointOnRamp) {
+  // Interpolation should beat (or match) the midpoint estimate on average.
+  Histogram h;
+  std::vector<std::uint64_t> samples;
+  for (std::uint64_t v = 10'000; v < 30'000; v += 7) {
+    h.record(v);
+    samples.push_back(v);
+  }
+  const HistogramData d = h.data();
+  double err_interp = 0.0, err_mid = 0.0;
+  for (double q = 0.05; q < 1.0; q += 0.05) {
+    const double truth = static_cast<double>(
+        samples[static_cast<std::size_t>(q * (samples.size() - 1))]);
+    err_interp += std::abs(d.percentile_interpolated(q) - truth);
+    err_mid += std::abs(d.percentile(q) - truth);
+  }
+  EXPECT_LE(err_interp, err_mid);
+}
+
+// ---------------------------------------------------------------------------
+// Windowed max via diff_snapshots: midpoint of the top diff bucket.
+
+TEST(WindowMax, MidpointEstimateWithinHalfBucket) {
+  obs::Registry& reg = obs::Registry::instance();
+  reg.reset();
+  obs::Histogram& h = reg.histogram("test.window_max.hist");
+  h.record(1 << 20);  // old large sample: cumulative max is 2^20
+  const obs::MetricsSnapshot before = reg.snapshot();
+  const std::uint64_t window_max = 50'000;
+  h.record(window_max);
+  h.record(10'000);
+  const obs::MetricsSnapshot after = reg.snapshot();
+  const obs::MetricsSnapshot delta = diff_snapshots(before, after);
+  const auto* hist = delta.find_histogram("test.window_max.hist");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_EQ(hist->data.count, 2u);
+  // The estimate must NOT report the cumulative max (2^20): that sample is
+  // from before the window. It must land within half a bucket width
+  // (<= 12.5%) of the true window max.
+  EXPECT_NEAR(static_cast<double>(hist->data.max),
+              static_cast<double>(window_max), window_max * 0.125);
+}
+
+TEST(WindowMax, ClampedByCumulativeMax) {
+  // When the window max IS the cumulative max, the midpoint estimate is
+  // clamped to it (never reports above a real sample).
+  obs::Registry& reg = obs::Registry::instance();
+  reg.reset();
+  obs::Histogram& h = reg.histogram("test.window_max2.hist");
+  const obs::MetricsSnapshot before = reg.snapshot();
+  h.record(1000);
+  const obs::MetricsSnapshot after = reg.snapshot();
+  const obs::MetricsSnapshot delta = diff_snapshots(before, after);
+  const auto* hist = delta.find_histogram("test.window_max2.hist");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_LE(hist->data.max, 1000u);
+  EXPECT_NEAR(static_cast<double>(hist->data.max), 1000.0, 1000.0 * 0.125);
+}
+
+TEST(WindowMax, EmptyWindowIsZero) {
+  obs::Registry& reg = obs::Registry::instance();
+  reg.reset();
+  obs::Histogram& h = reg.histogram("test.window_max3.hist");
+  h.record(777);
+  const obs::MetricsSnapshot before = reg.snapshot();
+  const obs::MetricsSnapshot after = reg.snapshot();
+  const obs::MetricsSnapshot delta = diff_snapshots(before, after);
+  const auto* hist = delta.find_histogram("test.window_max3.hist");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_EQ(hist->data.count, 0u);
+  EXPECT_EQ(hist->data.max, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// LatencyRecorder: CO-free accounting.
+
+TEST(LatencyRecorder, ChargesFromIntendedStart) {
+  obs::Registry::instance().reset();
+  obs::LatencyRecorder rec("test_co");
+  // Injector on time: total == service.
+  rec.record(/*intended=*/1000, /*start=*/1000, /*done=*/2000);
+  // Injector 5us late (stalled): the stall charges to the op even though
+  // the call itself took only 1us — the closed-loop view would deny it.
+  rec.record(/*intended=*/10'000, /*start=*/15'000, /*done=*/16'000);
+  const auto s = rec.summary();
+  EXPECT_EQ(s.ops, 2u);
+  EXPECT_EQ(s.max_ns, 6000u);            // intended -> done of the late op
+  EXPECT_EQ(s.sched_lag_max_ns, 5000u);  // how late the injector was
+  EXPECT_DOUBLE_EQ(s.mean_ns, (1000.0 + 6000.0) / 2.0);
+  // Service view (what closed loop would report) stays at ~1us each.
+  EXPECT_NEAR(s.service_mean_ns, 1000.0, 1.0);
+}
+
+TEST(LatencyRecorder, LateCountingAgainstThreshold) {
+  obs::Registry::instance().reset();
+  obs::LatencyRecorder rec("test_late", /*late_threshold_ns=*/1000);
+  rec.record(0, 0, 100);       // on time
+  rec.record(0, 999, 1099);    // lag 999 < threshold
+  rec.record(0, 1000, 1100);   // lag 1000 == threshold -> late
+  rec.record(0, 50'000, 50'100);  // stalled injector -> late
+  const auto s = rec.summary();
+  EXPECT_EQ(s.ops, 4u);
+  EXPECT_EQ(s.late, 2u);
+  EXPECT_DOUBLE_EQ(s.late_share_pct(), 50.0);
+}
+
+TEST(LatencyRecorder, StalledInjectorSeparatesPercentiles) {
+  // The signature CO failure is p50 == p99. Simulate a server that stalls
+  // for 1ms every 500 ops under an open-loop schedule (10us period, 1us
+  // service — stable: ~1ms of stall per 5ms of schedule). The ~20% of ops
+  // scheduled before the backlog drains absorb the stall, so p99 must sit
+  // far above p50 while the on-time majority keeps p50 at the service time.
+  obs::Registry::instance().reset();
+  obs::LatencyRecorder rec("test_stall");
+  std::uint64_t t = 0;
+  for (int i = 0; i < 1000; ++i) {
+    const std::uint64_t intended = static_cast<std::uint64_t>(i) * 10'000;
+    if (i % 500 == 499) t = intended + 1'000'000;  // 1ms stall
+    const std::uint64_t start = intended > t ? intended : t;
+    const std::uint64_t done = start + 1000;
+    rec.record(intended, start, done);
+    t = done;
+  }
+  const auto s = rec.summary();
+  EXPECT_LT(s.p50_ns, 10'000.0);
+  EXPECT_GT(s.p99_ns, 100'000.0);  // stall-absorbing ops dominate the tail
+  EXPECT_GT(s.p999_ns, s.p50_ns * 10.0);
+}
+
+TEST(LatencyRecorder, MetricsSurviveRecorder) {
+  obs::Registry::instance().reset();
+  {
+    obs::LatencyRecorder rec("test_persist");
+    rec.record(0, 0, 500);
+  }
+  // Registry owns the histograms: a fresh recorder under the same family
+  // keeps accumulating where the old one left off.
+  obs::LatencyRecorder again("test_persist");
+  again.record(0, 0, 1500);
+  EXPECT_EQ(again.summary().ops, 2u);
+}
+
+TEST(PhaseTail, AttributesQuantilesPerPhase) {
+  obs::Registry::instance().reset();
+  for (int i = 0; i < 200; ++i) {
+    obs::record_runtime_phase(obs::Phase::kMailboxQueue, 10'000 + i * 10);
+    obs::record_runtime_phase(obs::Phase::kVaultService, 1000);
+  }
+  const obs::PhaseTail t = obs::phase_tail(obs::PhaseDomain::kRuntime, 0.99);
+  EXPECT_DOUBLE_EQ(t.q, 0.99);
+  const auto mailbox = static_cast<std::size_t>(obs::Phase::kMailboxQueue);
+  const auto service = static_cast<std::size_t>(obs::Phase::kVaultService);
+  EXPECT_EQ(t.phase_count[mailbox], 200u);
+  EXPECT_EQ(t.phase_count[service], 200u);
+  EXPECT_GT(t.phase_q_ns[mailbox], t.phase_q_ns[service]);
+  const std::string js = obs::phase_tail_json(t);
+  EXPECT_NE(js.find("mailbox_queue"), std::string::npos);
+  EXPECT_NE(js.find("vault_service"), std::string::npos);
+  // Zero-count phases are omitted.
+  EXPECT_EQ(js.find("combiner_wait"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Closed-form queueing predictions.
+
+TEST(LatencyModel, LightLoadDegeneratesToService) {
+  const auto p = model::mdl_sojourn(/*lambda=*/1e-9, /*s=*/200.0);
+  ASSERT_TRUE(p.stable);
+  EXPECT_NEAR(p.mean_ns, 200.0, 1.0);  // no queueing at rho ~= 0
+  EXPECT_NEAR(p.p50_ns, 200.0, 1.0);
+}
+
+TEST(LatencyModel, MeanMatchesPollaczekKhinchine) {
+  const double s = 200.0, rho = 0.8;
+  const auto p = model::mdl_sojourn(rho / s, s);
+  ASSERT_TRUE(p.stable);
+  EXPECT_NEAR(p.rho, rho, 1e-9);
+  EXPECT_NEAR(p.mean_ns, s * (1.0 + rho / (2.0 * (1.0 - rho))), 1e-6);
+}
+
+TEST(LatencyModel, TailDecaySolvesCramerLundberg) {
+  // theta must satisfy lambda (e^(theta s) - 1) = theta for the M/D/1
+  // service distribution, for a range of utilizations.
+  for (const double rho : {0.1, 0.3, 0.5, 0.7, 0.9, 0.99}) {
+    const double s = 200.0;
+    const double lambda = rho / s;
+    const double theta = model::mdl_tail_decay(lambda, s);
+    ASSERT_GT(theta, 0.0) << "rho=" << rho;
+    const double residual = lambda * (std::exp(theta * s) - 1.0) - theta;
+    EXPECT_NEAR(residual, 0.0, 1e-9 * theta) << "rho=" << rho;
+  }
+}
+
+TEST(LatencyModel, Mm1SojournIsExactExponential) {
+  const double s = 100.0, rho = 0.5;
+  const auto p = model::mm1_sojourn(rho / s, s);
+  ASSERT_TRUE(p.stable);
+  // M/M/1 sojourn ~ Exp(mu - lambda): mean s/(1-rho), median mean*ln 2.
+  EXPECT_NEAR(p.mean_ns, s / (1.0 - rho), 1e-6);
+  EXPECT_NEAR(p.p50_ns, p.mean_ns * std::log(2.0), 1e-6);
+  EXPECT_NEAR(p.p99_ns, p.mean_ns * std::log(100.0), 1e-6);
+}
+
+TEST(LatencyModel, DeterministicServiceBeatsExponential) {
+  // M/D/1 waits are half M/M/1 waits; every quantile of the sojourn should
+  // be at or below the exponential envelope.
+  for (const double rho : {0.2, 0.5, 0.8}) {
+    const double s = 200.0;
+    const auto md1 = model::mdl_sojourn(rho / s, s);
+    const auto mm1 = model::mm1_sojourn(rho / s, s);
+    ASSERT_TRUE(md1.stable && mm1.stable);
+    EXPECT_LT(md1.mean_ns, mm1.mean_ns) << "rho=" << rho;
+    EXPECT_LE(md1.p99_ns, mm1.p99_ns * 1.001) << "rho=" << rho;
+  }
+}
+
+TEST(LatencyModel, MonotoneInUtilization) {
+  double prev_mean = 0.0, prev_p99 = 0.0;
+  for (double rho = 0.1; rho < 0.95; rho += 0.1) {
+    const auto p = model::mdl_sojourn(rho / 200.0, 200.0);
+    ASSERT_TRUE(p.stable);
+    EXPECT_GT(p.mean_ns, prev_mean);
+    EXPECT_GE(p.p99_ns, prev_p99);
+    prev_mean = p.mean_ns;
+    prev_p99 = p.p99_ns;
+  }
+}
+
+TEST(LatencyModel, UnstableAboveCapacity) {
+  for (const double rho : {1.0, 1.1, 5.0}) {
+    const auto p = model::mdl_sojourn(rho / 200.0, 200.0);
+    EXPECT_FALSE(p.stable) << "rho=" << rho;
+    EXPECT_EQ(p.mean_ns, 0.0);
+    EXPECT_FALSE(model::mm1_sojourn(rho / 200.0, 200.0).stable);
+  }
+  EXPECT_EQ(model::mdl_tail_decay(1.0 / 100.0, 200.0), 0.0);
+}
+
+TEST(LatencyModel, QuantileLadderOrdered) {
+  const auto p = model::mdl_sojourn(0.6 / 200.0, 200.0);
+  ASSERT_TRUE(p.stable);
+  EXPECT_LE(p.p50_ns, p.p90_ns);
+  EXPECT_LE(p.p90_ns, p.p99_ns);
+  EXPECT_LE(p.p99_ns, p.p999_ns);
+  EXPECT_GE(p.p50_ns, 200.0);  // sojourn includes the full service time
+}
+
+// ---------------------------------------------------------------------------
+// Telemetry `latency` block.
+
+TEST(TelemetryLatencyBlock, EmitsOnlyLatencyHistograms) {
+  obs::Registry& reg = obs::Registry::instance();
+  reg.reset();
+  obs::LatencyRecorder rec("tblock");
+  rec.record(0, 100, 5100);
+  reg.histogram("runtime.phase.issue").record(400);  // non-latency histogram
+  const obs::MetricsSnapshot delta = reg.snapshot();
+  const std::string line = obs::telemetry_line(delta, 1, 123, 1000);
+  const auto lat_pos = line.find("\"latency\":{");
+  ASSERT_NE(lat_pos, std::string::npos);
+  const std::string block = line.substr(lat_pos);
+  EXPECT_NE(block.find("latency.tblock.total_ns"), std::string::npos);
+  EXPECT_NE(block.find("\"p99\":"), std::string::npos);
+  EXPECT_NE(block.find("\"p999\":"), std::string::npos);
+  // Phase histograms stay in the histograms section, not the latency block.
+  EXPECT_EQ(block.find("runtime.phase.issue"), std::string::npos);
+}
+
+TEST(TelemetryLatencyBlock, PercentileLadderMonotone) {
+  obs::Registry& reg = obs::Registry::instance();
+  reg.reset();
+  obs::LatencyRecorder rec("tladder");
+  std::uint64_t t = 0;
+  for (int i = 0; i < 500; ++i) {
+    const std::uint64_t dur = 1000 + (i % 50) * 200;
+    rec.record(t, t, t + dur);
+    t += 10'000;
+  }
+  const auto s = rec.summary();
+  EXPECT_LE(s.p50_ns, s.p90_ns);
+  EXPECT_LE(s.p90_ns, s.p99_ns);
+  EXPECT_LE(s.p99_ns, s.p999_ns);
+  EXPECT_LE(s.p999_ns, static_cast<double>(s.max_ns));
+}
+
+}  // namespace
+}  // namespace pimds
